@@ -1,0 +1,204 @@
+(* Benchmark harness.
+
+   Part 1 regenerates every experiment table of the reproduction (the
+   paper has no numeric tables of its own — each theorem's experiment is
+   the "table"; see DESIGN.md and EXPERIMENTS.md).  Part 2 runs Bechamel
+   micro-benchmarks of the core algorithms, one Test.make per operation.
+
+   Run with:  dune exec bench/main.exe            (full scale)
+              dune exec bench/main.exe -- --quick (reduced scale)
+              dune exec bench/main.exe -- --no-micro / --no-tables       *)
+
+module Rng = Prng.Rng
+open Temporal
+
+let quick = Array.exists (( = ) "--quick") Sys.argv
+let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
+let no_tables = Array.exists (( = ) "--no-tables") Sys.argv
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: experiment tables *)
+
+let run_tables () =
+  print_endline
+    "=================================================================";
+  print_endline
+    " Reproduction tables: one experiment per theorem/figure of the";
+  print_endline
+    " paper (Akrida, Gasieniec, Mertzios, Spirakis; SPAA 2014)";
+  print_endline
+    "=================================================================";
+  print_newline ();
+  List.iter
+    (fun exp ->
+      ignore
+        (Sim.Report.run_and_print ~quick ~seed:Sim.Experiments.default_seed exp))
+    Sim.Experiments.all
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks *)
+
+open Bechamel
+open Toolkit
+
+(* Pre-built inputs, so the staged closures measure the algorithm only. *)
+
+let clique_net n =
+  let g = Sgraph.Gen.clique Directed n in
+  Assignment.normalized_uniform (Rng.create 1) g
+
+let star_net n r =
+  let g = Sgraph.Gen.star n in
+  Assignment.uniform_multi (Rng.create 2) g ~a:n ~r
+
+let micro_tests () =
+  let net128 = clique_net 128 in
+  let net512 = clique_net 512 in
+  let star64 = star_net 64 8 in
+  let grid = Sgraph.Gen.grid 16 16 in
+  let clique256 = Sgraph.Gen.clique Directed 256 in
+  let uclique256 = Sgraph.Gen.clique Undirected 256 in
+  let params128 = Expansion.default_params ~n:128 () in
+  let params512 = Expansion.default_params ~n:512 () in
+  let gen_rng = Rng.create 3 in
+  let test name f = Test.make ~name (Staged.stage f) in
+  [
+    Test.make_grouped ~name:"foremost" ~fmt:"%s %s"
+      [
+        test "clique n=128" (fun () -> Foremost.run net128 0);
+        test "clique n=512" (fun () -> Foremost.run net512 0);
+        test "star n=64 r=8" (fun () -> Foremost.run star64 0);
+      ];
+    Test.make_grouped ~name:"instance-diameter" ~fmt:"%s %s"
+      [ test "clique n=128" (fun () -> Distance.instance_diameter net128) ];
+    Test.make_grouped ~name:"construction" ~fmt:"%s %s"
+      [
+        test "assign+sort clique n=256" (fun () ->
+            Assignment.normalized_uniform gen_rng clique256);
+        test "gnp n=1024 p=2ln n/n" (fun () ->
+            Sgraph.Gen.gnp gen_rng ~n:1024 ~p:(2. *. log 1024. /. 1024.));
+        test "random tree n=1024" (fun () ->
+            Sgraph.Gen.random_tree gen_rng 1024);
+      ];
+    Test.make_grouped ~name:"algorithm-1" ~fmt:"%s %s"
+      [
+        test "expansion n=128" (fun () ->
+            Expansion.run net128 params128 ~s:0 ~t:64);
+        test "expansion n=512" (fun () ->
+            Expansion.run net512 params512 ~s:0 ~t:256);
+      ];
+    Test.make_grouped ~name:"dissemination" ~fmt:"%s %s"
+      [
+        test "flooding clique n=512" (fun () -> Flooding.run net512 0);
+        test "push clique n=256" (fun () ->
+            Phonecall.Rumor.spread gen_rng uclique256 Push ~source:0);
+      ];
+    Test.make_grouped ~name:"reachability" ~fmt:"%s %s"
+      [
+        test "treach star n=64 r=8" (fun () -> Reachability.treach star64);
+        test "diameter grid 16x16" (fun () -> Sgraph.Metrics.diameter grid);
+      ];
+    (let wnet128 = Windows.of_tgraph net128 in
+     Test.make_grouped ~name:"windows" ~fmt:"%s %s"
+       [
+         test "dijkstra clique n=128" (fun () ->
+             Windows.earliest_arrival wnet128 0);
+         test "of_tgraph clique n=128" (fun () -> Windows.of_tgraph net128);
+       ]);
+    (let small_net = clique_net 32 in
+     Test.make_grouped ~name:"connectivity" ~fmt:"%s %s"
+       [
+         test "edge-disjoint clique n=32" (fun () ->
+             Disjoint.max_edge_disjoint small_net ~s:0 ~t:15);
+         test "expanded build clique n=32" (fun () ->
+             Expanded.build small_net);
+       ]);
+    (let star16 =
+       (* Guaranteed-reachable input for the pruner: the {1,2} scheme
+          unioned with random labels. *)
+       Ops.union
+         (Opt.star_two_labels (Sgraph.Gen.star 16))
+         (star_net 16 6)
+     in
+     Test.make_grouped ~name:"optimization" ~fmt:"%s %s"
+       [
+         test "spanner prune star n=16 r=6" (fun () -> Spanner.prune star16);
+         test "betweenness star n=64 r=8" (fun () ->
+             Centrality.betweenness star64);
+       ]);
+    Test.make_grouped ~name:"generators" ~fmt:"%s %s"
+      [
+        test "barabasi-albert n=1024 m=3" (fun () ->
+            Sgraph.Gen.barabasi_albert gen_rng ~n:1024 ~m:3);
+        test "watts-strogatz n=1024 k=4" (fun () ->
+            Sgraph.Gen.watts_strogatz gen_rng ~n:1024 ~k:4 ~beta:0.1);
+      ];
+    (let net64 = clique_net 64 in
+     Test.make_grouped ~name:"extensions" ~fmt:"%s %s"
+       [
+         test "restless clique n=128 d=2" (fun () ->
+             Restless.run ~delta:2 net128 0);
+         test "walker clique n=128" (fun () ->
+             Walker.walk gen_rng net128 ~source:0);
+         test "counting clique n=64" (fun () ->
+             Counting.foremost_journeys net64 0);
+         test "markovian flood n=128" (fun () ->
+             Evolving.Edge_markovian.flood
+               (Evolving.Edge_markovian.create gen_rng ~n:128 ~p_up:0.1
+                  ~p_down:0.1)
+               ~source:0);
+       ]);
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances =
+    Instance.[ minor_allocated; major_allocated; monotonic_clock ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if quick then 0.25 else 1.0))
+      ~kde:(Some 1000) ()
+  in
+  let tests = micro_tests () in
+  let raw_results =
+    List.map (fun test -> Benchmark.all cfg instances test) tests
+  in
+  List.map
+    (fun raw ->
+      let per_instance =
+        List.map (fun instance -> Analyze.all ols instance raw) instances
+      in
+      Analyze.merge ols instances per_instance)
+    raw_results
+
+let () =
+  List.iter
+    (fun instance -> Bechamel_notty.Unit.add instance (Measure.unit instance))
+    Instance.[ minor_allocated; major_allocated; monotonic_clock ]
+
+let img (window, results) =
+  Bechamel_notty.Multiple.image_of_ols_results ~rect:window
+    ~predictor:Measure.run results
+
+let run_micro () =
+  print_endline
+    "=================================================================";
+  print_endline " Micro-benchmarks (Bechamel, time per run via OLS)";
+  print_endline
+    "=================================================================";
+  let open Notty_unix in
+  let window =
+    match winsize Unix.stdout with
+    | Some (w, h) -> { Bechamel_notty.w; h }
+    | None -> { Bechamel_notty.w = 100; h = 1 }
+  in
+  List.iter
+    (fun results -> img (window, results) |> eol |> output_image)
+    (benchmark ())
+
+let () =
+  if not no_tables then run_tables ();
+  if not no_micro then run_micro ()

@@ -1,0 +1,1 @@
+bin/family.ml: Cmdliner Fmt Sim

@@ -1,0 +1,5 @@
+(* Thin CLI adapter over Sim.Family: adds the cmdliner converter. *)
+
+include Sim.Family
+
+let conv = Cmdliner.Arg.conv (of_string, fun ppf f -> Fmt.string ppf (to_string f))

@@ -1,0 +1,644 @@
+(* `ephemeral` — command-line interface to the reproduction.
+
+   `ephemeral run` regenerates the experiment tables; the remaining
+   commands are ad-hoc probes into the library (single instances,
+   journeys, expansion runs) useful for exploration and debugging. *)
+
+open Cmdliner
+module Rng = Prng.Rng
+open Temporal
+
+(* ------------------------------------------------------------------ *)
+(* Common options *)
+
+let seed_term =
+  let doc = "Random seed (experiments are deterministic given the seed)." in
+  Arg.(value & opt int Sim.Experiments.default_seed & info [ "seed" ] ~doc)
+
+let quick_term =
+  let doc = "Reduced scale: smaller sizes and fewer trials." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let n_term =
+  let doc = "Number of vertices." in
+  Arg.(value & opt int 64 & info [ "n" ] ~doc)
+
+let family_term =
+  let doc = "Graph family: clique, uclique, star, path, cycle, grid, \
+             hypercube, btree, wheel, rtree, gnp:<c>." in
+  Arg.(value & opt Family.conv Family.Clique_directed & info [ "graph"; "g" ] ~doc)
+
+let trials_term =
+  let doc = "Number of Monte-Carlo trials." in
+  Arg.(value & opt int 30 & info [ "trials" ] ~doc)
+
+let lifetime_term =
+  let doc = "Lifetime a (default: the vertex count, the normalized case)." in
+  Arg.(value & opt (some int) None & info [ "a"; "lifetime" ] ~doc)
+
+let r_term =
+  let doc = "Random labels per edge." in
+  Arg.(value & opt int 1 & info [ "r" ] ~doc)
+
+let lifetime_of n = function Some a -> a | None -> n
+
+(* ------------------------------------------------------------------ *)
+(* run / list *)
+
+let run_cmd =
+  let ids_term =
+    let doc = "Experiment ids to run (default: all). E.g. e1 e4." in
+    Arg.(value & pos_all string [] & info [] ~docv:"ID" ~doc)
+  in
+  let csv_term =
+    let doc = "Also write each table as CSV into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+  in
+  let md_term =
+    let doc = "Also write each experiment as Markdown into $(docv)." in
+    Arg.(value & opt (some string) None & info [ "md" ] ~docv:"DIR" ~doc)
+  in
+  let run ids quick seed csv md =
+    let selected =
+      match ids with
+      | [] -> Ok Sim.Experiments.all
+      | ids ->
+        let rec resolve acc = function
+          | [] -> Ok (List.rev acc)
+          | id :: rest -> (
+            match Sim.Experiments.find id with
+            | Some e -> resolve (e :: acc) rest
+            | None -> Error (Printf.sprintf "unknown experiment id %S" id))
+        in
+        resolve [] ids
+    in
+    match selected with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok experiments ->
+      List.iter
+        (fun exp ->
+          let outcome = Sim.Report.run_and_print ~quick ~seed exp in
+          Option.iter
+            (fun dir -> ignore (Sim.Report.save_csv ~dir exp outcome))
+            csv;
+          Option.iter
+            (fun dir -> ignore (Sim.Report.save_markdown ~dir exp outcome))
+            md)
+        experiments;
+      0
+  in
+  let doc = "Run reproduction experiments and print their tables." in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ ids_term $ quick_term $ seed_term $ csv_term $ md_term)
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : Sim.Experiments.t) ->
+        Printf.printf "%-4s %-55s [%s]\n" e.id e.title e.paper_ref)
+      Sim.Experiments.all;
+    0
+  in
+  let doc = "List available experiments." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* diameter *)
+
+let diameter_cmd =
+  let run family n lifetime r trials seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+    let stats = Sim.Estimators.temporal_diameter rng g ~a ~r ~trials in
+    Printf.printf
+      "graph=%s n=%d m=%d a=%d r=%d trials=%d\n"
+      (Family.to_string family) (Sgraph.Graph.n g) (Sgraph.Graph.m g) a r trials;
+    Format.printf "temporal diameter: %a@." Stats.Summary.pp stats.summary;
+    Printf.printf "  disconnected instances: %d / %d\n" stats.disconnected trials;
+    0
+  in
+  let doc = "Estimate the temporal diameter of a random temporal network." in
+  Cmd.v (Cmd.info "diameter" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ trials_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* reach / min-r *)
+
+let reach_cmd =
+  let run family n lifetime r trials seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+    let p = Por.success_probability rng g ~a ~r ~trials in
+    Printf.printf
+      "P(Treach) for %s, n=%d, a=%d, r=%d: %.3f (%d trials)\n"
+      (Family.to_string family) (Sgraph.Graph.n g) a r p trials;
+    0
+  in
+  let doc = "Empirical probability that r random labels per edge preserve \
+             reachability." in
+  Cmd.v (Cmd.info "reach" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ trials_term $ seed_term)
+
+let min_r_cmd =
+  let target_term =
+    let doc = "Target success probability (default: 1 - 1/n)." in
+    Arg.(value & opt (some float) None & info [ "target" ] ~doc)
+  in
+  let run family n lifetime target trials seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let gn = Sgraph.Graph.n g in
+    let a = lifetime_of gn lifetime in
+    let target = Option.value target ~default:(Por.whp_target ~n:gn) in
+    (match Por.report rng ~name:(Family.to_string family) g ~a ~target ~trials with
+    | None -> Printf.printf "no r up to the search cap reached the target\n"
+    | Some report ->
+      Printf.printf "graph=%s n=%d m=%d a=%d target=%.3f\n" report.graph_name
+        report.n report.m a target;
+      Printf.printf "  min r        : %d (rate %.3f)\n" report.estimate.r
+        report.estimate.success_rate;
+      Printf.printf "  thm7 bound   : %.1f   coupon bound: %.1f\n"
+        report.thm7_bound report.coupon_bound;
+      Printf.printf "  PoR          : %.1f .. %.1f (against OPT in [%d, %d])\n"
+        report.por_lower report.por_upper report.opt_lower report.opt_upper);
+    0
+  in
+  let doc = "Search the minimal r that guarantees temporal reachability whp \
+             (Definition 8) and report the Price of Randomness." in
+  Cmd.v (Cmd.info "min-r" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ target_term
+          $ trials_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* flood *)
+
+let flood_cmd =
+  let source_term =
+    let doc = "Source vertex." in
+    Arg.(value & opt int 0 & info [ "source"; "s" ] ~doc)
+  in
+  let run family n lifetime r source seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+    let net = Assignment.uniform_multi rng g ~a ~r in
+    let result = Flooding.run net source in
+    Printf.printf "flooding from %d on %s (n=%d, a=%d, r=%d):\n" source
+      (Family.to_string family) (Sgraph.Graph.n g) a r;
+    Printf.printf "  informed: %d/%d   transmissions: %d\n"
+      result.informed_count (Sgraph.Graph.n g) result.transmissions;
+    (match result.completion_time with
+    | Some t -> Printf.printf "  completed at time %d (ln n = %.2f)\n" t
+                  (log (float_of_int (Sgraph.Graph.n g)))
+    | None -> Printf.printf "  did not reach every vertex within the lifetime\n");
+    (* Timeline: how many vertices were informed by each time step. *)
+    let informed_by t =
+      Array.fold_left
+        (fun acc x -> if x <= t then acc + 1 else acc)
+        0 result.informed_time
+    in
+    let horizon =
+      Option.value result.completion_time ~default:(Tgraph.lifetime net)
+    in
+    Printf.printf "  timeline (t: informed):";
+    let step = Stdlib.max 1 (horizon / 12) in
+    let t = ref 0 in
+    while !t <= horizon do
+      Printf.printf " %d:%d" !t (informed_by !t);
+      t := !t + step
+    done;
+    print_newline ();
+    0
+  in
+  let doc = "Simulate the section-3.5 flooding protocol on one sampled \
+             instance." in
+  Cmd.v (Cmd.info "flood" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ source_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* expansion *)
+
+let expansion_cmd =
+  let c1_term =
+    let doc = "Window constant c1." in
+    Arg.(value & opt float 2.0 & info [ "c1" ] ~doc)
+  in
+  let c2_term =
+    let doc = "Middle window width c2." in
+    Arg.(value & opt int 6 & info [ "c2" ] ~doc)
+  in
+  let pair_term =
+    let doc = "Source and target, e.g. --pair 0,1." in
+    Arg.(value & opt (pair int int) (0, 1) & info [ "pair" ] ~doc)
+  in
+  let run n c1 c2 (s, t) seed =
+    let rng = Rng.create seed in
+    let g = Sgraph.Gen.clique Directed n in
+    let net = Assignment.normalized_uniform rng g in
+    let params = Expansion.default_params ~c1 ~c2 ~n () in
+    let outcome = Expansion.run net params ~s ~t in
+    Printf.printf
+      "expansion on the normalized U-RTN clique n=%d: l1=%d c2=%d d=%d \
+       horizon=%d\n"
+      n params.l1 params.c2 params.d (Expansion.horizon params);
+    Printf.printf "  forward layers : %s\n"
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int outcome.forward_layers)));
+    Printf.printf "  backward layers: %s\n"
+      (String.concat " "
+         (Array.to_list (Array.map string_of_int outcome.backward_layers)));
+    (match (outcome.success, outcome.journey) with
+    | true, Some j ->
+      Format.printf "  journey (%d -> %d, arrival %s):@.    %a@." s t
+        (match outcome.arrival with Some x -> string_of_int x | None -> "?")
+        Journey.pp j
+    | _ ->
+      Printf.printf "  FAILED to match (Theorem 3 only promises success whp)\n";
+      (match Foremost.distance (Foremost.run net s) t with
+      | Some d -> Printf.printf "  (a foremost journey does exist, arrival %d)\n" d
+      | None -> Printf.printf "  (no journey exists at all in this instance)\n"));
+    0
+  in
+  let doc = "Run Algorithm 1 (the Expansion Process) on one sampled clique \
+             instance." in
+  Cmd.v (Cmd.info "expansion" ~doc)
+    Term.(const run $ n_term $ c1_term $ c2_term $ pair_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* journey *)
+
+let journey_cmd =
+  let pair_term =
+    let doc = "Source and target, e.g. --pair 0,5." in
+    Arg.(value & opt (pair int int) (0, 1) & info [ "pair" ] ~doc)
+  in
+  let run family n lifetime r (s, t) seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+    let net = Assignment.uniform_multi rng g ~a ~r in
+    let res = Foremost.run net s in
+    (match Foremost.journey_to net res t with
+    | Some j ->
+      Format.printf "foremost journey %d -> %d (arrival %s):@.  %a@." s t
+        (match Foremost.distance res t with
+        | Some d -> string_of_int d
+        | None -> "?")
+        Journey.pp j
+    | None -> Printf.printf "no journey from %d to %d in this instance\n" s t);
+    0
+  in
+  let doc = "Compute a foremost journey on one sampled instance." in
+  Cmd.v (Cmd.info "journey" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ pair_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* taxonomy *)
+
+let taxonomy_cmd =
+  let pair_term =
+    let doc = "Source and target, e.g. --pair 0,5." in
+    Arg.(value & opt (pair int int) (0, 1) & info [ "pair" ] ~doc)
+  in
+  let run family n lifetime r (s, t) seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+    let net = Assignment.uniform_multi rng g ~a ~r in
+    Printf.printf "journey taxonomy %d -> %d on %s (n=%d, a=%d, r=%d):\n" s t
+      (Family.to_string family) (Sgraph.Graph.n g) a r;
+    let show name = function
+      | Some x -> Printf.printf "  %-18s: %d\n" name x
+      | None -> Printf.printf "  %-18s: -\n" name
+    in
+    show "foremost arrival" (Foremost.distance (Foremost.run net s) t);
+    let fast = Fastest.run net s in
+    show "fastest duration" (Fastest.duration fast t);
+    (match Fastest.window fast t with
+    | Some (dep, arr) -> Printf.printf "  %-18s: depart %d, arrive %d\n"
+                           "fastest window" dep arr
+    | None -> ());
+    show "shortest hops" (Shortest.hops (Shortest.run net s) t);
+    show "latest departure"
+      (Reverse_foremost.latest_departure (Reverse_foremost.run net t) s);
+    Format.printf "  %-18s: %a@." "arrival profile" Profile.pp
+      (Profile.compute net ~source:s ~target:t);
+    0
+  in
+  let doc = "Foremost / fastest / shortest / reverse-foremost journeys for \
+             one pair on a sampled instance." in
+  Cmd.v (Cmd.info "taxonomy" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ pair_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* centrality *)
+
+let centrality_cmd =
+  let top_term =
+    let doc = "How many top vertices to list." in
+    Arg.(value & opt int 5 & info [ "top" ] ~doc)
+  in
+  let run family n lifetime r top seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+    let net = Assignment.uniform_multi rng g ~a ~r in
+    let out = Centrality.out_closeness net in
+    let order = Centrality.rank out in
+    let broadcast = Centrality.broadcast_time net in
+    Printf.printf
+      "temporal centrality on %s (n=%d, a=%d, r=%d), top %d by out-closeness:\n"
+      (Family.to_string family) (Sgraph.Graph.n g) a r top;
+    Array.iteri
+      (fun i v ->
+        if i < top then
+          Printf.printf "  #%d vertex %3d  closeness %.4f  broadcast %s\n"
+            (i + 1) v out.(v)
+            (if broadcast.(v) = max_int then "-" else string_of_int broadcast.(v)))
+      order;
+    let best, time = Centrality.best_broadcaster net in
+    Printf.printf "best broadcaster: vertex %d (completes at %s)\n" best
+      (if time = max_int then "-" else string_of_int time);
+    0
+  in
+  let doc = "Rank vertices by temporal closeness and broadcast time on a \
+             sampled instance." in
+  Cmd.v (Cmd.info "centrality" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ top_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* disjoint *)
+
+let disjoint_cmd =
+  let pair_term =
+    let doc = "Source and target, e.g. --pair 0,5." in
+    Arg.(value & opt (pair int int) (0, 1) & info [ "pair" ] ~doc)
+  in
+  let menger_term =
+    let doc = "Instead of sampling, analyse the fixed 6-vertex Menger-gap \
+               instance." in
+    Arg.(value & flag & info [ "menger" ] ~doc)
+  in
+  let run family n lifetime r (s, t) menger seed =
+    let net, s, t =
+      if menger then Disjoint.menger_gap_example ()
+      else begin
+        let rng = Rng.create seed in
+        let g = Family.build family rng ~n in
+        let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+        (Assignment.uniform_multi rng g ~a ~r, s, t)
+      end
+    in
+    Printf.printf "disjoint journeys %d -> %d (n=%d):\n" s t (Tgraph.n net);
+    Printf.printf "  max time-edge-disjoint : %d\n"
+      (Disjoint.max_edge_disjoint net ~s ~t);
+    if Tgraph.n net <= 10 then begin
+      Printf.printf "  max vertex-disjoint    : %d\n"
+        (Disjoint.max_vertex_disjoint_exhaustive net ~s ~t);
+      let separator = Disjoint.min_vertex_separator_exhaustive net ~s ~t in
+      Printf.printf "  min vertex separator   : %s\n"
+        (if separator = max_int then "- (direct edge)" else string_of_int separator)
+    end
+    else
+      Printf.printf "  (vertex quantities are exhaustive; skipped for n > 10)\n";
+    0
+  in
+  let doc = "Count disjoint journeys and temporal separators (Menger \
+             phenomena of Kempe et al.)." in
+  Cmd.v (Cmd.info "disjoint" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ pair_term $ menger_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* export *)
+
+let export_cmd =
+  let format_term =
+    let doc = "Output format: tnet (round-trippable text), dot (Graphviz) \
+               or gexf (Gephi dynamic graph)." in
+    Arg.(value
+         & opt (enum [ ("tnet", `Tnet); ("dot", `Dot); ("gexf", `Gexf) ]) `Tnet
+         & info [ "format"; "f" ] ~doc)
+  in
+  let output_term =
+    let doc = "Write to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run family n lifetime r format output seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+    let net = Assignment.uniform_multi rng g ~a ~r in
+    let text =
+      match format with
+      | `Tnet -> Serial.to_string net
+      | `Dot -> Serial.to_dot ~name:(Family.to_string family) net
+      | `Gexf -> Serial.to_gexf net
+    in
+    (match output with
+    | None -> print_string text
+    | Some path ->
+      let oc = open_out path in
+      output_string oc text;
+      close_out oc;
+      Printf.printf "wrote %s\n" path);
+    0
+  in
+  let doc = "Sample a random temporal network and export it (text or DOT)." in
+  Cmd.v (Cmd.info "export" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ format_term $ output_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* restless *)
+
+let restless_cmd =
+  let delta_term =
+    let doc = "Waiting bound per intermediate vertex." in
+    Arg.(value & opt int 2 & info [ "delta" ] ~doc)
+  in
+  let source_term =
+    let doc = "Source vertex." in
+    Arg.(value & opt int 0 & info [ "source"; "s" ] ~doc)
+  in
+  let run family n lifetime r delta source seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let gn = Sgraph.Graph.n g in
+    let a = lifetime_of gn lifetime in
+    let net = Assignment.uniform_multi rng g ~a ~r in
+    let restless = Restless.run ~delta net source in
+    let unrestricted = Foremost.run net source in
+    Printf.printf
+      "restless walks from %d on %s (n=%d, a=%d, r=%d, delta=%d):\n" source
+      (Family.to_string family) gn a r delta;
+    Printf.printf "  reachable (restless)     : %d/%d\n"
+      (Restless.reachable_count restless) gn;
+    Printf.printf "  reachable (unrestricted) : %d/%d\n"
+      (Foremost.reachable_count unrestricted) gn;
+    let slower = ref 0 and worst_gap = ref 0 in
+    for v = 0 to gn - 1 do
+      match (Restless.distance restless v, Foremost.distance unrestricted v) with
+      | Some d1, Some d2 when d1 > d2 ->
+        incr slower;
+        if d1 - d2 > !worst_gap then worst_gap := d1 - d2
+      | _ -> ()
+    done;
+    Printf.printf "  vertices delayed by it   : %d (worst delay %d)\n" !slower
+      !worst_gap;
+    0
+  in
+  let doc = "Earliest arrivals when a message may wait at most delta steps \
+             per relay (restless temporal walks)." in
+  Cmd.v (Cmd.info "restless" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ delta_term $ source_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* walk *)
+
+let walk_cmd =
+  let source_term =
+    let doc = "Source vertex." in
+    Arg.(value & opt int 0 & info [ "source"; "s" ] ~doc)
+  in
+  let run family n lifetime r source seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+    let net = Assignment.uniform_multi rng g ~a ~r in
+    let t = Walker.walk rng net ~source in
+    Printf.printf "random walk from %d on %s (n=%d, a=%d, r=%d):\n" source
+      (Family.to_string family) (Sgraph.Graph.n g) a r;
+    Printf.printf "  visited : %d/%d   moves: %d/%d\n" t.visited
+      (Sgraph.Graph.n g) t.moves a;
+    (match t.cover_time with
+    | Some c -> Printf.printf "  covered by step %d\n" c
+    | None -> Printf.printf "  did not cover within the lifetime\n");
+    let trail = Array.to_list (Array.sub t.positions 0 (Stdlib.min 25 (a + 1))) in
+    Printf.printf "  trail   : %s%s\n"
+      (String.concat " " (List.map string_of_int trail))
+      (if a + 1 > 25 then " ..." else "");
+    0
+  in
+  let doc = "Ride one random walk along the availability schedule." in
+  Cmd.v (Cmd.info "walk" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ source_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* jam *)
+
+let jam_cmd =
+  let budget_term =
+    let doc = "How many (edge, time) availabilities to cancel." in
+    Arg.(value & opt int 16 & info [ "budget" ] ~doc)
+  in
+  let strategy_term =
+    let doc = "Jammer: random, earliest, cut-vertex, greedy." in
+    Arg.(value
+         & opt
+             (enum
+                [ ("random", Adversary.Random_jam);
+                  ("earliest", Adversary.Earliest_first);
+                  ("cut-vertex", Adversary.Cut_vertex_focus);
+                  ("greedy", Adversary.Greedy_damage) ])
+             Adversary.Random_jam
+         & info [ "strategy" ] ~doc)
+  in
+  let run family n lifetime r budget strategy seed =
+    let rng = Rng.create seed in
+    let g = Family.build family rng ~n in
+    let a = lifetime_of (Sgraph.Graph.n g) lifetime in
+    let net = Assignment.uniform_multi rng g ~a ~r in
+    let outcome = Adversary.jam rng net ~budget ~strategy in
+    Printf.printf "jamming %s on %s (n=%d, a=%d, r=%d, budget=%d):\n"
+      (Adversary.strategy_name strategy)
+      (Family.to_string family) (Sgraph.Graph.n g) a r budget;
+    Printf.printf "  cancelled        : %d labels\n" outcome.cancelled;
+    Printf.printf "  reachable pairs  : %d -> %d (%.0f%% survive)\n"
+      outcome.reachable_before outcome.reachable_after
+      (100.
+      *. float_of_int outcome.reachable_after
+      /. float_of_int (Stdlib.max 1 outcome.reachable_before));
+    0
+  in
+  let doc = "Cancel availabilities adversarially and measure the damage." in
+  Cmd.v (Cmd.info "jam" ~doc)
+    Term.(const run $ family_term $ n_term $ lifetime_term $ r_term
+          $ budget_term $ strategy_term $ seed_term)
+
+(* ------------------------------------------------------------------ *)
+(* analyze *)
+
+let analyze_cmd =
+  let file_term =
+    let doc = "Temporal network file (`export` format), or a contact trace \
+               with $(b,--trace)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+  in
+  let trace_term =
+    let doc = "Interpret the file as a contact trace: one 'time agent \
+               agent' event per line." in
+    Arg.(value & flag & info [ "trace" ] ~doc)
+  in
+  let run file trace =
+    let loaded =
+      if trace then Mobility.Trace.load file else Serial.of_file file
+    in
+    match loaded with
+    | Error msg ->
+      Printf.eprintf "cannot read %s: %s\n" file msg;
+      1
+    | Ok net ->
+      let n = Tgraph.n net in
+      Format.printf "%a@." Summary_t.pp (Summary_t.compute net);
+      (match Lifetime.prefix_connectivity_time net with
+      | Some k -> Printf.printf "prefix connects at: %d\n" k
+      | None -> ());
+      if n <= 20 then
+        Printf.printf "largest mutual set: %d vertices\n"
+          (Tcc.largest_mutual_clique_exhaustive net);
+      if n <= 64 && Reachability.treach net then begin
+        let result = Spanner.prune net in
+        if result.removed = 0 then Printf.printf "labels are minimal\n"
+        else
+          Printf.printf "prunable to %d labels (-%d)\n" result.kept
+            result.removed
+      end;
+      0
+  in
+  let doc = "Analyse a temporal network or contact trace stored in a file." in
+  Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_term $ trace_term)
+
+(* ------------------------------------------------------------------ *)
+
+let default =
+  Term.(ret (const (`Help (`Pager, None))))
+
+let () =
+  let info =
+    Cmd.info "ephemeral" ~version:"1.0.0"
+      ~doc:
+        "Reproduction of 'Ephemeral networks with random availability of \
+         links: diameter and connectivity' (Akrida, Gasieniec, Mertzios, \
+         Spirakis; SPAA 2014)"
+  in
+  let group =
+    Cmd.group ~default info
+      [ run_cmd; list_cmd; diameter_cmd; reach_cmd; min_r_cmd; flood_cmd;
+        expansion_cmd; journey_cmd; taxonomy_cmd; centrality_cmd;
+        disjoint_cmd; export_cmd; analyze_cmd; restless_cmd; walk_cmd;
+        jam_cmd ]
+  in
+  exit (Cmd.eval' group)

@@ -1,0 +1,1 @@
+examples/availability_design.ml: Format List Opt Por Prng Reachability Sgraph Temporal Tgraph

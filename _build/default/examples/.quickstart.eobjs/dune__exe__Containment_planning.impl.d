@@ -1,0 +1,1 @@
+examples/containment_planning.ml: Array Assignment Centrality Format List Printf Prng Sgraph String Tcc Temporal

@@ -1,0 +1,1 @@
+examples/hostile_clique.ml: Array Assignment Expansion Flooding Format Label Prng Sgraph Stats Temporal Tgraph

@@ -1,0 +1,1 @@
+examples/hostile_clique.mli:

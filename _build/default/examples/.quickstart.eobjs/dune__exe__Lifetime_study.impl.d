@@ -1,0 +1,1 @@
+examples/lifetime_study.ml: Assignment Distance Format Lifetime List Prng Sgraph Stats Temporal

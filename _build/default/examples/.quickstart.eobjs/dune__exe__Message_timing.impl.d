@@ -1,0 +1,1 @@
+examples/message_timing.ml: Assignment Centrality Fastest Foremost Format Journey Prng Profile Reverse_foremost Sgraph Shortest Temporal

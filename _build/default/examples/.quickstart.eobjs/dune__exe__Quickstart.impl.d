@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Assignment Distance Foremost Format Journey Label List Option Prng Reachability Sgraph Temporal Tgraph

@@ -1,0 +1,1 @@
+examples/red_team_schedule.ml: Adversary Array Counting Design Format List Prng Sgraph Stdlib Temporal Tgraph

@@ -1,0 +1,1 @@
+examples/resilient_routing.ml: Assignment Disjoint Format List Prng Serial Sgraph Temporal

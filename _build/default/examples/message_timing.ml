@@ -1,0 +1,77 @@
+(* When should the message leave?  Journey timing in a random temporal
+   network.
+
+   The hostile-clique story asks how *early* a message can land
+   (foremost journeys).  A sender with a choice also cares how *late* it
+   can wait (reverse-foremost), how *briefly* the message is in transit
+   and interceptable (fastest), and through how *few* exposed links it
+   travels (shortest).  This example walks one randomly-labelled network
+   through all four questions plus the full arrival profile.
+
+   Run with: dune exec examples/message_timing.exe *)
+
+open Temporal
+module Rng = Prng.Rng
+
+let () =
+  let rng = Rng.create 4242 in
+  (* A sparse courier network: a random connected G(n,p). *)
+  let n = 24 in
+  let rec connected_graph () =
+    let g = Sgraph.Gen.gnp rng ~n ~p:(2.5 *. log (float_of_int n) /. float_of_int n) in
+    if Sgraph.Components.is_connected g then g else connected_graph ()
+  in
+  let g = connected_graph () in
+  let net = Assignment.uniform_multi rng g ~a:n ~r:3 in
+  let s = 0 and t = n - 1 in
+  Format.printf "courier network: n=%d, m=%d, 3 random availability times per \
+                 link on {1..%d}@.@." n (Sgraph.Graph.m g) n;
+
+  (* 1. Earliest possible arrival. *)
+  let fore = Foremost.run net s in
+  (match (Foremost.distance fore t, Foremost.journey_to net fore t) with
+  | Some d, Some j ->
+    Format.printf "foremost   : arrives at %d@.  %a@.@." d Journey.pp j
+  | _ -> Format.printf "no journey at all from %d to %d@." s t);
+
+  (* 2. Latest viable departure. *)
+  let rev = Reverse_foremost.run net t in
+  (match Reverse_foremost.latest_departure rev s with
+  | Some d ->
+    Format.printf "reverse    : can wait until %d and still make it@." d
+  | None -> ());
+  (match Reverse_foremost.journey_from net rev s with
+  | Some j -> Format.printf "  %a@.@." Journey.pp j
+  | None -> ());
+
+  (* 3. Minimum time in flight. *)
+  let fast = Fastest.run net s in
+  (match (Fastest.duration fast t, Fastest.window fast t) with
+  | Some d, Some (dep, arr) ->
+    Format.printf
+      "fastest    : %d step(s) in transit (depart %d, arrive %d)@.@." d dep arr
+  | _ -> ());
+
+  (* 4. Fewest link exposures. *)
+  let short = Shortest.run net s in
+  (match (Shortest.hops short t, Shortest.arrival_at_best_hops short t) with
+  | Some h, Some arr ->
+    Format.printf "shortest   : %d hop(s), arriving at %d@.@." h arr
+  | _ -> ());
+
+  (* 5. The whole departure-time trade-off. *)
+  let profile = Profile.compute net ~source:s ~target:t in
+  Format.printf "profile    : %a@.@." Profile.pp profile;
+  (match Profile.latest_useful_departure profile with
+  | Some d ->
+    Format.printf
+      "=> any departure after time %d strands the message; the courier's \
+       slack is %d step(s).@."
+      d (d - 1)
+  | None -> ());
+
+  (* 6. Who would be the best originator overall? *)
+  let best, time = Centrality.best_broadcaster net in
+  Format.printf
+    "@.best broadcast origin: vertex %d floods everyone by time %s@." best
+    (if time = max_int then "-" else string_of_int time)

@@ -1,0 +1,68 @@
+(* Quickstart: build a temporal network by hand, ask the core questions.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Temporal
+module Graph = Sgraph.Graph
+
+let () =
+  (* A 5-vertex undirected graph:
+
+        0 --- 1 --- 2
+         \    |    /
+          \   3   /
+           \  |  /
+              4                                                       *)
+  let g =
+    Graph.create Undirected ~n:5
+      [ (0, 1); (1, 2); (1, 3); (0, 4); (3, 4); (2, 4) ]
+  in
+  (* Attach availability times: each edge is usable only at the listed
+     moments (Definition 1). *)
+  let labels =
+    [
+      ((0, 1), [ 2; 7 ]);
+      ((1, 2), [ 5 ]);
+      ((1, 3), [ 3; 6 ]);
+      ((0, 4), [ 1 ]);
+      ((3, 4), [ 4 ]);
+      ((2, 4), [ 2; 8 ]);
+    ]
+  in
+  let label_array = Array.make (Graph.m g) Label.empty in
+  List.iter
+    (fun ((u, v), times) ->
+      match Graph.find_edge g u v with
+      | Some e -> label_array.(e) <- Label.of_list times
+      | None -> assert false)
+    labels;
+  let net = Tgraph.create g ~lifetime:8 label_array in
+  Format.printf "network: %a@.@." Tgraph.pp net;
+
+  (* 1. Foremost journeys: how early can vertex 0 reach everyone? *)
+  let res = Foremost.run net 0 in
+  for v = 0 to 4 do
+    match Foremost.distance res v with
+    | Some d ->
+      let journey = Option.get (Foremost.journey_to net res v) in
+      Format.printf "delta(0, %d) = %d   via %a@." v d Journey.pp journey
+    | None -> Format.printf "delta(0, %d) = unreachable@." v
+  done;
+
+  (* 2. Temporal diameter of this instance (max over all ordered pairs). *)
+  (match Distance.instance_diameter net with
+  | Some d -> Format.printf "@.instance temporal diameter: %d@." d
+  | None -> Format.printf "@.some pair has no journey@.");
+
+  (* 3. Does the labelling preserve reachability (Definition 6)? *)
+  Format.printf "Treach: %b@." (Reachability.treach net);
+
+  (* 4. Now the random model: one uniform label per edge (UNI-CASE). *)
+  let rng = Prng.Rng.create 42 in
+  let random_net = Assignment.uniform_single rng g ~a:5 in
+  Format.printf "@.random instance (UNI-CASE, a = 5):@.";
+  Graph.iter_edges g (fun e u v ->
+      Format.printf "  edge {%d,%d} available at %a@." u v Label.pp
+        (Tgraph.labels random_net e));
+  Format.printf "Treach of this random instance: %b@."
+    (Reachability.treach random_net)

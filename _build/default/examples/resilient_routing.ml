@@ -1,0 +1,51 @@
+(* Resilient routing: how many independent copies of a message can a
+   random temporal network carry?
+
+   A dispatcher wants to send k copies of a message along journeys that
+   share no transmission opportunity (no time edge), so that jamming any
+   single opportunity loses at most one copy.  Max-flow on the
+   time-expanded graph answers this exactly.  The example also replays
+   the classic temporal surprise: unlike static networks, the minimum
+   number of vertices that must be captured to stop ALL routes can
+   exceed the number of vertex-disjoint routes (Menger's theorem fails
+   in time — Kempe, Kleinberg & Kumar 2000).
+
+   Run with: dune exec examples/resilient_routing.exe *)
+
+open Temporal
+module Rng = Prng.Rng
+
+let () =
+  let rng = Rng.create 77 in
+  let n = 20 in
+  let g = Sgraph.Gen.clique Directed n in
+
+  Format.printf "hostile clique, n = %d, one random availability per link@.@." n;
+  Format.printf "%4s  %22s  %14s@." "r" "disjoint copies (0->9)" "ceiling r(n-1)";
+  List.iter
+    (fun r ->
+      let net = Assignment.uniform_multi (Rng.split rng) g ~a:n ~r in
+      let copies = Disjoint.max_edge_disjoint net ~s:0 ~t:9 in
+      Format.printf "%4d  %22d  %14d@." r copies (r * (n - 1)))
+    [ 1; 2; 4; 8 ];
+
+  Format.printf
+    "@.even a single random moment per link sustains dozens of \
+     time-edge-disjoint routes: capacity, like the diameter, survives \
+     the hostility.@.@.";
+
+  (* The Menger gap. *)
+  let net, s, t = Disjoint.menger_gap_example () in
+  Format.printf "--- the temporal Menger gap (6-vertex instance) ---@.";
+  Format.printf "%s@." (Serial.to_string net);
+  Format.printf "max vertex-disjoint journeys %d -> %d : %d@." s t
+    (Disjoint.max_vertex_disjoint_exhaustive net ~s ~t);
+  Format.printf "min vertices to cut all journeys    : %d@."
+    (Disjoint.min_vertex_separator_exhaustive net ~s ~t);
+  Format.printf
+    "@.static graphs would force these to be equal (Menger); in temporal \
+     graphs the attacker needs MORE vertices than the router can use — \
+     every pair of journeys here collides somewhere, yet no single vertex \
+     lies on all of them.@.@.";
+  Format.printf "Graphviz source of the instance (dot -Tpdf):@.%s@."
+    (Serial.to_dot ~name:"menger_gap" net)

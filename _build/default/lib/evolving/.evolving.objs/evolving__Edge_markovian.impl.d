@@ -1,0 +1,1 @@
+lib/evolving/edge_markovian.ml: Array Float List Option Prng Sgraph Stdlib

@@ -1,0 +1,1 @@
+lib/evolving/edge_markovian.mli: Prng Sgraph

@@ -1,0 +1,1 @@
+lib/mobility/trace.ml: Buffer Builder In_channel List Option Printf Sgraph Stdlib String Temporal Tgraph Waypoint

@@ -1,0 +1,1 @@
+lib/mobility/trace.mli: Prng Temporal Waypoint

@@ -1,0 +1,102 @@
+open Temporal
+
+let of_contacts ~n ~lifetime contacts =
+  let builder = Builder.create Undirected ~n in
+  List.iter
+    (fun { Waypoint.a; b; time } ->
+      if time < 1 || time > lifetime then
+        invalid_arg "Trace.of_contacts: contact time outside the lifetime";
+      Builder.add_label builder a b time)
+    contacts;
+  Builder.build ~lifetime builder
+
+let of_waypoint_run rng ~agents ~size ~ticks =
+  let system = Waypoint.create rng ~agents ~size in
+  of_contacts ~n:agents ~lifetime:(Stdlib.max 1 ticks)
+    (Waypoint.run system ~ticks)
+
+let contacts_to_string contacts =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# time agent agent\n";
+  List.iter
+    (fun { Waypoint.a; b; time } ->
+      Buffer.add_string buf (Printf.sprintf "%d %d %d\n" time a b))
+    contacts;
+  Buffer.contents buf
+
+let contacts_of_string text =
+  let parse_line index line =
+    match
+      String.split_on_char ' ' (String.trim line)
+      |> List.filter (fun token -> token <> "")
+      |> List.map int_of_string_opt
+    with
+    | [ Some time; Some a; Some b ] ->
+      if time < 1 then Error (Printf.sprintf "line %d: time must be >= 1" index)
+      else if a < 0 || b < 0 then
+        Error (Printf.sprintf "line %d: negative agent id" index)
+      else if a = b then Error (Printf.sprintf "line %d: self-contact" index)
+      else
+        Ok { Waypoint.a = Stdlib.min a b; b = Stdlib.max a b; time }
+    | _ -> Error (Printf.sprintf "line %d: expected 'time agent agent'" index)
+  in
+  let rec collect index acc = function
+    | [] ->
+      Ok
+        (List.sort
+           (fun (c1 : Waypoint.contact) c2 ->
+             compare (c1.time, c1.a, c1.b) (c2.time, c2.a, c2.b))
+           acc)
+    | line :: rest ->
+      let trimmed = String.trim line in
+      if trimmed = "" || trimmed.[0] = '#' then collect (index + 1) acc rest
+      else (
+        match parse_line index line with
+        | Ok contact -> collect (index + 1) (contact :: acc) rest
+        | Error _ as e -> e)
+  in
+  collect 1 [] (String.split_on_char '\n' text)
+
+let load ?n ?lifetime path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+    match contacts_of_string text with
+    | Error _ as e -> e
+    | Ok contacts ->
+      let max_id =
+        List.fold_left
+          (fun acc { Waypoint.b; _ } -> Stdlib.max acc b)
+          0 contacts
+      in
+      let max_time =
+        List.fold_left
+          (fun acc { Waypoint.time; _ } -> Stdlib.max acc time)
+          1 contacts
+      in
+      let n = Option.value n ~default:(max_id + 1) in
+      let lifetime = Option.value lifetime ~default:max_time in
+      (try Ok (of_contacts ~n ~lifetime contacts)
+       with Invalid_argument msg -> Error msg))
+
+type stats = {
+  contacts : int;
+  edges : int;
+  mean_labels_per_edge : float;
+  density : float;
+}
+
+let stats net =
+  let g = Tgraph.graph net in
+  let n = Sgraph.Graph.n g in
+  let edges = Sgraph.Graph.m g in
+  let contacts = Tgraph.label_count net in
+  {
+    contacts;
+    edges;
+    mean_labels_per_edge =
+      (if edges = 0 then 0. else float_of_int contacts /. float_of_int edges);
+    density =
+      (if n < 2 then 0.
+       else float_of_int edges /. float_of_int (n * (n - 1) / 2));
+  }

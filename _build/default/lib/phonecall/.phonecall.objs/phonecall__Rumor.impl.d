@@ -1,0 +1,1 @@
+lib/phonecall/rumor.ml: Array Float List Option Printf Prng Sgraph Stats Stdlib

@@ -1,0 +1,1 @@
+lib/phonecall/rumor.mli: Prng Sgraph

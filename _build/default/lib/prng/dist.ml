@@ -1,0 +1,47 @@
+type t = Uniform | Geometric of float | Zipf of float | Point of int
+
+let pp ppf = function
+  | Uniform -> Format.fprintf ppf "uniform"
+  | Geometric p -> Format.fprintf ppf "geometric(%g)" p
+  | Zipf s -> Format.fprintf ppf "zipf(%g)" s
+  | Point k -> Format.fprintf ppf "point(%d)" k
+
+let to_string t = Format.asprintf "%a" pp t
+
+module Sampler = struct
+  type compiled =
+    | C_uniform
+    | C_geometric of float
+    | C_zipf of Sample.Zipf_cache.t
+    | C_point of int
+
+  type t = { a : int; compiled : compiled }
+
+  let create dist ~a =
+    if a <= 0 then invalid_arg "Dist.Sampler.create: lifetime must be positive";
+    let compiled =
+      match dist with
+      | Uniform -> C_uniform
+      | Geometric p ->
+        if not (p > 0. && p <= 1.) then
+          invalid_arg "Dist.Sampler.create: geometric needs 0 < p <= 1";
+        C_geometric p
+      | Zipf s -> C_zipf (Sample.Zipf_cache.create ~s ~n:a)
+      | Point k -> C_point (max 1 (min k a))
+    in
+    { a; compiled }
+
+  let draw t rng =
+    match t.compiled with
+    | C_uniform -> 1 + Rng.int rng t.a
+    | C_geometric p ->
+      let rec truncated () =
+        let v = Sample.geometric rng ~p in
+        if v <= t.a then v else truncated ()
+      in
+      truncated ()
+    | C_zipf cache -> Sample.Zipf_cache.draw cache rng
+    | C_point k -> k
+end
+
+let draw dist ~a rng = Sampler.draw (Sampler.create dist ~a) rng

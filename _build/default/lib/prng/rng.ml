@@ -1,0 +1,38 @@
+type t = Xoshiro256.t
+
+let create seed = Xoshiro256.create seed
+let copy = Xoshiro256.copy
+let bits64 = Xoshiro256.next
+
+let split t =
+  let sm = Splitmix64.of_int64 (Xoshiro256.next t) in
+  let s0 = Splitmix64.next sm in
+  let s1 = Splitmix64.next sm in
+  let s2 = Splitmix64.next sm in
+  let s3 = Splitmix64.next sm in
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then Xoshiro256.of_state 1L 2L 3L 4L
+  else Xoshiro256.of_state s0 s1 s2 s3
+
+let split_n t k = Array.init k (fun _ -> split t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let range = Int64.of_int bound in
+  let top = Int64.div 0x3FFF_FFFF_FFFF_FFFFL range in
+  let limit = Int64.mul top range in
+  let rec draw () =
+    let v = Int64.shift_right_logical (bits64 t) 2 in
+    if v < limit then Int64.to_int (Int64.rem v range) else draw ()
+  in
+  draw ()
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  Int64.to_float bits *. 0x1p-53
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let bernoulli t p = float t < p

@@ -1,0 +1,42 @@
+(** Unified random source for the whole repository.
+
+    Wraps {!Xoshiro256} behind the operations the experiments need, and adds
+    {!split}: deriving an independent child stream from a parent.  Splitting
+    is what makes trial-parallel experiments reproducible — trial [i] always
+    receives the same stream no matter how many draws other trials made. *)
+
+type t
+(** A mutable stream of pseudo-random values. *)
+
+val create : int -> t
+(** [create seed] builds a stream deterministically from [seed]. *)
+
+val copy : t -> t
+(** [copy t] clones the stream state. *)
+
+val split : t -> t
+(** [split t] draws once from [t] and uses the value to seed a fresh,
+    statistically independent child stream. *)
+
+val split_n : t -> int -> t array
+(** [split_n t k] is [k] independent child streams. *)
+
+val bits64 : t -> int64
+(** [bits64 t] is the next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)].
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in the inclusive range [\[lo, hi\]].
+    @raise Invalid_argument if [hi < lo]. *)
+
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)] with 53 bits of precision. *)
+
+val bool : t -> bool
+(** [bool t] is a fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)

@@ -1,0 +1,1 @@
+lib/sgraph/components.ml: Array Graph Stack Stdlib Unionfind

@@ -1,0 +1,1 @@
+lib/sgraph/components.mli: Graph

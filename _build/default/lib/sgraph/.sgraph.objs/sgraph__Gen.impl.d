@@ -1,0 +1,1 @@
+lib/sgraph/gen.ml: Array Float Graph Hashtbl Int List Prng Set Stdlib

@@ -1,0 +1,1 @@
+lib/sgraph/gen.mli: Graph Prng

@@ -1,0 +1,1 @@
+lib/sgraph/graph.ml: Array Format Hashtbl List Printf

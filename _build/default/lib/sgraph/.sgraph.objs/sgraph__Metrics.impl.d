@@ -1,0 +1,1 @@
+lib/sgraph/metrics.ml: Array Float Graph Stdlib Traverse

@@ -1,0 +1,1 @@
+lib/sgraph/metrics.mli: Graph

@@ -1,0 +1,1 @@
+lib/sgraph/traverse.ml: Array Graph List Queue Stack

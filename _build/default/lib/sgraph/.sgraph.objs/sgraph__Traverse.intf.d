@@ -1,0 +1,1 @@
+lib/sgraph/traverse.mli: Graph

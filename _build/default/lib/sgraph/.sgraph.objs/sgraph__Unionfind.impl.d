@@ -1,0 +1,1 @@
+lib/sgraph/unionfind.ml: Array

@@ -1,0 +1,102 @@
+type kind = Directed | Undirected
+
+type t = {
+  kind : kind;
+  n : int;
+  edges : (int * int) array;
+  out_adj : (int * int) array array;  (* per vertex: (edge id, target) *)
+  in_adj : (int * int) array array;  (* per vertex: (edge id, source) *)
+}
+
+let kind t = t.kind
+let is_directed t = t.kind = Directed
+let n t = t.n
+let m t = Array.length t.edges
+
+let arc_count t =
+  match t.kind with Directed -> m t | Undirected -> 2 * m t
+
+let create kind ~n edges =
+  if n < 0 then invalid_arg "Graph.create: negative vertex count";
+  let normalise (u, v) =
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg (Printf.sprintf "Graph.create: endpoint out of range (%d,%d)" u v);
+    if u = v then invalid_arg "Graph.create: self-loop";
+    match kind with
+    | Directed -> (u, v)
+    | Undirected -> if u < v then (u, v) else (v, u)
+  in
+  let edges = Array.of_list (List.map normalise edges) in
+  let seen = Hashtbl.create (Array.length edges) in
+  Array.iter
+    (fun edge ->
+      if Hashtbl.mem seen edge then
+        invalid_arg "Graph.create: duplicate edge"
+      else Hashtbl.add seen edge ())
+    edges;
+  let out_count = Array.make n 0 and in_count = Array.make n 0 in
+  Array.iter
+    (fun (u, v) ->
+      out_count.(u) <- out_count.(u) + 1;
+      in_count.(v) <- in_count.(v) + 1;
+      if kind = Undirected then begin
+        out_count.(v) <- out_count.(v) + 1;
+        in_count.(u) <- in_count.(u) + 1
+      end)
+    edges;
+  let out_adj = Array.init n (fun v -> Array.make out_count.(v) (0, 0)) in
+  let in_adj = Array.init n (fun v -> Array.make in_count.(v) (0, 0)) in
+  let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      let add_arc src dst =
+        out_adj.(src).(out_fill.(src)) <- (e, dst);
+        out_fill.(src) <- out_fill.(src) + 1;
+        in_adj.(dst).(in_fill.(dst)) <- (e, src);
+        in_fill.(dst) <- in_fill.(dst) + 1
+      in
+      add_arc u v;
+      if kind = Undirected then add_arc v u)
+    edges;
+  { kind; n; edges; out_adj; in_adj }
+
+let edge_endpoints t e =
+  if e < 0 || e >= m t then invalid_arg "Graph.edge_endpoints: bad edge id";
+  t.edges.(e)
+
+let edges t = Array.copy t.edges
+let iter_edges t f = Array.iteri (fun e (u, v) -> f e u v) t.edges
+let out_arcs t v = t.out_adj.(v)
+let in_arcs t v = t.in_adj.(v)
+let out_neighbors t v = Array.map snd t.out_adj.(v)
+let in_neighbors t v = Array.map snd t.in_adj.(v)
+let out_degree t v = Array.length t.out_adj.(v)
+let in_degree t v = Array.length t.in_adj.(v)
+
+let find_edge t u v =
+  let arcs = t.out_adj.(u) in
+  let rec scan i =
+    if i >= Array.length arcs then None
+    else
+      let e, target = arcs.(i) in
+      if target = v then Some e else scan (i + 1)
+  in
+  scan 0
+
+let mem_edge t u v = find_edge t u v <> None
+
+let reverse t =
+  match t.kind with
+  | Undirected -> t
+  | Directed ->
+    {
+      t with
+      edges = Array.map (fun (u, v) -> (v, u)) t.edges;
+      out_adj = t.in_adj;
+      in_adj = t.out_adj;
+    }
+
+let pp ppf t =
+  Format.fprintf ppf "%s graph: n=%d m=%d"
+    (match t.kind with Directed -> "directed" | Undirected -> "undirected")
+    t.n (m t)

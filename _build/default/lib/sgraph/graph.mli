@@ -1,0 +1,69 @@
+(** Static (di)graphs: the underlying graphs [G = (V, E)] of temporal
+    networks (paper, Definition 1).
+
+    Vertices are [0 .. n-1].  Edges are stored once each and identified by
+    a dense integer id — temporal label assignments are arrays indexed by
+    that id.  An undirected edge is crossable in both directions under the
+    same labels; a directed edge only from its source to its target
+    (paper §2).  Self-loops and parallel edges are rejected: neither
+    occurs in any construction of the paper. *)
+
+type kind = Directed | Undirected
+
+type t
+
+val create : kind -> n:int -> (int * int) list -> t
+(** [create kind ~n edges] builds a graph on [n] vertices.  For
+    [Undirected], edge pairs are normalised to [(min, max)].
+    @raise Invalid_argument on out-of-range endpoints, self-loops, or
+    duplicate edges (including [(u,v)] vs [(v,u)] when undirected). *)
+
+val kind : t -> kind
+val is_directed : t -> bool
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of stored edges (arcs if directed). *)
+
+val arc_count : t -> int
+(** Number of traversable directions: [m] if directed, [2m] otherwise. *)
+
+val edge_endpoints : t -> int -> int * int
+(** [edge_endpoints g e] is the endpoint pair of edge id [e].
+    @raise Invalid_argument on a bad id. *)
+
+val edges : t -> (int * int) array
+(** A copy of the edge array, index = edge id. *)
+
+val iter_edges : t -> (int -> int -> int -> unit) -> unit
+(** [iter_edges g f] calls [f e u v] for every edge id [e] = [(u,v)]. *)
+
+val out_neighbors : t -> int -> int array
+(** Targets reachable by one traversable arc out of the vertex (do not
+    mutate the returned array). *)
+
+val in_neighbors : t -> int -> int array
+
+val out_arcs : t -> int -> (int * int) array
+(** [(edge id, target)] pairs for each traversable arc out of the vertex
+    (do not mutate). *)
+
+val in_arcs : t -> int -> (int * int) array
+(** [(edge id, source)] pairs for each traversable arc into the vertex. *)
+
+val out_degree : t -> int -> int
+val in_degree : t -> int -> int
+
+val mem_edge : t -> int -> int -> bool
+(** [mem_edge g u v] — is there a traversable arc from [u] to [v]? *)
+
+val find_edge : t -> int -> int -> int option
+(** Edge id of the arc from [u] to [v], if any. *)
+
+val reverse : t -> t
+(** The reverse digraph; the identity on undirected graphs.  Edge ids are
+    preserved. *)
+
+val pp : Format.formatter -> t -> unit

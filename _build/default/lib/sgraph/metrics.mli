@@ -1,0 +1,24 @@
+(** Static distance metrics.
+
+    The (static) diameter [d(G)] is the quantity the Theorem 7 bound
+    [r > 2 d(G) log n] and the Claim 1 box structure are built from. *)
+
+val eccentricity : Graph.t -> int -> int
+(** Max hop distance from the vertex to any other; {!Traverse.unreachable}
+    if some vertex is unreachable. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter via one BFS per vertex; {!Traverse.unreachable} when
+    the graph is not (strongly, if directed) connected; [0] for a
+    single vertex.
+    @raise Invalid_argument on the empty graph. *)
+
+val radius : Graph.t -> int
+(** Minimum eccentricity. *)
+
+val average_distance : Graph.t -> float
+(** Mean hop distance over ordered reachable pairs [(u <> v)]; [nan] if
+    there are none. *)
+
+val distance_matrix : Graph.t -> int array array
+(** [n x n] hop distances ({!Traverse.unreachable} where disconnected). *)

@@ -1,0 +1,51 @@
+let unreachable = max_int
+
+let bfs_with g s ~neighbors =
+  let n = Graph.n g in
+  if s < 0 || s >= n then invalid_arg "Traverse.bfs: source out of range";
+  let dist = Array.make n unreachable in
+  let parent = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.take queue in
+    Array.iter
+      (fun v ->
+        if dist.(v) = unreachable then begin
+          dist.(v) <- dist.(u) + 1;
+          parent.(v) <- u;
+          Queue.add v queue
+        end)
+      (neighbors u)
+  done;
+  (dist, parent)
+
+let bfs_tree g s = bfs_with g s ~neighbors:(Graph.out_neighbors g)
+let bfs g s = fst (bfs_tree g s)
+let bfs_reverse g s = fst (bfs_with g s ~neighbors:(Graph.in_neighbors g))
+
+let dfs_order g root =
+  let n = Graph.n g in
+  if root < 0 || root >= n then invalid_arg "Traverse.dfs_order: root out of range";
+  let visited = Array.make n false in
+  let order = ref [] in
+  let stack = Stack.create () in
+  Stack.push root stack;
+  while not (Stack.is_empty stack) do
+    let u = Stack.pop stack in
+    if not visited.(u) then begin
+      visited.(u) <- true;
+      order := u :: !order;
+      let neighbors = Graph.out_neighbors g u in
+      (* Push in reverse so lower-indexed neighbours are visited first. *)
+      for i = Array.length neighbors - 1 downto 0 do
+        if not visited.(neighbors.(i)) then Stack.push neighbors.(i) stack
+      done
+    end
+  done;
+  List.rev !order
+
+let reachable_count g s =
+  let dist = bfs g s in
+  Array.fold_left (fun acc d -> if d <> unreachable then acc + 1 else acc) 0 dist

@@ -1,0 +1,1 @@
+lib/sim/estimators.ml: Array Assignment Distance Expansion Flooding Foremost List Option Prng Runner Sgraph Stats Stdlib Temporal

@@ -1,0 +1,1 @@
+lib/sim/estimators.mli: Prng Sgraph Stats Temporal

@@ -1,0 +1,1 @@
+lib/sim/exp_budget.ml: Assignment Flooding List Outcome Printf Prng Runner Sgraph Stats Temporal

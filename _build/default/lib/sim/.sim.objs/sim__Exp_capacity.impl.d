@@ -1,0 +1,1 @@
+lib/sim/exp_capacity.ml: Assignment Disjoint List Outcome Printf Prng Runner Sgraph Stats Temporal

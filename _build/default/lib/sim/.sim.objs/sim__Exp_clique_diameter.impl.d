@@ -1,0 +1,1 @@
+lib/sim/exp_clique_diameter.ml: Array Estimators Float Format List Outcome Printf Prng Runner Sgraph Stats Stdlib Temporal

@@ -1,0 +1,1 @@
+lib/sim/exp_clique_diameter.mli: Outcome

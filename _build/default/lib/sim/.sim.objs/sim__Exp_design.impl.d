@@ -1,0 +1,1 @@
+lib/sim/exp_design.ml: Design Distance Float List Outcome Printf Prng Reachability Runner Sgraph Stats Temporal

@@ -1,0 +1,1 @@
+lib/sim/exp_expansion.ml: Array Assignment Estimators Expansion Float List Outcome Printf Prng Sgraph Stats Temporal

@@ -1,0 +1,1 @@
+lib/sim/exp_fcase.ml: Assignment Distance List Outcome Printf Prng Runner Sgraph Stats Temporal Tgraph

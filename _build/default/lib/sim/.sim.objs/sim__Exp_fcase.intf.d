@@ -1,0 +1,1 @@
+lib/sim/exp_fcase.mli: Outcome

@@ -1,0 +1,1 @@
+lib/sim/exp_general_por.ml: List Opt Outcome Por Printf Prng Reachability Sgraph Stats Stdlib Temporal Tgraph

@@ -1,0 +1,1 @@
+lib/sim/exp_general_por.mli: Outcome

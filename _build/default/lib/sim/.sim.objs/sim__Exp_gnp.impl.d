@@ -1,0 +1,1 @@
+lib/sim/exp_gnp.ml: Estimators Float List Outcome Printf Prng Stats

@@ -1,0 +1,1 @@
+lib/sim/exp_jamming.ml: Adversary Design List Outcome Printf Prng Runner Sgraph Stats Stdlib Temporal

@@ -1,0 +1,1 @@
+lib/sim/exp_lifetime.ml: Assignment Distance Format Lifetime List Outcome Printf Prng Runner Sgraph Stats Temporal

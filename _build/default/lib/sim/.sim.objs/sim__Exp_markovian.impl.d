@@ -1,0 +1,1 @@
+lib/sim/exp_markovian.ml: Evolving Float List Outcome Printf Prng Runner Stats

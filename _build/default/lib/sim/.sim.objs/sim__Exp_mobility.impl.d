@@ -1,0 +1,1 @@
+lib/sim/exp_mobility.ml: Assignment Flooding Label List Mobility Outcome Printf Prng Reachability Runner Stats Temporal Tgraph

@@ -1,0 +1,1 @@
+lib/sim/exp_perf.ml: Array Assignment Distance Foremost List Outcome Prng Reachability Sgraph Stats Stdlib Sys Temporal Tgraph

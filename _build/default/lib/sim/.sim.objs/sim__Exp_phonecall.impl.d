@@ -1,0 +1,1 @@
+lib/sim/exp_phonecall.ml: Float List Option Outcome Phonecall Printf Prng Runner Sgraph Stats Temporal

@@ -1,0 +1,1 @@
+lib/sim/exp_redundancy.ml: Assignment List Opt Outcome Prng Reachability Sgraph Spanner Stats Stdlib Temporal Tgraph

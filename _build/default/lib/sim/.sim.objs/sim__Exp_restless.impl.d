@@ -1,0 +1,1 @@
+lib/sim/exp_restless.ml: Assignment Float List Outcome Printf Prng Restless Runner Sgraph Stats Temporal

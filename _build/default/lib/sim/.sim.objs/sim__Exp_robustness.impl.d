@@ -1,0 +1,1 @@
+lib/sim/exp_robustness.ml: Array Assignment List Outcome Printf Prng Robustness Runner Sgraph Stats Temporal

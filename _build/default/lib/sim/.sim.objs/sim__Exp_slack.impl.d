@@ -1,0 +1,1 @@
+lib/sim/exp_slack.ml: Assignment Format List Outcome Printf Prng Reverse_foremost Runner Sgraph Stats Temporal

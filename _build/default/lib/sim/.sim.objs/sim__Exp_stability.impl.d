@@ -1,0 +1,1 @@
+lib/sim/exp_stability.ml: Estimators List Outcome Por Printf Prng Sgraph Stats Temporal

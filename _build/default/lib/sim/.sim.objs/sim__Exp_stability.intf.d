@@ -1,0 +1,1 @@
+lib/sim/exp_stability.mli: Outcome

@@ -1,0 +1,1 @@
+lib/sim/exp_star_por.ml: Assignment Float Format Label List Option Outcome Por Printf Prng Reachability Runner Sgraph Stats Temporal Tgraph

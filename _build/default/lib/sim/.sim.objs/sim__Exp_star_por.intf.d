@@ -1,0 +1,1 @@
+lib/sim/exp_star_por.mli: Outcome

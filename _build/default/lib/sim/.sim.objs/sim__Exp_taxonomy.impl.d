@@ -1,0 +1,1 @@
+lib/sim/exp_taxonomy.ml: Assignment Fastest Float Foremost List Outcome Printf Prng Reachability Reverse_foremost Runner Sgraph Shortest Stats Temporal

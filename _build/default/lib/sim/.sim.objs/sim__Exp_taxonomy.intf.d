@@ -1,0 +1,1 @@
+lib/sim/exp_taxonomy.mli: Outcome

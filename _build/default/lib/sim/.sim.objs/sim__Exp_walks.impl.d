@@ -1,0 +1,1 @@
+lib/sim/exp_walks.ml: Assignment List Outcome Printf Prng Runner Sgraph Stats Temporal Walker

@@ -1,0 +1,1 @@
+lib/sim/family.ml: Float Printf Sgraph Stdlib String

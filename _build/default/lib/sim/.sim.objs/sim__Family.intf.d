@@ -1,0 +1,1 @@
+lib/sim/family.mli: Prng Sgraph

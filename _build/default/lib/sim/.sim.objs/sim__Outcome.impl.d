@@ -1,0 +1,1 @@
+lib/sim/outcome.ml: Buffer List Stats

@@ -1,0 +1,1 @@
+lib/sim/report.ml: Experiments Filename List Outcome Printf Stats String Sys

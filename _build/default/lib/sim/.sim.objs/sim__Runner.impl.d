@@ -1,0 +1,1 @@
+lib/sim/runner.ml: List Prng Stats

@@ -1,0 +1,85 @@
+module Graph = Sgraph.Graph
+module Rng = Prng.Rng
+open Temporal
+
+type diameter_stats = {
+  trials : int;
+  summary : Stats.Summary.t;
+  samples : float array;
+  disconnected : int;
+}
+
+let temporal_diameter rng g ~a ~r ~trials =
+  let summary = Stats.Summary.create () in
+  let samples = ref [] in
+  let disconnected = ref 0 in
+  Runner.foreach rng ~trials (fun _ trial_rng ->
+      let net = Assignment.uniform_multi trial_rng g ~a ~r in
+      match Distance.instance_diameter net with
+      | Some d ->
+        Stats.Summary.add_int summary d;
+        samples := float_of_int d :: !samples
+      | None -> incr disconnected);
+  {
+    trials;
+    summary;
+    samples = Array.of_list (List.rev !samples);
+    disconnected = !disconnected;
+  }
+
+let clique_temporal_diameter rng ~n ~a ~trials =
+  temporal_diameter rng (Sgraph.Gen.clique Directed n) ~a ~r:1 ~trials
+
+let flooding_time rng g ~a ~r ~trials =
+  let summary = Stats.Summary.create () in
+  let incomplete = ref 0 in
+  Runner.foreach rng ~trials (fun _ trial_rng ->
+      let net = Assignment.uniform_multi trial_rng g ~a ~r in
+      let source = Rng.int trial_rng (Graph.n g) in
+      match Flooding.broadcast_time net source with
+      | Some t -> Stats.Summary.add_int summary t
+      | None -> incr incomplete);
+  (summary, !incomplete)
+
+type expansion_stats = {
+  attempts : int;
+  success_rate : float;
+  arrival : Stats.Summary.t;
+  flooding_arrival : Stats.Summary.t;
+  horizon : int;
+}
+
+let expansion rng ~n ~params ~instances ~pairs_per_instance =
+  let g = Sgraph.Gen.clique Directed n in
+  let attempts = ref 0 and successes = ref 0 in
+  let arrival = Stats.Summary.create () in
+  let flooding_arrival = Stats.Summary.create () in
+  Runner.foreach rng ~trials:instances (fun _ trial_rng ->
+      let net = Assignment.normalized_uniform trial_rng g in
+      for _ = 1 to pairs_per_instance do
+        let s = Rng.int trial_rng n in
+        let t = (s + 1 + Rng.int trial_rng (n - 1)) mod n in
+        incr attempts;
+        let outcome = Expansion.run net params ~s ~t in
+        if outcome.success then begin
+          incr successes;
+          Option.iter (fun x -> Stats.Summary.add_int arrival x) outcome.arrival
+        end;
+        (match Foremost.distance (Foremost.run net s) t with
+        | Some d -> Stats.Summary.add_int flooding_arrival d
+        | None -> ())
+      done);
+  {
+    attempts = !attempts;
+    success_rate = float_of_int !successes /. float_of_int (Stdlib.max 1 !attempts);
+    arrival;
+    flooding_arrival;
+    horizon = Expansion.horizon params;
+  }
+
+let gnp_connectivity rng ~n ~p ~trials =
+  let hits =
+    Runner.count rng ~trials (fun trial_rng ->
+        Sgraph.Components.is_connected (Sgraph.Gen.gnp trial_rng ~n ~p))
+  in
+  float_of_int hits /. float_of_int trials

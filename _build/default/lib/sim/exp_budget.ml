@@ -1,0 +1,64 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+open Temporal
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let n = if quick then 64 else 256 in
+  let trials = if quick then 10 else 25 in
+  let g = Sgraph.Gen.clique Directed n in
+  let budgets = [ 1; 2; 4; 8; 16; max_int ] in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E21: budgeted flooding on the normalized U-RTN clique (n = %d, %d \
+            trials)"
+           n trials)
+      ~columns:
+        [ "k per vertex"; "complete"; "mean informed"; "completion time";
+          "messages"; "msgs/n" ]
+  in
+  List.iter
+    (fun k ->
+      let informed = Summary.create () in
+      let completion = Summary.create () in
+      let messages = Summary.create () in
+      let complete = ref 0 in
+      Runner.foreach rng ~trials (fun _ trial_rng ->
+          let net = Assignment.normalized_uniform trial_rng g in
+          let source = Rng.int trial_rng n in
+          let result = Flooding.run_budgeted ~k net source in
+          Summary.add informed
+            (float_of_int result.informed_count /. float_of_int n);
+          Summary.add_int messages result.transmissions;
+          match result.completion_time with
+          | Some t ->
+            incr complete;
+            Summary.add_int completion t
+          | None -> ());
+      Table.add_row table
+        [
+          (if k = max_int then Str "inf (sec. 3.5)" else Int k);
+          Pct (float_of_int !complete /. float_of_int trials);
+          Pct (Summary.mean informed);
+          (if Summary.count completion = 0 then Str "-"
+           else Float (Summary.mean completion, 1));
+          Float (Summary.mean messages, 0);
+          Float (Summary.mean messages /. float_of_int n, 1);
+        ])
+    budgets;
+  let notes =
+    [
+      "k = inf is exactly the section-3.5 protocol (Theta(n^2) messages, \
+       E7); the budget column shows how little of that is load-bearing: a \
+       handful of earliest forwards per vertex already informs nearly \
+       everyone, at Theta(k n) messages — the availability-model analogue \
+       of Karp et al.'s O(n log log n) message frugality [17]";
+      "k = 1 fails structurally: each vertex's single earliest arc rarely \
+       points at the uninformed frontier — redundancy per vertex, not \
+       total volume, is what completes the broadcast";
+    ]
+  in
+  Outcome.make ~notes [ table ]

@@ -1,0 +1,11 @@
+(** E21 — Budgeted flooding: how much of Θ(n²) is actually needed?
+
+    §3.5's protocol forwards on *every* open arc — E7 measured its
+    Θ(n²) transmissions against push's Θ(n log n).  Capping each vertex
+    at its earliest [k] forwarding opportunities interpolates between
+    the two: the experiment sweeps [k] on the U-RTN clique and reports
+    completion probability, completion time, and messages, locating the
+    budget at which random availability matches the phone-call model's
+    frugality without its per-round randomness. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

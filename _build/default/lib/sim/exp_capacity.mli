@@ -1,0 +1,11 @@
+(** E10 — Temporal routing capacity and the Menger gap.
+
+    Extension along the Kempe–Kleinberg–Kumar connectivity axis [19]
+    that the paper departs from: on random temporal networks, how many
+    *time-edge-disjoint* journeys can be routed between a random pair
+    (exact, via max-flow on the time-expanded graph), as a function of
+    the number of random labels per edge?  The second table verifies the
+    famous temporal failure of Menger's theorem on a fixed 6-vertex
+    instance: max vertex-disjoint journeys 1 vs. minimum separator 2. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -1,0 +1,117 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+
+let sizes ~quick = if quick then [ 8; 16; 32; 64 ] else [ 8; 16; 32; 64; 128; 256; 512 ]
+let trials_for ~quick n = if quick then Stdlib.max 8 (1024 / n) else Stdlib.max 12 (8192 / n)
+
+let run ~quick ~seed =
+  let rng = Prng.Rng.create seed in
+  let table =
+    Table.create ~title:"E1: temporal diameter of the normalized U-RTN directed clique"
+      ~columns:
+        [ "n"; "trials"; "mean TD"; "sd"; "boot 95% CI"; "min"; "max";
+          "TD/ln n"; "TD/log2 n"; "disconn" ]
+  in
+  let points = ref [] in
+  let last_samples = ref [||] in
+  let last_n = ref 0 in
+  List.iter
+    (fun n ->
+      let trials = trials_for ~quick n in
+      let stats =
+        Estimators.clique_temporal_diameter (Prng.Rng.split rng) ~n ~a:n ~trials
+      in
+      let mean = Summary.mean stats.summary in
+      let ln_n = log (float_of_int n) in
+      let ci =
+        Stats.Bootstrap.mean_interval (Prng.Rng.split rng) stats.samples
+      in
+      points := (float_of_int n, mean) :: !points;
+      last_samples := stats.samples;
+      last_n := n;
+      Table.add_row table
+        [
+          Int n;
+          Int trials;
+          Float (mean, 2);
+          Float (Summary.stddev stats.summary, 2);
+          Str (Printf.sprintf "[%.1f, %.1f]" ci.lo ci.hi);
+          Float (Summary.min stats.summary, 0);
+          Float (Summary.max stats.summary, 0);
+          Float (mean /. ln_n, 3);
+          Float (mean /. (ln_n /. log 2.), 3);
+          Int stats.disconnected;
+        ])
+    (sizes ~quick);
+  (* Large-n corroboration: exact all-pairs is O(n^3); sampled sources
+     (each still checked against all targets) extend the sweep upward. *)
+  let sampled_table =
+    let table =
+      Table.create
+        ~title:"E1b: sampled-source temporal diameters at larger n"
+        ~columns:[ "n"; "sources"; "trials"; "mean TD"; "TD/ln n" ]
+    in
+    let sizes = if quick then [ 256 ] else [ 1024; 2048 ] in
+    List.iter
+      (fun n ->
+        let sources = 6 in
+        let trials = if quick then 4 else 5 in
+        let g = Sgraph.Gen.clique Directed n in
+        let summary = Summary.create () in
+        Runner.foreach rng ~trials (fun _ trial_rng ->
+            let net = Temporal.Assignment.normalized_uniform trial_rng g in
+            match
+              Temporal.Distance.instance_diameter_sampled trial_rng net ~sources
+            with
+            | Some d -> Summary.add_int summary d
+            | None -> ());
+        let mean = Summary.mean summary in
+        Table.add_row table
+          [
+            Int n;
+            Int sources;
+            Int trials;
+            Float (mean, 1);
+            Float (mean /. log (float_of_int n), 3);
+          ])
+      sizes;
+    table
+  in
+  let points = List.rev !points in
+  let fit = Stats.Regression.fit_log points in
+  let notes =
+    [
+      Format.asprintf
+        "fit TD = alpha + gamma*ln n: %a — Theorem 4 predicts gamma = Theta(1), \
+         i.e. TD/ln n stabilising"
+        Stats.Regression.pp_fit fit;
+      "every instance of the clique is temporally connected (each pair has its \
+       direct arc), so 'disconn' must be 0 throughout";
+    ]
+  in
+  let plot =
+    Stats.Ascii_plot.render ~x_label:"ln n" ~y_label:"mean TD"
+      ~title:"E1: mean temporal diameter vs ln n"
+      (List.map (fun (n, td) -> (log n, td)) points)
+  in
+  let histogram =
+    let samples = !last_samples in
+    let lo = Array.fold_left Float.min Float.infinity samples in
+    let hi = Array.fold_left Float.max Float.neg_infinity samples in
+    if hi <= lo then ""
+    else begin
+      let h = Stats.Histogram.create ~lo ~hi:(hi +. 1.) ~bins:8 in
+      Array.iter (Stats.Histogram.add h) samples;
+      Printf.sprintf
+        "E1: distribution of instance diameters at n = %d (right-skewed: a max over pairs)\n%s"
+        !last_n (Stats.Histogram.render h)
+    end
+  in
+  let notes =
+    notes
+    @ [ "E1b uses 6 sampled sources per instance (each against all targets): \
+         an unbiased lower estimate of the max-pair diameter that \
+         concentrates fast on the symmetric clique, extending the sweep to \
+         n = 2048 where exact all-pairs would be ~100x costlier" ]
+  in
+  Outcome.make ~notes ~plots:[ plot; histogram ] [ table; sampled_table ]

@@ -1,0 +1,8 @@
+(** E1 — Temporal diameter of the normalized U-RTN clique.
+
+    Reproduces Theorems 3/4 and the matching Ω(log n) remark: the exact
+    instance temporal diameter of directed cliques with one uniform label
+    per arc on [{1..n}], swept over [n], compared against [ln n] and
+    fitted to [alpha + gamma·ln n]. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -1,0 +1,74 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Graph = Sgraph.Graph
+module Rng = Prng.Rng
+open Temporal
+
+(* The hypercube makes the design trade-off visible: its BFS backbone
+   needs the full horizon 2·diam, while its edge-richness lets random
+   labels approach the static diameter — so the hybrid strictly beats
+   the backbone on speed while keeping its guarantee. *)
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let dim = if quick then 5 else 6 in
+  let trials = if quick then 8 else 20 in
+  let g = Sgraph.Gen.hypercube dim in
+  let diameter = dim in
+  let a = 2 * diameter in
+  let designs =
+    [
+      Design.Backbone_only;
+      Design.Random_only 2;
+      Design.Random_only 6;
+      Design.Hybrid 2;
+      Design.Hybrid 6;
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E13: availability designs on the %d-cube (n = %d, a = 2*diam = \
+            %d, %d trials)"
+           dim (Graph.n g) a trials)
+      ~columns:
+        [ "design"; "labels"; "guaranteed"; "Treach rate"; "mean TD"; "sd";
+          "TD vs backbone" ]
+  in
+  let backbone_td = ref Float.nan in
+  List.iter
+    (fun spec ->
+      let td = Summary.create () in
+      let reach = ref 0 in
+      Runner.foreach rng ~trials (fun _ trial_rng ->
+          let net = Design.realise trial_rng g ~a spec in
+          if Reachability.treach net then incr reach;
+          match Distance.instance_diameter net with
+          | Some d -> Summary.add_int td d
+          | None -> ());
+      let mean = Summary.mean td in
+      if spec = Design.Backbone_only then backbone_td := mean;
+      Table.add_row table
+        [
+          Str (Design.spec_name spec);
+          Int (Design.label_budget g spec);
+          Str (if Design.guarantees_reachability spec then "yes" else "no");
+          Pct (float_of_int !reach /. float_of_int trials);
+          (if Summary.count td = 0 then Str "-" else Float (mean, 1));
+          Float (Summary.stddev td, 1);
+          (if Float.is_nan !backbone_td || Summary.count td = 0 then Str "-"
+           else Float (mean /. !backbone_td, 2));
+        ])
+    designs;
+  let notes =
+    [
+      "three regimes on one frontier: the backbone alone is certain but \
+       pays the full 2*diam horizon; random-only at small r is neither \
+       safe nor always connected; random-only at larger r is fast but \
+       merely probabilistic.  The hybrid keeps the certificate and rides \
+       the random shortcuts — certain AND faster than the backbone";
+      "this is the paper's closing research direction (section 6): \
+       'combining random availabilities and optimal local availabilities'";
+    ]
+  in
+  Outcome.make ~notes [ table ]

@@ -1,0 +1,12 @@
+(** E13 — Availability design: the paper's §6 programme.
+
+    "Designing the availability of a net by combining random
+    availabilities and optimal local availabilities" — the conclusions'
+    stated research direction, built and measured: a deterministic
+    spanning-tree backbone guarantees reachability at [2(n-1)] labels
+    but with path-like temporal distances; random labels are fast but
+    only probabilistically safe; the hybrid buys both, and the
+    experiment quantifies the trade-off frontier (label budget vs.
+    temporal diameter vs. reachability guarantee). *)
+
+val run : quick:bool -> seed:int -> Outcome.t

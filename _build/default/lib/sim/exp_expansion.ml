@@ -1,0 +1,190 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+open Temporal
+
+let scaling_table ~quick rng =
+  let sizes = if quick then [ 64; 128 ] else [ 64; 128; 256; 512; 1024 ] in
+  let table =
+    Table.create
+      ~title:"E2a: Expansion Process on the normalized U-RTN clique (defaults)"
+      ~columns:
+        [ "n"; "l1"; "c2"; "d"; "horizon"; "attempts"; "success"; "mean arrival";
+          "foremost"; "arrival/ln n" ]
+  in
+  List.iter
+    (fun n ->
+      let params = Expansion.default_params ~n () in
+      let instances = if quick then 5 else 10 in
+      let pairs = if quick then 10 else 20 in
+      let stats =
+        Estimators.expansion (Rng.split rng) ~n ~params ~instances
+          ~pairs_per_instance:pairs
+      in
+      let mean_arrival = Summary.mean stats.arrival in
+      Table.add_row table
+        [
+          Int n;
+          Int params.l1;
+          Int params.c2;
+          Int params.d;
+          Int stats.horizon;
+          Int stats.attempts;
+          Pct stats.success_rate;
+          Float (mean_arrival, 1);
+          Float (Summary.mean stats.flooding_arrival, 1);
+          Float (mean_arrival /. log (float_of_int n), 2);
+        ])
+    sizes;
+  table
+
+let ablation_table ~quick rng =
+  let n = if quick then 128 else 256 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E2b: ablation over c1 (window width constant), n = %d" n)
+      ~columns:[ "c1"; "l1"; "d"; "horizon"; "success"; "mean arrival" ]
+  in
+  List.iter
+    (fun c1 ->
+      let params = Expansion.default_params ~c1 ~n () in
+      let stats =
+        Estimators.expansion (Rng.split rng) ~n ~params
+          ~instances:(if quick then 5 else 10)
+          ~pairs_per_instance:(if quick then 10 else 20)
+      in
+      Table.add_row table
+        [
+          Float (c1, 2);
+          Int params.l1;
+          Int params.d;
+          Int stats.horizon;
+          Pct stats.success_rate;
+          Float (Summary.mean stats.arrival, 1);
+        ])
+    [ 0.25; 0.5; 1.0; 2.0; 4.0 ];
+  table
+
+let depth_table ~quick rng =
+  let n = if quick then 128 else 256 in
+  let table =
+    Table.create
+      ~title:(Printf.sprintf "E2d: ablation over the depth d, n = %d" n)
+      ~columns:[ "d"; "l1"; "horizon"; "success"; "mean arrival" ]
+  in
+  List.iter
+    (fun d ->
+      let params = Expansion.make_params ~c1:2.0 ~c2:6 ~d ~n in
+      let stats =
+        Estimators.expansion (Rng.split rng) ~n ~params
+          ~instances:(if quick then 5 else 10)
+          ~pairs_per_instance:(if quick then 10 else 20)
+      in
+      Table.add_row table
+        [
+          Int d;
+          Int params.l1;
+          Int (Expansion.horizon params);
+          Pct stats.success_rate;
+          Float (Summary.mean stats.arrival, 1);
+        ])
+    [ 0; 1; 2; 3; 4 ];
+  table
+
+let layers_table ~quick rng =
+  let n = if quick then 256 else 1024 in
+  let params = Expansion.default_params ~n () in
+  let g = Sgraph.Gen.clique Directed n in
+  let depth = params.d + 1 in
+  let fwd = Array.init depth (fun _ -> Summary.create ()) in
+  let bwd = Array.init depth (fun _ -> Summary.create ()) in
+  let samples = if quick then 10 else 20 in
+  for _ = 1 to samples do
+    let trial_rng = Rng.split rng in
+    let net = Assignment.normalized_uniform trial_rng g in
+    let s = Rng.int trial_rng n in
+    let t = (s + 1 + Rng.int trial_rng (n - 1)) mod n in
+    let outcome = Expansion.run net params ~s ~t in
+    Array.iteri (fun i size -> Summary.add_int fwd.(i) size) outcome.forward_layers;
+    Array.iteri (fun i size -> Summary.add_int bwd.(i) size) outcome.backward_layers
+  done;
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E2c: mean layer sizes |Gamma_i| (Figure 1), n = %d, %d runs" n
+           samples)
+      ~columns:[ "layer i"; "|G_i(s)|"; "|G'_i(t)|"; "growth vs prev" ]
+  in
+  for i = 0 to depth - 1 do
+    let growth =
+      if i = 0 then Float.nan
+      else Summary.mean fwd.(i) /. Float.max 1. (Summary.mean fwd.(i - 1))
+    in
+    Table.add_row table
+      [
+        Int (i + 1);
+        Float (Summary.mean fwd.(i), 1);
+        Float (Summary.mean bwd.(i), 1);
+        (if Float.is_nan growth then Str "-" else Float (growth, 2));
+      ]
+  done;
+  table
+
+(* The proof's own constants (c1 >= 33, c1*c2 >= 1024) produce windows so
+   wide they only fit inside the lifetime at four-digit n; run them where
+   they first fit, as a faithfulness exhibit. *)
+let paper_constants_table ~quick rng =
+  let table =
+    Table.create
+      ~title:"E2e: Algorithm 1 with the proof's own constants (c1=33, c2=32)"
+      ~columns:[ "n"; "l1"; "d"; "horizon"; "fits lifetime"; "success" ]
+  in
+  let sizes = if quick then [ 768 ] else [ 1024 ] in
+  List.iter
+    (fun n ->
+      let params = Expansion.make_params ~c1:33. ~c2:32 ~d:1 ~n in
+      let horizon = Expansion.horizon params in
+      let stats =
+        Estimators.expansion (Rng.split rng) ~n ~params ~instances:3
+          ~pairs_per_instance:5
+      in
+      Table.add_row table
+        [
+          Int n;
+          Int params.l1;
+          Int params.d;
+          Int horizon;
+          Str (if horizon <= n then "yes" else "NO");
+          Pct stats.success_rate;
+        ])
+    sizes;
+  table
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let tables =
+    [ scaling_table ~quick rng; ablation_table ~quick rng;
+      depth_table ~quick rng; layers_table ~quick rng;
+      paper_constants_table ~quick rng ]
+  in
+  let notes =
+    [
+      "Theorem 3: success probability should approach 1 as n grows, with \
+       arrival <= horizon = 3*l1 + 2*d*c2 = Theta(log n)";
+      "E2b: the proof needs c1 >= 33 for its union bound; in practice the \
+       success curve turns on at much smaller c1 — small windows simply \
+       leave |Gamma_1| empty";
+      "E2c: per-layer growth should sit near c2 — the drift E|Gamma_{i+1}| \
+       ~ c2*|Gamma_i| of section 3.2; the proof's (c2/8, 3c2/4) band is \
+       what survives its Chernoff slack";
+      "E2d: the depth has a working band — d too small leaves the final \
+       layers short of the sqrt(n) matching mass at very large n, while d \
+       too deep (here d = 4 at n = 256) exhausts the fresh-vertex pool, \
+       later layers empty out, and the matching fails: exactly why the \
+       analysis stops expanding at Theta(sqrt n)";
+    ]
+  in
+  Outcome.make ~notes tables

@@ -1,0 +1,10 @@
+(** E2 — The Expansion Process (Algorithm 1, Figure 1).
+
+    Three views: success rate and arrival time of Algorithm 1 on the
+    normalized U-RTN clique as [n] grows; an ablation over the window
+    constant [c1] (the analysis demands a large [c1] for its Chernoff
+    slack — the experiment shows where success probability actually
+    turns); and the per-layer sizes [|Γ_i(s)|], exhibiting the geometric
+    growth of §3.2 (the content of Figure 1). *)
+
+val run : quick:bool -> seed:int -> Outcome.t

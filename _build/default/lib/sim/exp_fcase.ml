@@ -1,0 +1,131 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+module Dist = Prng.Dist
+open Temporal
+
+(* Correlated-label models at (roughly) matched label volume: does the
+   *pattern* of availability matter beyond the marginal distribution? *)
+let correlated_table ~quick rng ~n ~trials g =
+  let a = n in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E8b: correlated availability patterns on the clique (n = a = %d, \
+            %d trials)"
+           n trials)
+      ~columns:
+        [ "pattern"; "mean TD"; "sd"; "TD/ln n"; "disconn"; "labels/edge" ]
+  in
+  ignore quick;
+  let models =
+    [
+      ("uniform r=8", fun rng -> Assignment.uniform_multi rng g ~a ~r:8);
+      ("periodic p=16", fun rng -> Assignment.periodic rng g ~a ~period:16);
+      ( "bursty b=4 q=1/60",
+        fun rng -> Assignment.bursty rng g ~a ~burst:4 ~rate:(1. /. 60.) );
+      ( "bursty b=8 q=1/120",
+        fun rng -> Assignment.bursty rng g ~a ~burst:8 ~rate:(1. /. 120.) );
+    ]
+  in
+  List.iter
+    (fun (name, model) ->
+      let summary = Summary.create () in
+      let label_count = Summary.create () in
+      let disconnected = ref 0 in
+      Runner.foreach rng ~trials (fun _ trial_rng ->
+          let net = model trial_rng in
+          Summary.add label_count
+            (float_of_int (Tgraph.label_count net)
+            /. float_of_int (Sgraph.Graph.m g));
+          match Distance.instance_diameter net with
+          | Some d -> Summary.add_int summary d
+          | None -> incr disconnected);
+      let mean = Summary.mean summary in
+      Table.add_row table
+        [
+          Str name;
+          (if Summary.count summary = 0 then Str "-" else Float (mean, 1));
+          Float (Summary.stddev summary, 1);
+          (if Summary.count summary = 0 then Str "-"
+           else Float (mean /. log (float_of_int n), 2));
+          Int !disconnected;
+          Float (Summary.mean label_count, 2);
+        ])
+    models;
+  table
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let n = if quick then 48 else 128 in
+  let trials = if quick then 8 else 20 in
+  let g = Sgraph.Gen.clique Directed n in
+  let a = n in
+  let dists =
+    [
+      Dist.Uniform;
+      Dist.Geometric (4. /. float_of_int a);
+      Dist.Geometric (16. /. float_of_int a);
+      Dist.Zipf 1.0;
+      Dist.Point (a / 2);
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E8: F-CASE clique, label distribution vs temporal diameter (n = a \
+            = %d, %d trials)"
+           n trials)
+      ~columns:
+        [ "distribution"; "r"; "mean TD"; "sd"; "TD/ln n"; "disconn";
+          "labels/edge" ]
+  in
+  List.iter
+    (fun dist ->
+      List.iter
+        (fun r ->
+          let summary = Summary.create () in
+          let label_count = Summary.create () in
+          let disconnected = ref 0 in
+          Runner.foreach rng ~trials (fun _ trial_rng ->
+              let net = Assignment.of_dist trial_rng dist g ~a ~r in
+              Summary.add label_count
+                (float_of_int (Tgraph.label_count net)
+                /. float_of_int (Sgraph.Graph.m g));
+              match Distance.instance_diameter net with
+              | Some d -> Summary.add_int summary d
+              | None -> incr disconnected);
+          let mean = Summary.mean summary in
+          Table.add_row table
+            [
+              Str (Dist.to_string dist);
+              Int r;
+              Float (mean, 1);
+              Float (Summary.stddev summary, 1);
+              Float (mean /. log (float_of_int n), 2);
+              Int !disconnected;
+              Float (Summary.mean label_count, 2);
+            ])
+        [ 1; 3 ])
+    dists;
+  let notes =
+    [
+      "early-mass distributions (geometric, zipf) shrink the temporal \
+       diameter: more arcs are available in any early window, so the \
+       expansion completes sooner; uniform is the paper's baseline";
+      "point(a/2) leaves only one global moment: every pair must use its \
+       direct arc, so TD = a/2 exactly and variance 0 — the degenerate \
+       sanity row";
+      "labels/edge < r where a distribution repeats values (label sets \
+       collapse duplicates), most visibly for zipf";
+      "E8b holds the label volume roughly fixed (~8/edge) and varies only \
+       the correlation pattern: random-phase periodic schedules match \
+       i.i.d. uniform (phases decorrelate across edges), while bursts \
+       waste labels — consecutive availability on the same edge rarely \
+       extends a journey — and the longer the burst, the worse (the E16 \
+       mobility effect isolated on the clique)";
+    ]
+  in
+  Outcome.make ~notes [ table; correlated_table ~quick rng ~n ~trials g ]

@@ -1,0 +1,10 @@
+(** E8 — F-CASE random temporal networks (§2, Note after Definition 4).
+
+    The paper's prospective extension: labels drawn from non-uniform
+    distributions [F] over [{1..a}].  The experiment measures how the
+    clique's temporal diameter and reachability respond to the label
+    distribution's shape — mass concentrated early (truncated geometric,
+    Zipf) versus uniform versus degenerate (one common time) — at one and
+    several labels per edge. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

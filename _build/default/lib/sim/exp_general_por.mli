@@ -1,0 +1,12 @@
+(** E5 — Price of Randomness in general graphs (Theorems 7–8, Claim 1,
+    Figure 3).
+
+    Table (a): across graph families, the measured minimal [r] against
+    Theorem 7's sufficient [2·d(G)·ln n] and the coupon-collector
+    refinement — the measurement must sit below the bounds, and grow with
+    the diameter as the box argument predicts.  Table (b): the
+    deterministic Claim 1 box assignment ([d(G)] labels per edge, one per
+    box) always satisfies [Treach], at total cost [d·m] compared against
+    the randomised [r·m]. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -1,0 +1,9 @@
+(** E6 — The Erdős–Rényi connectivity threshold.
+
+    Substrate validation for Theorem 5 and the Ω(log n) remark: both
+    arguments reduce the temporal question to "G(n, p) is w.h.p.
+    disconnected below p = ln n / n".  The experiment sweeps
+    [p = c·ln n / n] and shows the empirical connectivity probability
+    stepping from ~0 to ~1 around [c = 1]. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

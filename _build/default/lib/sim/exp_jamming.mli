@@ -1,0 +1,10 @@
+(** E18 — Jamming the designs: adversarial availability removal.
+
+    Closes the loop between the hostile-network story (§1) and the
+    design question (§6): an adversary cancels a budget of (edge, time)
+    availabilities; which §6 design — deterministic backbone, pure
+    random labels, or the hybrid — keeps the most pairs reachable?
+    Strategies range from blind (random, earliest-first) to informed
+    (betweenness-focused). *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -1,0 +1,10 @@
+(** E3 — Temporal diameter vs. lifetime (Theorem 5).
+
+    Fix the clique size [n] and stretch the lifetime [a]: with one
+    uniform label per arc on [{1..a}], Theorem 5 says the temporal
+    diameter grows as [Ω((a/n)·ln n)] once [a >> n].  The experiment
+    measures the exact instance diameter across [a/n] ratios, the ratio
+    to the bound, and the prefix-connectivity witness behind the proof
+    (the time at which the [G(n, k/a)] prefix first gets connected). *)
+
+val run : quick:bool -> seed:int -> Outcome.t

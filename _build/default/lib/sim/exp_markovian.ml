@@ -1,0 +1,66 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+module Em = Evolving.Edge_markovian
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let n = if quick then 48 else 128 in
+  let trials = if quick then 6 else 20 in
+  let ln_n = log (float_of_int n) in
+  let regimes =
+    [
+      ("dense, volatile", 0.5, 0.5);
+      ("dense, sticky", 0.05, 0.05);
+      ("sparse ~2ln n/n, volatile", 2. *. ln_n /. float_of_int n, 0.9);
+      ("sparse ~2ln n/n, sticky", 0.2 *. ln_n /. float_of_int n, 0.09);
+      ("very sparse ~2/n, volatile", 2. /. float_of_int n, 0.9);
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E12: flooding time on edge-Markovian evolving graphs (n = %d, %d \
+            trials)"
+           n trials)
+      ~columns:
+        [ "regime"; "p_up"; "p_down"; "stationary"; "mean rounds"; "sd";
+          "rounds/ln n"; "incomplete" ]
+  in
+  List.iter
+    (fun (name, p_up, p_down) ->
+      let summary = Summary.create () in
+      let incomplete = ref 0 in
+      Runner.foreach rng ~trials (fun _ trial_rng ->
+          let chain = Em.create trial_rng ~n ~p_up ~p_down in
+          let result = Em.flood chain ~source:0 in
+          if result.completed then Summary.add_int summary result.rounds
+          else incr incomplete);
+      Table.add_row table
+        [
+          Str name;
+          Float (p_up, 4);
+          Float (p_down, 4);
+          Float (Em.stationary_density (Em.create (Rng.split rng) ~n ~p_up ~p_down), 4);
+          Float (Summary.mean summary, 1);
+          Float (Summary.stddev summary, 1);
+          Float (Summary.mean summary /. ln_n, 2);
+          Int !incomplete;
+        ])
+    regimes;
+  let notes =
+    [
+      "dense regimes flood in O(log n) rounds regardless of persistence \
+       (each round is a supercritical random graph); sparse regimes lean \
+       on re-randomisation — volatility reduces the flooding time because \
+       fresh edges appear next to the informed set every round [8]";
+      Printf.sprintf
+        "baselines at this n: U-RTN clique flooding ~ %.1f (E7), push ~ %.1f \
+         rounds (E7); the evolving model interpolates between them as \
+         density and volatility vary"
+        (2.7 *. ln_n)
+        (1.8 *. Float.log2 (float_of_int n));
+    ]
+  in
+  Outcome.make ~notes [ table ]

@@ -1,0 +1,10 @@
+(** E12 — Flooding on edge-Markovian evolving graphs (related work [8]).
+
+    The dynamic-network model nearest to the paper's: edges flip state
+    every round with birth/death probabilities.  The experiment measures
+    flooding time across the density/persistence landscape and sets it
+    against the two fixed-schedule baselines (U-RTN flooding, push) —
+    showing that per-round randomness buys speed exactly where the
+    stationary graph is too sparse to flood in one shot. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -1,0 +1,83 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+open Temporal
+
+(* Keep the graph and per-edge label counts; redraw times uniformly. *)
+let time_shuffled rng net =
+  let g = Tgraph.graph net in
+  let a = Tgraph.lifetime net in
+  Assignment.of_fun g ~a (fun e ->
+      let k = Label.size (Tgraph.labels net e) in
+      Label.of_list (List.init k (fun _ -> 1 + Rng.int rng a)))
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let agents = if quick then 24 else 48 in
+  let size = if quick then 10 else 16 in
+  let ticks = 2 * agents in
+  let trials = if quick then 5 else 12 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E16: random-waypoint traces vs the uniform-time null model \
+            (%d agents, %dx%d torus, %d ticks, %d trials)"
+           agents size size ticks trials)
+      ~columns:
+        [ "variant"; "density"; "labels/edge"; "reach"; "flood time";
+          "flood incomplete" ]
+  in
+  let record name reach flood incomplete density labels =
+    Table.add_row table
+      [
+        Str name;
+        Pct (Summary.mean density);
+        Float (Summary.mean labels, 1);
+        Pct (Summary.mean reach);
+        (if Summary.count flood = 0 then Str "-"
+         else Float (Summary.mean flood, 1));
+        Int incomplete;
+      ]
+  in
+  let variants = [ ("mobility trace", `Trace); ("time-shuffled null", `Null) ] in
+  List.iter
+    (fun (name, variant) ->
+      let reach = Summary.create () in
+      let flood = Summary.create () in
+      let density = Summary.create () in
+      let labels = Summary.create () in
+      let incomplete = ref 0 in
+      Runner.foreach rng ~trials (fun _ trial_rng ->
+          let trace_net =
+            Mobility.Trace.of_waypoint_run trial_rng ~agents ~size ~ticks
+          in
+          let net =
+            match variant with
+            | `Trace -> trace_net
+            | `Null -> time_shuffled trial_rng trace_net
+          in
+          let s = Mobility.Trace.stats net in
+          Summary.add density s.density;
+          Summary.add labels s.mean_labels_per_edge;
+          Summary.add reach (Reachability.reachability_ratio net);
+          let source = Rng.int trial_rng agents in
+          match Flooding.broadcast_time net source with
+          | Some t -> Summary.add_int flood t
+          | None -> incr incomplete);
+      record name reach flood !incomplete density labels)
+    variants;
+  let notes =
+    [
+      "both variants share graphs and label volumes by construction \
+       (density and labels/edge rows must agree up to label collisions); \
+       any reachability or speed gap is purely the *timing pattern*";
+      "mobility timing is bursty — an edge's labels cluster while two \
+       agents travel together — which wastes availability: consecutive \
+       labels on the same edge rarely extend a journey.  The uniform null \
+       spreads the same budget over the lifetime and reaches more pairs, \
+       earlier: a concrete reason the paper's uniform model is an \
+       optimistic baseline for real contact processes";
+    ]
+  in
+  Outcome.make ~notes [ table ]

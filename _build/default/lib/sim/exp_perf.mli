@@ -1,0 +1,12 @@
+(** E19 — Performance scaling of the core algorithms.
+
+    The systems table: wall-clock cost of instance construction (the
+    one-off time-edge sort), a single foremost sweep, and the exact
+    all-pairs temporal diameter, as the clique grows.  The sweep should
+    scale linearly in the stream size M = n(n-1) — the design claim
+    behind "one sort, many sweeps" — visible as a flat ns/time-edge
+    column.  (Timings are medians of repeated runs; they are measured
+    quantities and naturally vary run to run, unlike every other
+    experiment in the suite.) *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -1,0 +1,125 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+module Rumor = Phonecall.Rumor
+
+let measure rng g strategy ~trials =
+  let n = Sgraph.Graph.n g in
+  let rounds = Summary.create () in
+  let msgs = Summary.create () in
+  Runner.foreach rng ~trials (fun _ trial_rng ->
+      let source = Rng.int trial_rng n in
+      let result = Rumor.spread trial_rng g strategy ~source in
+      Option.iter (Summary.add_int rounds) result.rounds;
+      Summary.add_int msgs result.transmissions);
+  (Summary.mean rounds, Summary.mean msgs)
+
+(* Memory pays on sparse graphs, where re-calling a recent partner is
+   both likely and useless; the clique hides the effect. *)
+let memory_table ~quick rng =
+  let trials = if quick then 15 else 40 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E7b: where memory helps — transmissions to completion (%d trials)"
+           trials)
+      ~columns:
+        [ "graph"; "n"; "pp rounds"; "mem3 rounds"; "pp msgs"; "mem3 msgs";
+          "msgs saved" ]
+  in
+  let families =
+    if quick then [ ("cycle", Sgraph.Gen.cycle 64) ]
+    else
+      [
+        ("cycle", Sgraph.Gen.cycle 128);
+        ("hypercube d=7", Sgraph.Gen.hypercube 7);
+        ("4-regular ring", Sgraph.Gen.watts_strogatz (Rng.split rng) ~n:128 ~k:2 ~beta:0.1);
+      ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let pp_rounds, pp_msgs = measure (Rng.split rng) g Push_pull ~trials in
+      let mem_rounds, mem_msgs =
+        measure (Rng.split rng) g (Push_pull_memory 3) ~trials
+      in
+      Table.add_row table
+        [
+          Str name;
+          Int (Sgraph.Graph.n g);
+          Float (pp_rounds, 1);
+          Float (mem_rounds, 1);
+          Float (pp_msgs, 0);
+          Float (mem_msgs, 0);
+          Pct (1. -. (mem_msgs /. pp_msgs));
+        ])
+    families;
+  table
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let sizes = if quick then [ 16; 64 ] else [ 16; 64; 256; 1024 ] in
+  let pc_trials = if quick then 20 else 60 in
+  let flood_trials = if quick then 10 else 25 in
+  let table =
+    Table.create
+      ~title:"E7: phone-call model vs random-availability flooding (clique)"
+      ~columns:
+        [ "n"; "push rounds"; "push-pull rounds"; "pp-mem3 rounds";
+          "flood time"; "push/log2 n"; "flood/ln n"; "pp msgs"; "mem3 msgs";
+          "flood msgs"; "incomplete" ]
+  in
+  List.iter
+    (fun n ->
+      let undirected = Sgraph.Gen.clique Undirected n in
+      let push_mean, _ = measure (Rng.split rng) undirected Push ~trials:pc_trials in
+      let pushpull_mean, pushpull_msgs =
+        measure (Rng.split rng) undirected Push_pull ~trials:pc_trials
+      in
+      let memory_mean, memory_msgs =
+        measure (Rng.split rng) undirected (Push_pull_memory 3) ~trials:pc_trials
+      in
+      let directed = Sgraph.Gen.clique Directed n in
+      let flood_summary = Summary.create () in
+      let msgs = Summary.create () in
+      let incomplete = ref 0 in
+      Runner.foreach rng ~trials:flood_trials (fun _ trial_rng ->
+          let net = Temporal.Assignment.normalized_uniform trial_rng directed in
+          let source = Rng.int trial_rng n in
+          let result = Temporal.Flooding.run net source in
+          Summary.add_int msgs result.transmissions;
+          match result.completion_time with
+          | Some t -> Summary.add_int flood_summary t
+          | None -> incr incomplete);
+      let flood_mean = Summary.mean flood_summary in
+      Table.add_row table
+        [
+          Int n;
+          Float (push_mean, 1);
+          Float (pushpull_mean, 1);
+          Float (memory_mean, 1);
+          Float (flood_mean, 1);
+          Float (push_mean /. Float.log2 (float_of_int n), 2);
+          Float (flood_mean /. log (float_of_int n), 2);
+          Float (pushpull_msgs, 0);
+          Float (memory_msgs, 0);
+          Float (Summary.mean msgs, 0);
+          Int !incomplete;
+        ])
+    sizes;
+  let notes =
+    [
+      "all four dissemination columns scale logarithmically: push ~ log2 n \
+       + ln n rounds (Frieze-Grimmett), push-pull about half (Karp et \
+       al.), memory shaves a little more (Elsasser-Sauerwald), and \
+       flooding on the U-RTN clique ~ gamma*ln n (Theorem 4) despite \
+       availability being fixed by the input";
+      "message complexity separates the models: flooding fires Theta(n^2) \
+       transmissions (every arc of an informed vertex), the phone-call \
+       family Theta(n log n) — and memory trims the redundant calls, the \
+       [3,12] effect the paper's related work cites";
+      "incomplete counts flooding instances where some vertex was never \
+       reached before the lifetime ended (expected: 0 on the clique)";
+    ]
+  in
+  Outcome.make ~notes [ table; memory_table ~quick rng ]

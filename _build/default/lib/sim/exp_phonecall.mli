@@ -1,0 +1,10 @@
+(** E7 — Comparison with the Random Phone-Call model (§1.1).
+
+    Push and push-pull rumor spreading on the clique (fresh randomness
+    every round, the *stronger* model) against §3.5 flooding on the
+    normalized U-RTN clique (randomness fixed once, by the input).  Both
+    complete in Θ(log n) — the paper's point is that even the much weaker
+    availability model stays logarithmic — but with different constants
+    and transmission counts. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

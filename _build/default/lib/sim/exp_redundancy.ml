@@ -1,0 +1,82 @@
+module Table = Stats.Table
+module Graph = Sgraph.Graph
+module Gen = Sgraph.Gen
+module Rng = Prng.Rng
+open Temporal
+
+(* Sample random assignments until one preserves reachability. *)
+let rec working_random rng g ~a ~r =
+  let net = Assignment.uniform_multi rng g ~a ~r in
+  if Reachability.treach net then net else working_random rng g ~a ~r:(r + 1)
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let scale = if quick then 8 else 16 in
+  let families =
+    [
+      ("star", Gen.star (2 * scale));
+      ("cycle", Gen.cycle scale);
+      ("grid", Gen.grid 3 (scale / 2));
+      ("clique", Gen.clique Undirected scale);
+      ("binary tree", Gen.binary_tree (2 * scale));
+    ]
+  in
+  let table =
+    Table.create
+      ~title:"E11: greedy label pruning vs the OPT bracket (Spanner.prune)"
+      ~columns:
+        [ "graph"; "n"; "source"; "initial"; "kept"; "removed"; "OPT low n-1";
+          "OPT high"; "kept/high" ]
+  in
+  List.iter
+    (fun (name, g) ->
+      let n = Graph.n g in
+      let a = n in
+      let opt_high =
+        if Opt.is_clique g then
+          Stdlib.min (Opt.clique_value g) (Opt.upper_bound g)
+        else Opt.upper_bound g
+      in
+      let sources =
+        [
+          ("all times", Assignment.all_times g ~a);
+          ( "random r",
+            let r = 2 + int_of_float (2. *. log (float_of_int n)) in
+            working_random (Rng.split rng) g ~a ~r );
+        ]
+      in
+      List.iter
+        (fun (source_name, net) ->
+          let initial = Tgraph.label_count net in
+          let result = Spanner.prune net in
+          Table.add_row table
+            [
+              Str name;
+              Int n;
+              Str source_name;
+              Int initial;
+              Int result.kept;
+              Pct (float_of_int result.removed /. float_of_int initial);
+              Int (Opt.lower_bound g);
+              Int opt_high;
+              Float (float_of_int result.kept /. float_of_int opt_high, 2);
+            ])
+        sources)
+    families;
+  let notes =
+    [
+      "kept counts an inclusion-MINIMAL sublabeling (greedy, latest labels \
+       dropped first), an upper bound on OPT within the given schedule; \
+       OPT high is the best certificate: 2(n-1) via the spanning tree, or \
+       m for small cliques";
+      "inclusion-minimal is not minimum: on the all-times clique the \
+       greedy collapses every edge to label 1 and then no single label is \
+       removable (equal labels never chain), stalling at m = n(n-1)/2 — a \
+       clean exhibit of why computing OPT itself is hard [21]";
+      "over 90% of full availability is typically redundant: reachability \
+       needs a thin temporal skeleton, which is why OPT in the paper sits \
+       near n-1 while random assignments must over-provision by the PoR \
+       factor";
+    ]
+  in
+  Outcome.make ~notes [ table ]

@@ -1,0 +1,12 @@
+(** E11 — Label redundancy: greedy pruning towards OPT.
+
+    The paper measures the price of buying *random* availability against
+    the deterministic optimum OPT (Definition 8), which is hard to even
+    approximate in general (Mertzios et al. [21]).  This experiment asks
+    the operational converse: given a concrete schedule that already
+    works — either full availability or a successful random assignment —
+    how much of it is redundant?  Greedy pruning ({!Temporal.Spanner})
+    deletes labels while reachability survives; the residue is compared
+    against the universal OPT bracket [n-1 <= OPT <= 2(n-1)]. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

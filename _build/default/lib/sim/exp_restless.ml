@@ -1,0 +1,84 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+open Temporal
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let n = if quick then 32 else 64 in
+  let trials = if quick then 10 else 25 in
+  let deltas = [ 1; 2; 4; 8; n ] in
+  let workloads =
+    [
+      ("clique r=1 (UNI-CASE)", `Clique, 1);
+      ("clique r=3", `Clique, 3);
+      ("gnp 3ln n/n r=3", `Gnp, 3);
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E15: restless reachability, waiting bound delta (n = a = %d, %d \
+            trials, random source)"
+           n trials)
+      ~columns:[ "workload"; "delta"; "reached"; "mean ecc"; "ecc/ln n" ]
+  in
+  List.iter
+    (fun (name, kind, r) ->
+      List.iter
+        (fun delta ->
+          let reached = Summary.create () in
+          let ecc = Summary.create () in
+          Runner.foreach rng ~trials (fun _ trial_rng ->
+              let g =
+                match kind with
+                | `Clique -> Sgraph.Gen.clique Directed n
+                | `Gnp ->
+                  Sgraph.Gen.gnp trial_rng ~n
+                    ~p:(Float.min 1. (3. *. log (float_of_int n) /. float_of_int n))
+              in
+              let net = Assignment.uniform_multi trial_rng g ~a:n ~r in
+              let s = Rng.int trial_rng n in
+              let result = Restless.run ~delta net s in
+              Summary.add reached
+                (float_of_int (Restless.reachable_count result)
+                /. float_of_int n);
+              let worst = ref 0 and complete = ref true in
+              for v = 0 to n - 1 do
+                if v <> s then
+                  match Restless.distance result v with
+                  | Some d -> if d > !worst then worst := d
+                  | None -> complete := false
+              done;
+              if !complete then Summary.add_int ecc !worst);
+          Table.add_row table
+            [
+              Str name;
+              (if delta >= n then Str "inf" else Int delta);
+              Pct (Summary.mean reached);
+              (if Summary.count ecc = 0 then Str "-"
+               else Float (Summary.mean ecc, 1));
+              (if Summary.count ecc = 0 then Str "-"
+               else Float (Summary.mean ecc /. log (float_of_int n), 2));
+            ])
+        deltas)
+    workloads;
+  let notes =
+    [
+      "delta = inf recovers the unrestricted journeys of the paper \
+       (property-tested: the restless sweep then equals Foremost), so each \
+       block's last row reproduces the usual single-source picture";
+      "the clique stays 100% reachable at every delta — each pair owns a \
+       direct arc — but impatience costs time: at delta = 1 (forward \
+       immediately or drop) the single-label eccentricity triples, because \
+       relaying chains break and late direct arcs must be used instead";
+      "on the sparse G(n,p), where relaying is mandatory, small waiting \
+       bounds destroy reachability itself; extra labels per edge buy it \
+       back — availability density substitutes for patience";
+      "restless *walk* reachability is polynomial (this sweep); the \
+       simple-path variant is NP-hard (Casteigts et al.), provided only as \
+       an exhaustive reference for small n";
+    ]
+  in
+  Outcome.make ~notes [ table ]

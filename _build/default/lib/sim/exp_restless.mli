@@ -1,0 +1,10 @@
+(** E15 — Restless dissemination: bounded waiting on hostile relays.
+
+    Extension along modern temporal-graph lines (restless temporal
+    walks): if a message may sit at most [delta] steps on any
+    intermediate vertex — lingering gets it detected — how much of the
+    U-RTN clique stays reachable, and how much slower does
+    dissemination get?  Sweeps the waiting bound from 1 to the full
+    lifetime (which recovers the paper's unrestricted journeys). *)
+
+val run : quick:bool -> seed:int -> Outcome.t

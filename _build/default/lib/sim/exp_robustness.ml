@@ -1,0 +1,69 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+open Temporal
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let n = if quick then 24 else 48 in
+  let trials = if quick then 4 else 10 in
+  let steps = n / 4 in
+  let strategies =
+    [
+      ("random", `Random);
+      ("degree", `Target `Degree);
+      ("closeness", `Target `Closeness);
+      ("betweenness", `Target `Betweenness);
+    ]
+  in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E14: reachability after removing %d of %d vertices \
+            (Barabasi-Albert contacts, r = 3, %d trials)"
+           steps n trials)
+      ~columns:
+        [ "strategy"; "reach @25%"; "reach @50%"; "reach @75%"; "reach @100%" ]
+  in
+  let checkpoints = [ steps / 4; steps / 2; 3 * steps / 4; steps ] in
+  List.iter
+    (fun (name, strategy) ->
+      let at = Array.init 4 (fun _ -> Summary.create ()) in
+      Runner.foreach rng ~trials (fun _ trial_rng ->
+          let g = Sgraph.Gen.barabasi_albert trial_rng ~n ~m:2 in
+          let net = Assignment.uniform_multi trial_rng g ~a:n ~r:3 in
+          let trace =
+            match strategy with
+            | `Random -> Robustness.random_failures trial_rng net ~steps
+            | `Target by -> Robustness.targeted_attack net ~by ~steps
+          in
+          List.iteri
+            (fun i (step : Robustness.step) ->
+              List.iteri
+                (fun k checkpoint ->
+                  if i + 1 = checkpoint then
+                    Summary.add at.(k) step.reachability)
+                checkpoints)
+            trace);
+      Table.add_row table
+        [
+          Str name;
+          Pct (Summary.mean at.(0));
+          Pct (Summary.mean at.(1));
+          Pct (Summary.mean at.(2));
+          Pct (Summary.mean at.(3));
+        ])
+    strategies;
+  let notes =
+    [
+      "scale-free contact structure is resilient to random failures but \
+       fragile to targeted ones: removing the few high-centrality relays \
+       collapses journey-connectivity far faster than chance — the \
+       classic Albert-Jeong-Barabasi asymmetry, here in temporal form";
+      "temporal centralities (closeness/betweenness) should match or beat \
+       plain degree as attack guides, because they price the *schedule*, \
+       not just the wiring";
+    ]
+  in
+  Outcome.make ~notes [ table ]

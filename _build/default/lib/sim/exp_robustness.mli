@@ -1,0 +1,9 @@
+(** E14 — Robustness of temporal reachability under vertex loss.
+
+    The hostile-network framing inverted: an adversary who can *capture
+    vertices* rather than guard links.  On a scale-free random temporal
+    network, targeted attacks on the most temporally central relays are
+    compared with random failures: how quickly does the fraction of
+    journey-connected pairs collapse? *)
+
+val run : quick:bool -> seed:int -> Outcome.t

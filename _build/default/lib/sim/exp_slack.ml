@@ -1,0 +1,71 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+open Temporal
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let sizes = if quick then [ 16; 32; 64 ] else [ 16; 32; 64; 128; 256 ] in
+  let trials = if quick then 6 else 15 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E20: latest viable departures on the normalized U-RTN clique (%d \
+            trials, random target)"
+           trials)
+      ~columns:
+        [ "n"; "mean latest dep"; "mean slack"; "slack/ln n";
+          "late-half pairs"; "stranded" ]
+  in
+  let points = ref [] in
+  List.iter
+    (fun n ->
+      let g = Sgraph.Gen.clique Directed n in
+      let latest = Summary.create () in
+      let slack = Summary.create () in
+      let late_half = ref 0 and pairs = ref 0 and stranded = ref 0 in
+      Runner.foreach rng ~trials (fun _ trial_rng ->
+          let net = Assignment.normalized_uniform trial_rng g in
+          let t = Rng.int trial_rng n in
+          let rev = Reverse_foremost.run net t in
+          for s = 0 to n - 1 do
+            if s <> t then begin
+              incr pairs;
+              match Reverse_foremost.latest_departure rev s with
+              | Some d ->
+                Summary.add_int latest d;
+                Summary.add_int slack (n - d);
+                if d > n / 2 then incr late_half
+              | None -> incr stranded
+            end
+          done);
+      let mean_slack = Summary.mean slack in
+      points := (float_of_int n, mean_slack) :: !points;
+      Table.add_row table
+        [
+          Int n;
+          Float (Summary.mean latest, 1);
+          Float (mean_slack, 1);
+          Float (mean_slack /. log (float_of_int n), 2);
+          Pct (float_of_int !late_half /. float_of_int !pairs);
+          Int !stranded;
+        ])
+    sizes;
+  let fit = Stats.Regression.fit_log (List.rev !points) in
+  let notes =
+    [
+      Format.asprintf
+        "time-reversal symmetry (Ops.reverse_time, the engine of Theorem \
+         2) says slack = a - latest departure is distributed like the \
+         foremost arrival over a random pair — the MEAN temporal \
+         distance, ~1.5 ln n on the clique, not E1's max-pair diameter: \
+         fit slack = %a"
+        Stats.Regression.pp_fit fit;
+      "late-half pairs: fraction that can still launch after time a/2 — \
+       approaching 1, because the needed window shrinks to gamma*ln n out \
+       of a = n; 'stranded' pairs (no viable departure at all) must be 0 \
+       on the clique, whose direct arc always works";
+    ]
+  in
+  Outcome.make ~notes [ table ]

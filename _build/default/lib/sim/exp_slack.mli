@@ -1,0 +1,11 @@
+(** E20 — Departure slack: how long can a sender afford to wait?
+
+    The reverse-foremost view of the hostile clique: for each ordered
+    pair, the latest departure that still reaches the target within the
+    lifetime.  By time-reversal symmetry (the engine of the paper's
+    Theorem 2), the slack [a - latest departure] is distributed like the
+    foremost arrival, so its mean should track `gamma·ln n` — measured
+    here directly, together with the fraction of pairs that can still
+    launch in the second half of the lifetime. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -1,0 +1,10 @@
+(** E22 — Seed stability: are the suite's estimates reproducible facts?
+
+    The meta-experiment behind every other table: re-estimate the
+    headline quantities under several independent master seeds and
+    check that (a) the same seed regenerates bit-identical results, and
+    (b) different seeds scatter within the per-seed confidence
+    intervals — i.e. the numbers reported throughout EXPERIMENTS.md are
+    properties of the model, not of the randomness used to measure it. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

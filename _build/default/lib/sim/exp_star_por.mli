@@ -1,0 +1,11 @@
+(** E4 — Price of Randomness on the star (Theorem 6, Figure 2).
+
+    Two tables: (a) the measured minimal number [r] of uniform random
+    labels per edge that makes the star [K_{1,n-1}] temporally reachable
+    with probability [>= 1 - 1/n], against [ln n] — Theorem 6 proves
+    [r(n) = Θ(log n)], hence [PoR = m·r/OPT = r/2 = Θ(log n)]; (b) the
+    2-split-journey probability between a fixed leaf pair as a function
+    of [r], against the closed form [(1 - 2^{-r})²] from the proof of
+    part (a). *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -1,0 +1,82 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+module Rng = Prng.Rng
+open Temporal
+
+let run ~quick ~seed =
+  let rng = Rng.create seed in
+  let sizes = if quick then [ 32; 64 ] else [ 32; 64; 128; 256 ] in
+  let trials = if quick then 6 else 15 in
+  let r = 3 in
+  let table =
+    Table.create
+      ~title:
+        (Printf.sprintf
+           "E9: journey taxonomy on G(n, 3 ln n/n) with %d uniform labels per \
+            edge (a = n, %d trials)"
+           r trials)
+      ~columns:
+        [ "n"; "static diam"; "foremost ecc"; "ecc/ln n"; "fastest worst";
+          "shortest worst hops"; "latest departure"; "reach" ]
+  in
+  List.iter
+    (fun n ->
+      let diam = Summary.create () in
+      let foremost_ecc = Summary.create () in
+      let fastest_worst = Summary.create () in
+      let hops_worst = Summary.create () in
+      let latest_dep = Summary.create () in
+      let reach = Summary.create () in
+      Runner.foreach rng ~trials (fun _ trial_rng ->
+          let p = 3. *. log (float_of_int n) /. float_of_int n in
+          let g = Sgraph.Gen.gnp trial_rng ~n ~p:(Float.min 1. p) in
+          if Sgraph.Components.is_connected g then begin
+            Summary.add_int diam (Sgraph.Metrics.diameter g);
+            let net = Assignment.uniform_multi trial_rng g ~a:n ~r in
+            let s = Rng.int trial_rng n in
+            let t = (s + 1 + Rng.int trial_rng (n - 1)) mod n in
+            let fm = Foremost.run net s in
+            (match Foremost.max_distance fm with
+            | Some e -> Summary.add_int foremost_ecc e
+            | None -> ());
+            let fast = Fastest.run net s in
+            (match Fastest.max_duration fast with
+            | Some d -> Summary.add_int fastest_worst d
+            | None -> ());
+            let short = Shortest.run net s in
+            (match Shortest.max_hops short with
+            | Some h -> Summary.add_int hops_worst h
+            | None -> ());
+            let rev = Reverse_foremost.run net t in
+            (match Reverse_foremost.latest_departure rev s with
+            | Some d -> Summary.add_int latest_dep d
+            | None -> ());
+            Summary.add reach (Reachability.reachability_ratio net)
+          end);
+      let ecc = Summary.mean foremost_ecc in
+      Table.add_row table
+        [
+          Int n;
+          Float (Summary.mean diam, 1);
+          Float (ecc, 1);
+          Float (ecc /. log (float_of_int n), 2);
+          Float (Summary.mean fastest_worst, 1);
+          Float (Summary.mean hops_worst, 1);
+          Float (Summary.mean latest_dep, 1);
+          Pct (Summary.mean reach);
+        ])
+    sizes;
+  let notes =
+    [
+      "foremost ecc: earliest time a random source informs its hardest \
+       vertex; fastest worst: the longest any vertex keeps a message in \
+       transit once optimally timed — much smaller than the foremost \
+       eccentricity, because waiting for a good departure is allowed";
+      "shortest worst hops tracks the static diameter (a journey cannot use \
+       fewer edges than a shortest path), exceeding it when timing forces a \
+       detour";
+      "latest departure: how long a random source can wait and still reach \
+       a random target (reverse-foremost, Bui-Xuan et al. [6])";
+    ]
+  in
+  Outcome.make ~notes [ table ]

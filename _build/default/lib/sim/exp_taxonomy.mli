@@ -1,0 +1,13 @@
+(** E9 — The journey taxonomy on sparse random temporal networks.
+
+    An extension beyond the paper's own experiments: the four journey
+    optimality notions of Bui-Xuan, Ferreira & Jarry [6] (cited in the
+    paper's related work for the continuous case), measured in the
+    discrete random-availability model.  On sparse Erdős–Rényi
+    underlying graphs with a few uniform labels per edge, the experiment
+    contrasts per instance: earliest arrival (foremost), minimum transit
+    time (fastest), minimum hop count (shortest) against the static
+    diameter, and the latest departure that still reaches a target
+    (reverse foremost). *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -1,0 +1,11 @@
+(** E17 — Random walks on random temporal networks (related work [2]).
+
+    §1.2 cites Avin–Koucký–Lotker's cover times on evolving graphs.
+    Here a single walker rides the availability schedule: it may move
+    only along an arc available at the current moment.  The experiment
+    measures how much of the network one walker covers within the
+    lifetime as the availability density ([r] labels per edge) grows,
+    against the all-times limit where the walk becomes a classical
+    random walk (coupon-collector cover ~ n·H_n steps). *)
+
+val run : quick:bool -> seed:int -> Outcome.t

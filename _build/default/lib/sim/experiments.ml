@@ -1,0 +1,148 @@
+type t = {
+  id : string;
+  title : string;
+  paper_ref : string;
+  run : quick:bool -> seed:int -> Outcome.t;
+}
+
+let all =
+  [
+    {
+      id = "e1";
+      title = "Temporal diameter of the normalized U-RTN clique";
+      paper_ref = "Theorems 3-4 + Omega(log n) remark (section 3)";
+      run = Exp_clique_diameter.run;
+    };
+    {
+      id = "e2";
+      title = "Expansion Process: success, arrival time, layer growth";
+      paper_ref = "Algorithm 1, Figure 1, Theorems 1-3";
+      run = Exp_expansion.run;
+    };
+    {
+      id = "e3";
+      title = "Temporal diameter vs lifetime";
+      paper_ref = "Theorem 5 (section 3.6)";
+      run = Exp_lifetime.run;
+    };
+    {
+      id = "e4";
+      title = "Price of Randomness on the star";
+      paper_ref = "Theorem 6, Figure 2 (section 4)";
+      run = Exp_star_por.run;
+    };
+    {
+      id = "e5";
+      title = "Price of Randomness in general graphs + Claim 1 boxes";
+      paper_ref = "Theorems 7-8, Claim 1, Figure 3 (section 5)";
+      run = Exp_general_por.run;
+    };
+    {
+      id = "e6";
+      title = "Erdos-Renyi connectivity threshold";
+      paper_ref = "substrate of Theorem 5's proof";
+      run = Exp_gnp.run;
+    };
+    {
+      id = "e7";
+      title = "Random phone-call model vs flooding";
+      paper_ref = "section 1.1 and section 3.5";
+      run = Exp_phonecall.run;
+    };
+    {
+      id = "e8";
+      title = "F-CASE label distributions";
+      paper_ref = "section 2, Note after Definition 4";
+      run = Exp_fcase.run;
+    };
+    {
+      id = "e9";
+      title = "Journey taxonomy (foremost/fastest/shortest/reverse)";
+      paper_ref = "extension; discrete analogue of Bui-Xuan et al. [6]";
+      run = Exp_taxonomy.run;
+    };
+    {
+      id = "e10";
+      title = "Temporal routing capacity and the Menger gap";
+      paper_ref = "extension; connectivity axis of Kempe et al. [19]";
+      run = Exp_capacity.run;
+    };
+    {
+      id = "e11";
+      title = "Label redundancy: greedy pruning vs OPT";
+      paper_ref = "extension; minimal labelings of Mertzios et al. [21]";
+      run = Exp_redundancy.run;
+    };
+    {
+      id = "e12";
+      title = "Flooding on edge-Markovian evolving graphs";
+      paper_ref = "related work; Clementi et al. [8] (section 1.2)";
+      run = Exp_markovian.run;
+    };
+    {
+      id = "e13";
+      title = "Availability design: backbone + random labels";
+      paper_ref = "section 6 (the paper's stated research direction)";
+      run = Exp_design.run;
+    };
+    {
+      id = "e14";
+      title = "Robustness under targeted and random vertex loss";
+      paper_ref = "extension; the hostile framing inverted";
+      run = Exp_robustness.run;
+    };
+    {
+      id = "e15";
+      title = "Restless dissemination: bounded waiting";
+      paper_ref = "extension; restless temporal walks";
+      run = Exp_restless.run;
+    };
+    {
+      id = "e16";
+      title = "Mobility traces vs the uniform-time null model";
+      paper_ref = "the introduction's motivation, trace-driven";
+      run = Exp_mobility.run;
+    };
+    {
+      id = "e17";
+      title = "Random walks riding the availability schedule";
+      paper_ref = "related work; Avin et al. [2] (section 1.2)";
+      run = Exp_walks.run;
+    };
+    {
+      id = "e18";
+      title = "Jamming the designs: adversarial label removal";
+      paper_ref = "sections 1 and 6, combined adversarially";
+      run = Exp_jamming.run;
+    };
+    {
+      id = "e19";
+      title = "Performance scaling of the core algorithms";
+      paper_ref = "systems evaluation of the implementation";
+      run = Exp_perf.run;
+    };
+    {
+      id = "e20";
+      title = "Departure slack: latest viable launches";
+      paper_ref = "Theorem 2's symmetry, measured directly";
+      run = Exp_slack.run;
+    };
+    {
+      id = "e21";
+      title = "Budgeted flooding: trimming section 3.5's messages";
+      paper_ref = "sections 3.5 + 1.1, message complexity";
+      run = Exp_budget.run;
+    };
+    {
+      id = "e22";
+      title = "Seed stability of the suite's estimates";
+      paper_ref = "reproducibility meta-check";
+      run = Exp_stability.run;
+    };
+  ]
+
+let find id =
+  let id = String.lowercase_ascii id in
+  List.find_opt (fun e -> e.id = id) all
+
+let default_seed = 20140623 (* SPAA'14 opening day *)

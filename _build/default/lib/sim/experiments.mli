@@ -1,0 +1,20 @@
+(** Registry of all reproduction experiments.
+
+    Each entry maps one of the paper's results to a runnable experiment;
+    [quick] trades scale for speed (used by the test suite and the CLI's
+    [--quick] flag), and [seed] pins the randomness. *)
+
+type t = {
+  id : string;  (** e.g. ["e1"] *)
+  title : string;
+  paper_ref : string;  (** the theorem/figure/section reproduced *)
+  run : quick:bool -> seed:int -> Outcome.t;
+}
+
+val all : t list
+(** In id order, e1 .. e10. *)
+
+val find : string -> t option
+(** Lookup by id (case-insensitive). *)
+
+val default_seed : int

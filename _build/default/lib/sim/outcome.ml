@@ -1,0 +1,26 @@
+type t = {
+  tables : Stats.Table.t list;
+  notes : string list;
+  plots : string list;
+}
+
+let make ?(notes = []) ?(plots = []) tables = { tables; notes; plots }
+
+let render t =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun table ->
+      Buffer.add_string buf (Stats.Table.to_ascii table);
+      Buffer.add_char buf '\n')
+    t.tables;
+  List.iter
+    (fun note ->
+      Buffer.add_string buf ("note: " ^ note);
+      Buffer.add_char buf '\n')
+    t.notes;
+  List.iter
+    (fun plot ->
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf plot)
+    t.plots;
+  Buffer.contents buf

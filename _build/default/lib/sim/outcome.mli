@@ -1,0 +1,14 @@
+(** What one experiment produces: tables (the paper's "results"), free-
+    form notes (fits, qualitative checks) and optional ASCII plots. *)
+
+type t = {
+  tables : Stats.Table.t list;
+  notes : string list;
+  plots : string list;
+}
+
+val make :
+  ?notes:string list -> ?plots:string list -> Stats.Table.t list -> t
+
+val render : t -> string
+(** Tables, then notes, then plots, separated by blank lines. *)

@@ -1,0 +1,40 @@
+let header (exp : Experiments.t) =
+  Printf.sprintf "=== %s: %s ===\n(reproduces: %s)\n" (String.uppercase_ascii exp.id)
+    exp.title exp.paper_ref
+
+let print_outcome exp outcome =
+  print_string (header exp);
+  print_newline ();
+  print_string (Outcome.render outcome);
+  print_newline ()
+
+let run_and_print ~quick ~seed (exp : Experiments.t) =
+  let outcome = exp.run ~quick ~seed in
+  print_outcome exp outcome;
+  outcome
+
+let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+
+let save_csv ~dir (exp : Experiments.t) (outcome : Outcome.t) =
+  ensure_dir dir;
+  List.mapi
+    (fun k table ->
+      let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" exp.id k) in
+      let oc = open_out path in
+      output_string oc (Stats.Table.to_csv table);
+      close_out oc;
+      path)
+    outcome.tables
+
+let save_markdown ~dir (exp : Experiments.t) (outcome : Outcome.t) =
+  ensure_dir dir;
+  let path = Filename.concat dir (exp.id ^ ".md") in
+  let oc = open_out path in
+  Printf.fprintf oc "# %s: %s\n\nReproduces: %s\n\n"
+    (String.uppercase_ascii exp.id) exp.title exp.paper_ref;
+  List.iter
+    (fun table -> output_string oc (Stats.Table.to_markdown table ^ "\n"))
+    outcome.tables;
+  List.iter (fun note -> Printf.fprintf oc "- %s\n" note) outcome.notes;
+  close_out oc;
+  path

@@ -1,0 +1,16 @@
+(** Rendering and persisting experiment outcomes. *)
+
+val print_outcome : Experiments.t -> Outcome.t -> unit
+(** Header (id, title, paper reference) then the rendered outcome, to
+    stdout. *)
+
+val run_and_print : quick:bool -> seed:int -> Experiments.t -> Outcome.t
+(** Run, print, and also return the outcome (so callers can persist
+    it). *)
+
+val save_csv : dir:string -> Experiments.t -> Outcome.t -> string list
+(** Write each table as [<dir>/<id>_<k>.csv]; returns the paths.
+    Creates [dir] if missing. *)
+
+val save_markdown : dir:string -> Experiments.t -> Outcome.t -> string
+(** Write all tables and notes as [<dir>/<id>.md]; returns the path. *)

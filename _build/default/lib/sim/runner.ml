@@ -1,0 +1,17 @@
+let foreach rng ~trials f =
+  for i = 0 to trials - 1 do
+    f i (Prng.Rng.split rng)
+  done
+
+let collect rng ~trials f =
+  List.init trials (fun _ -> f (Prng.Rng.split rng))
+
+let summarize rng ~trials f =
+  let summary = Stats.Summary.create () in
+  foreach rng ~trials (fun _ trial_rng -> Stats.Summary.add summary (f trial_rng));
+  summary
+
+let count rng ~trials f =
+  let hits = ref 0 in
+  foreach rng ~trials (fun _ trial_rng -> if f trial_rng then incr hits);
+  !hits

@@ -1,0 +1,16 @@
+(** Trial execution with reproducible randomness.
+
+    Each trial gets its *own* stream split off the experiment's root
+    stream, so trial [i] sees identical randomness no matter what other
+    trials consumed — results are stable under reordering, sub-sampling
+    and (hypothetically) parallel execution. *)
+
+val foreach : Prng.Rng.t -> trials:int -> (int -> Prng.Rng.t -> unit) -> unit
+(** [foreach rng ~trials f] runs [f i rng_i] for [i = 0 .. trials-1]. *)
+
+val collect : Prng.Rng.t -> trials:int -> (Prng.Rng.t -> 'a) -> 'a list
+
+val summarize : Prng.Rng.t -> trials:int -> (Prng.Rng.t -> float) -> Stats.Summary.t
+
+val count : Prng.Rng.t -> trials:int -> (Prng.Rng.t -> bool) -> int
+(** Number of trials returning [true]. *)

@@ -1,0 +1,1 @@
+lib/stats/bounds.ml: Float List

@@ -1,0 +1,55 @@
+let marks = [| '*'; '+'; 'o'; 'x'; '@'; '#' |]
+
+let bounds points =
+  List.fold_left
+    (fun (xlo, xhi, ylo, yhi) (x, y) ->
+      (Float.min xlo x, Float.max xhi x, Float.min ylo y, Float.max yhi y))
+    (infinity, neg_infinity, infinity, neg_infinity)
+    points
+
+let render_series ?(width = 60) ?(height = 16) ?(x_label = "x")
+    ?(y_label = "y") ~title series =
+  let all_points = List.concat_map snd series in
+  let xlo, xhi, ylo, yhi = bounds all_points in
+  if List.length all_points < 2 || xhi <= xlo || yhi <= ylo then title ^ "\n"
+  else begin
+    let grid = Array.make_matrix height width ' ' in
+    let place mark (x, y) =
+      let cx =
+        int_of_float ((x -. xlo) /. (xhi -. xlo) *. float_of_int (width - 1))
+      in
+      let cy =
+        int_of_float ((y -. ylo) /. (yhi -. ylo) *. float_of_int (height - 1))
+      in
+      grid.(height - 1 - cy).(cx) <- mark
+    in
+    List.iteri
+      (fun i (_, points) ->
+        let mark = marks.(i mod Array.length marks) in
+        List.iter (place mark) points)
+      series;
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf title;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%s: [%.4g .. %.4g]\n" y_label ylo yhi);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   %s: [%.4g .. %.4g]\n" x_label xlo xhi);
+    if List.length series > 1 then
+      List.iteri
+        (fun i (name, _) ->
+          Buffer.add_string buf
+            (Printf.sprintf "   %c = %s\n" marks.(i mod Array.length marks) name))
+        series;
+    Buffer.contents buf
+  end
+
+let render ?width ?height ?x_label ?y_label ~title points =
+  render_series ?width ?height ?x_label ?y_label ~title [ ("series", points) ]

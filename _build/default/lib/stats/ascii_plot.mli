@@ -1,0 +1,30 @@
+(** Minimal ASCII scatter/line plots.
+
+    The paper's figures are schematic, but the experiments benefit from a
+    quick visual of e.g. [TD] against [ln n]; this renders an x/y series on
+    a character grid with axis annotations — the "plotting stack" for an
+    ecosystem without one. *)
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  (float * float) list ->
+  string
+(** [render ~title points] draws the points ('*') on a grid; multiple
+    points landing on a cell still print one mark.  Returns [title] alone
+    when fewer than two points or degenerate ranges make a plot
+    meaningless. *)
+
+val render_series :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  (string * (float * float) list) list ->
+  string
+(** Several named series on one grid; each series gets a distinct mark
+    from ['*', '+', 'o', 'x', '@', '#'] (cycled) and a legend line. *)

@@ -1,0 +1,25 @@
+(** Percentile bootstrap confidence intervals.
+
+    Nonparametric companion to {!Ci}: resample the observed sample with
+    replacement, recompute the statistic, and read the interval off the
+    percentiles of the resampled distribution.  Used where normality is
+    dubious — e.g. instance temporal diameters, which are maxima and
+    skew right.  Deterministic given the caller's RNG stream. *)
+
+val interval :
+  ?confidence:float ->
+  ?resamples:int ->
+  statistic:(float array -> float) ->
+  Prng.Rng.t ->
+  float array ->
+  Ci.interval
+(** [interval ~statistic rng xs] is the percentile bootstrap CI of
+    [statistic xs] (default confidence 0.95, 1000 resamples).
+    @raise Invalid_argument on an empty sample, bad confidence, or
+    non-positive resample count. *)
+
+val mean_interval :
+  ?confidence:float -> ?resamples:int -> Prng.Rng.t -> float array -> Ci.interval
+
+val median_interval :
+  ?confidence:float -> ?resamples:int -> Prng.Rng.t -> float array -> Ci.interval

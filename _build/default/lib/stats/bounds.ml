@@ -1,0 +1,22 @@
+let chernoff_below ~mean ~beta = exp (-.(beta *. beta) *. mean /. 2.)
+let chernoff_two_sided ~mean ~beta = 2. *. exp (-.(beta *. beta) *. mean /. 3.)
+
+let harmonic d =
+  let h = ref 0. in
+  for k = 1 to d do
+    h := !h +. (1. /. float_of_int k)
+  done;
+  !h
+
+let thm7_labels ~diameter ~n = 2. *. float_of_int diameter *. log (float_of_int n)
+
+let coupon_labels ~diameter ~n ~m =
+  let d = float_of_int diameter in
+  d *. (log (Float.max 1. d) +. log (float_of_int m *. float_of_int n))
+
+let gnp_connectivity_threshold ~n = log (float_of_int n) /. float_of_int n
+
+let thm5_lower_bound ~n ~a =
+  float_of_int a /. float_of_int n *. log (float_of_int n)
+
+let union_bound ps = Float.min 1. (Float.max 0. (List.fold_left ( +. ) 0. ps))

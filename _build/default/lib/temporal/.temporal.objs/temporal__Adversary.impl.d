@@ -1,0 +1,1 @@
+lib/temporal/adversary.ml: Array Assignment Centrality Hashtbl Label List Prng Reachability Sgraph Stdlib Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/adversary.mli: Prng Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/assignment.ml: Array Label List Prng Sgraph Tgraph

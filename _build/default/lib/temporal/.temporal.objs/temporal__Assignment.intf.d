@@ -1,0 +1,1 @@
+lib/temporal/assignment.mli: Label Prng Sgraph Tgraph

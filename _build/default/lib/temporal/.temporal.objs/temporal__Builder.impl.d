@@ -1,0 +1,1 @@
+lib/temporal/builder.ml: Array Hashtbl Label List Option Sgraph Stdlib Tgraph

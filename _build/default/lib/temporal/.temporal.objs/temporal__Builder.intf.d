@@ -1,0 +1,1 @@
+lib/temporal/builder.mli: Sgraph Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/centrality.ml: Array Float Flooding Foremost Fun Journey List Tgraph

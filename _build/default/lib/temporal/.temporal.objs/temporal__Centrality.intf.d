@@ -1,0 +1,1 @@
+lib/temporal/centrality.mli: Tgraph

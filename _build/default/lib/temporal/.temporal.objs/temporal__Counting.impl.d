@@ -1,0 +1,1 @@
+lib/temporal/counting.ml: Array Expanded Foremost Fun List Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/counting.mli: Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/design.ml: Assignment Ops Opt Printf Sgraph Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/design.mli: Prng Sgraph Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/disjoint.ml: Array Expanded Flow Fun Label List Sgraph Stdlib Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/disjoint.mli: Tgraph

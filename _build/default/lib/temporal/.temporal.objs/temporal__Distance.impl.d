@@ -1,0 +1,1 @@
+lib/temporal/distance.ml: Array Float Foremost Fun List Prng Stdlib Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/distance.mli: Prng Tgraph

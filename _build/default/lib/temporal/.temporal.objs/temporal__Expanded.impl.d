@@ -1,0 +1,1 @@
+lib/temporal/expanded.ml: Array Hashtbl List Queue Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/expanded.mli: Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/expansion.ml: Array Float Journey Label List Stdlib Tgraph

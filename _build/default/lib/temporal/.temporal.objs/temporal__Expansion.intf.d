@@ -1,0 +1,1 @@
+lib/temporal/expansion.mli: Journey Tgraph

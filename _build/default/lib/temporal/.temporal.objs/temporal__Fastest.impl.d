@@ -1,0 +1,1 @@
+lib/temporal/fastest.ml: Array Foremost Label List Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/fastest.mli: Journey Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/flooding.mli: Tgraph

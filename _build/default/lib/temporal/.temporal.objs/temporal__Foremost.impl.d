@@ -1,0 +1,1 @@
+lib/temporal/foremost.ml: Array Journey Label List Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/foremost.mli: Journey Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/journey.ml: Fmt Format List Option Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/journey.mli: Format Tgraph

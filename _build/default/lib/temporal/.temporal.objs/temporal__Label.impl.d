@@ -1,0 +1,1 @@
+lib/temporal/label.ml: Array Fmt

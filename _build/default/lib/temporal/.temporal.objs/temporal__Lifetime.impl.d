@@ -1,0 +1,1 @@
+lib/temporal/lifetime.ml: Float Label Sgraph Stats Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/lifetime.mli: Sgraph Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/online.ml: Array

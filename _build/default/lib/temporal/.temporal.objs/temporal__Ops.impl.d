@@ -1,0 +1,1 @@
+lib/temporal/ops.ml: Array Assignment Label List Sgraph Stdlib Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/ops.mli: Tgraph

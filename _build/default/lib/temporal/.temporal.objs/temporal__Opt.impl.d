@@ -1,0 +1,1 @@
+lib/temporal/opt.ml: Array Assignment Label List Reachability Sgraph Stdlib Tgraph

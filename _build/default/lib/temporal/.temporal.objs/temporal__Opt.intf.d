@@ -1,0 +1,1 @@
+lib/temporal/opt.mli: Sgraph Tgraph

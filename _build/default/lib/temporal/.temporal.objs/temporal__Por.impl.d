@@ -1,0 +1,1 @@
+lib/temporal/por.ml: Assignment Float Opt Option Reachability Sgraph Stats Stdlib

@@ -1,0 +1,1 @@
+lib/temporal/por.mli: Prng Sgraph Stats

@@ -1,0 +1,1 @@
+lib/temporal/profile.ml: Fmt Foremost Format Hashtbl List Stdlib Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/profile.mli: Format Tgraph

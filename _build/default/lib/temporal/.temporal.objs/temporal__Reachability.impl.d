@@ -1,0 +1,1 @@
+lib/temporal/reachability.ml: Array Foremost Sgraph Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/reachability.mli: Tgraph

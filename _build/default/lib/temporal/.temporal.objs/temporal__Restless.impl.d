@@ -1,0 +1,1 @@
+lib/temporal/restless.ml: Array Journey Label List Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/restless.mli: Journey Tgraph

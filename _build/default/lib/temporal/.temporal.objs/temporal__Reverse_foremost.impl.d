@@ -1,0 +1,1 @@
+lib/temporal/reverse_foremost.ml: Array Journey List Option Tgraph

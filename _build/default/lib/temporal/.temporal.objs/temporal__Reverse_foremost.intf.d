@@ -1,0 +1,1 @@
+lib/temporal/reverse_foremost.mli: Journey Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/robustness.ml: Array Centrality Distance Fun List Ops Prng Reachability Sgraph Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/robustness.mli: Prng Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/serial.ml: Array Buffer In_channel Label List Out_channel Printf Sgraph String Tgraph

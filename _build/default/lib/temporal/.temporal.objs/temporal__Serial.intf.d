@@ -1,0 +1,1 @@
+lib/temporal/serial.mli: Tgraph

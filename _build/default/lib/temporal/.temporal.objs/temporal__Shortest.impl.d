@@ -1,0 +1,1 @@
+lib/temporal/shortest.ml: Array Journey Label List Stdlib Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/shortest.mli: Journey Tgraph

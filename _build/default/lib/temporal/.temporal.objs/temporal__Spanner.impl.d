@@ -1,0 +1,1 @@
+lib/temporal/spanner.ml: Assignment Label List Reachability Sgraph Tgraph

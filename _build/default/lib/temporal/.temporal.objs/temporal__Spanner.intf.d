@@ -1,0 +1,1 @@
+lib/temporal/spanner.mli: Tgraph

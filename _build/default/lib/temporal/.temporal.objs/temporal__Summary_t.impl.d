@@ -1,0 +1,1 @@
+lib/temporal/summary_t.ml: Centrality Distance Format List Reachability Sgraph Tcc Tgraph

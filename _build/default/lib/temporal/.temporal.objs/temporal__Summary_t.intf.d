@@ -1,0 +1,1 @@
+lib/temporal/summary_t.mli: Format Tgraph

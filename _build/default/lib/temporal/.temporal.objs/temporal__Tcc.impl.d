@@ -1,0 +1,1 @@
+lib/temporal/tcc.ml: Array Foremost Hashtbl Sgraph Stdlib Tgraph

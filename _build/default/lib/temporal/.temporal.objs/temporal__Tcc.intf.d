@@ -1,0 +1,1 @@
+lib/temporal/tcc.mli: Sgraph Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/tgraph.ml: Array Format Label Sgraph

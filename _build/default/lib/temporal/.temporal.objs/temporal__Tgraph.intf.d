@@ -1,0 +1,1 @@
+lib/temporal/tgraph.mli: Format Label Sgraph

@@ -1,0 +1,1 @@
+lib/temporal/walker.ml: Array Label List Prng Tgraph

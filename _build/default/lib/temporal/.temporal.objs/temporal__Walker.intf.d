@@ -1,0 +1,1 @@
+lib/temporal/walker.mli: Prng Tgraph

@@ -1,0 +1,1 @@
+lib/temporal/windows.ml: Array Label List Sgraph Stdlib Tgraph

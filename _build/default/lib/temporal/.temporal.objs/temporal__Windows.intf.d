@@ -1,0 +1,1 @@
+lib/temporal/windows.mli: Label Sgraph Tgraph

@@ -1,0 +1,102 @@
+module Graph = Sgraph.Graph
+module Rng = Prng.Rng
+
+type strategy = Random_jam | Earliest_first | Cut_vertex_focus | Greedy_damage
+
+let strategy_name = function
+  | Random_jam -> "random"
+  | Earliest_first -> "earliest-first"
+  | Cut_vertex_focus -> "cut-vertex"
+  | Greedy_damage -> "greedy"
+
+type outcome = {
+  jammed : Tgraph.t;
+  cancelled : int;
+  reachable_before : int;
+  reachable_after : int;
+}
+
+let all_labels net =
+  let acc = ref [] in
+  Graph.iter_edges (Tgraph.graph net) (fun e _ _ ->
+      List.iter (fun l -> acc := (e, l) :: !acc) (Label.to_list (Tgraph.labels net e)));
+  !acc
+
+let without net victims =
+  let by_edge = Hashtbl.create 16 in
+  List.iter
+    (fun (e, l) ->
+      Hashtbl.replace by_edge (e, l) ())
+    victims;
+  Assignment.of_fun (Tgraph.graph net) ~a:(Tgraph.lifetime net) (fun e ->
+      Label.of_list
+        (List.filter
+           (fun l -> not (Hashtbl.mem by_edge (e, l)))
+           (Label.to_list (Tgraph.labels net e))))
+
+let pairs net = Reachability.reachable_pair_count net
+
+let jam rng net ~budget ~strategy =
+  if budget < 0 then invalid_arg "Adversary.jam: budget must be >= 0";
+  let before = pairs net in
+  let labels = all_labels net in
+  let jammed, cancelled =
+    match strategy with
+    | Random_jam ->
+      let arr = Array.of_list labels in
+      Prng.Sample.shuffle rng arr;
+      let victims =
+        Array.to_list (Array.sub arr 0 (Stdlib.min budget (Array.length arr)))
+      in
+      (without net victims, List.length victims)
+    | Earliest_first ->
+      let sorted = List.sort (fun (_, l1) (_, l2) -> compare l1 l2) labels in
+      let victims = List.filteri (fun i _ -> i < budget) sorted in
+      (without net victims, List.length victims)
+    | Cut_vertex_focus ->
+      let scores = Centrality.betweenness net in
+      let target = (Centrality.rank scores).(0) in
+      let g = Tgraph.graph net in
+      let incident =
+        List.filter
+          (fun (e, _) ->
+            let u, v = Graph.edge_endpoints g e in
+            u = target || v = target)
+          labels
+      in
+      let sorted = List.sort (fun (_, l1) (_, l2) -> compare l1 l2) incident in
+      let victims = List.filteri (fun i _ -> i < budget) sorted in
+      (without net victims, List.length victims)
+    | Greedy_damage ->
+      let current = ref net in
+      let cancelled = ref 0 in
+      (try
+         for _ = 1 to budget do
+           let candidates = all_labels !current in
+           if candidates = [] then raise Exit;
+           let baseline = pairs !current in
+           let best = ref None and best_pairs = ref max_int in
+           List.iter
+             (fun victim ->
+               let attempt = without !current [ victim ] in
+               let remaining = pairs attempt in
+               if remaining < !best_pairs then begin
+                 best_pairs := remaining;
+                 best := Some attempt
+               end)
+             candidates;
+           match !best with
+           | Some attempt when !best_pairs <= baseline ->
+             current := attempt;
+             incr cancelled
+           | _ -> raise Exit
+         done
+       with Exit -> ());
+      (!current, !cancelled)
+  in
+  {
+    jammed;
+    cancelled;
+    reachable_before = before;
+    reachable_after = pairs jammed;
+  }

@@ -1,0 +1,33 @@
+(** Adversarial jamming: removing availability to break the network.
+
+    The paper's hostile links are "unguarded" only at their labelled
+    moments; the inverse question is the guard's: given a budget of
+    [k] extra guard-slots — each cancels one (edge, time) availability —
+    how much reachability can be destroyed?  Strategies range from blind
+    to fully informed; measured by experiment E18 against the §6 designs,
+    closing the loop: which availability design survives jamming best? *)
+
+type strategy =
+  | Random_jam  (** cancel uniformly random labels *)
+  | Earliest_first  (** cancel the globally earliest labels *)
+  | Cut_vertex_focus
+      (** cancel labels on edges incident to the highest temporal-
+          betweenness vertex, earliest first *)
+  | Greedy_damage
+      (** cancel, at each step, the single label whose removal destroys
+          the most currently-reachable ordered pairs — the informed
+          adversary; O(budget · L · n · M), small networks only *)
+
+val strategy_name : strategy -> string
+
+type outcome = {
+  jammed : Tgraph.t;  (** the network after cancellations *)
+  cancelled : int;  (** labels actually removed (≤ budget) *)
+  reachable_before : int;
+  reachable_after : int;
+}
+
+val jam :
+  Prng.Rng.t -> Tgraph.t -> budget:int -> strategy:strategy -> outcome
+(** Remove up to [budget] labels according to the strategy.
+    @raise Invalid_argument if [budget < 0]. *)

@@ -1,0 +1,48 @@
+module Graph = Sgraph.Graph
+
+let of_fun g ~a f = Tgraph.create g ~lifetime:a (Array.init (Graph.m g) f)
+
+let uniform_single rng g ~a =
+  of_fun g ~a (fun _ -> Label.singleton (1 + Prng.Rng.int rng a))
+
+let normalized_uniform rng g = uniform_single rng g ~a:(Graph.n g)
+
+let draw_multi rng ~r draw_one =
+  Label.of_list (List.init r (fun _ -> draw_one rng))
+
+let uniform_multi rng g ~a ~r =
+  if r < 0 then invalid_arg "Assignment.uniform_multi: r must be >= 0";
+  of_fun g ~a (fun _ -> draw_multi rng ~r (fun rng -> 1 + Prng.Rng.int rng a))
+
+let of_dist rng dist g ~a ~r =
+  if r < 0 then invalid_arg "Assignment.of_dist: r must be >= 0";
+  let sampler = Prng.Dist.Sampler.create dist ~a in
+  of_fun g ~a (fun _ -> draw_multi rng ~r (Prng.Dist.Sampler.draw sampler))
+
+let periodic rng g ~a ~period =
+  if period < 1 then invalid_arg "Assignment.periodic: period must be >= 1";
+  of_fun g ~a (fun _ ->
+      let phase = 1 + Prng.Rng.int rng period in
+      let rec ticks t acc = if t > a then acc else ticks (t + period) (t :: acc) in
+      Label.of_list (ticks phase []))
+
+let bursty rng g ~a ~burst ~rate =
+  if burst < 1 then invalid_arg "Assignment.bursty: burst must be >= 1";
+  if not (rate >= 0. && rate <= 1.) then
+    invalid_arg "Assignment.bursty: rate not in [0,1]";
+  of_fun g ~a (fun _ ->
+      let labels = ref [] in
+      let t = ref 1 in
+      while !t <= a do
+        if Prng.Rng.bernoulli rng rate then begin
+          for offset = 0 to burst - 1 do
+            if !t + offset <= a then labels := (!t + offset) :: !labels
+          done;
+          t := !t + burst
+        end
+        else incr t
+      done;
+      Label.of_list !labels)
+
+let constant g ~a labels = of_fun g ~a (fun _ -> labels)
+let all_times g ~a = constant g ~a (Label.range 1 a)

@@ -1,0 +1,49 @@
+module Graph = Sgraph.Graph
+
+type t = {
+  kind : Graph.kind;
+  n : int;
+  edges : (int * int, int list ref) Hashtbl.t;
+}
+
+let create kind ~n =
+  if n < 0 then invalid_arg "Builder.create: negative vertex count";
+  { kind; n; edges = Hashtbl.create 16 }
+
+let canonical t u v =
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Builder: endpoint out of range";
+  if u = v then invalid_arg "Builder: self-loop";
+  match t.kind with
+  | Graph.Directed -> (u, v)
+  | Graph.Undirected -> if u < v then (u, v) else (v, u)
+
+let add_edge t u v labels =
+  List.iter
+    (fun l -> if l < 1 then invalid_arg "Builder: labels must be positive")
+    labels;
+  let key = canonical t u v in
+  match Hashtbl.find_opt t.edges key with
+  | Some existing -> existing := labels @ !existing
+  | None -> Hashtbl.add t.edges key (ref labels)
+
+let add_label t u v l = add_edge t u v [ l ]
+let edge_count t = Hashtbl.length t.edges
+
+let label_count t =
+  Hashtbl.fold
+    (fun _ labels acc ->
+      acc + Label.size (Label.of_list !labels))
+    t.edges 0
+
+let build ?lifetime t =
+  let pairs = Hashtbl.fold (fun key labels acc -> (key, !labels) :: acc) t.edges [] in
+  (* Deterministic edge order regardless of hash internals. *)
+  let pairs = List.sort compare pairs in
+  let g = Graph.create t.kind ~n:t.n (List.map fst pairs) in
+  let label_sets = Array.of_list (List.map (fun (_, ls) -> Label.of_list ls) pairs) in
+  let max_label =
+    Array.fold_left (fun acc ls -> Stdlib.max acc (Label.max_label ls)) 1 label_sets
+  in
+  let lifetime = Option.value lifetime ~default:max_label in
+  Tgraph.create g ~lifetime label_sets

@@ -1,0 +1,34 @@
+module Graph = Sgraph.Graph
+
+type spec = Backbone_only | Random_only of int | Hybrid of int
+
+let spec_name = function
+  | Backbone_only -> "backbone"
+  | Random_only r -> Printf.sprintf "random r=%d" r
+  | Hybrid r -> Printf.sprintf "hybrid r=%d" r
+
+let label_budget g = function
+  | Backbone_only -> 2 * (Graph.n g - 1)
+  | Random_only r -> r * Graph.m g
+  | Hybrid r -> (2 * (Graph.n g - 1)) + (r * Graph.m g)
+
+let guarantees_reachability = function
+  | Backbone_only | Hybrid _ -> true
+  | Random_only _ -> false
+
+let realise rng g ~a spec =
+  if Graph.is_directed g then invalid_arg "Design.realise: directed graph";
+  if not (Sgraph.Components.is_connected g) then
+    invalid_arg "Design.realise: disconnected graph";
+  let backbone () =
+    let net = Opt.spanning_tree_upper g in
+    if Tgraph.lifetime net > a then
+      invalid_arg "Design.realise: lifetime below the backbone horizon";
+    (* Re-house the backbone labels under the requested lifetime. *)
+    Assignment.of_fun g ~a (Tgraph.labels net)
+  in
+  let random r = Assignment.uniform_multi rng g ~a ~r in
+  match spec with
+  | Backbone_only -> backbone ()
+  | Random_only r -> random r
+  | Hybrid r -> Ops.union (backbone ()) (random r)

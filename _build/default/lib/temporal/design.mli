@@ -1,0 +1,35 @@
+(** Availability design: combining deterministic and random labels.
+
+    The paper closes (§6) with: "The subject of designing the
+    availability of a net (by combining random availabilities and
+    optimal local availabilities) is a subject of our current research."
+    This module builds that hybrid: a deterministic spanning-tree
+    *backbone* (the up/down scheme of {!Opt.spanning_tree_upper}, which
+    certifies reachability outright at [2(n-1)] labels) overlaid with
+    [r] random labels per edge (which shrink temporal distances).  The
+    result keeps the guarantee *and* buys speed — quantified by
+    experiment E13. *)
+
+type spec =
+  | Backbone_only
+      (** spanning-tree up/down labels; reachability certain, slow *)
+  | Random_only of int
+      (** [r] uniform labels per edge; fast, reachability probabilistic *)
+  | Hybrid of int
+      (** backbone + [r] uniform labels on every edge: certain and fast *)
+
+val spec_name : spec -> string
+
+val label_budget : Sgraph.Graph.t -> spec -> int
+(** Expected total labels of the design (random labels counted before
+    collision collapse). *)
+
+val realise : Prng.Rng.t -> Sgraph.Graph.t -> a:int -> spec -> Tgraph.t
+(** Materialise the design on a connected graph.  The backbone labels
+    are placed in [{1 .. 2h}] as in {!Opt.tree_up_down}; random labels
+    are uniform on [{1..a}].
+    @raise Invalid_argument if the graph is disconnected or directed,
+    or if [a] is below the backbone horizon [2h]. *)
+
+val guarantees_reachability : spec -> bool
+(** [true] exactly for designs containing the backbone. *)

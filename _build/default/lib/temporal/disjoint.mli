@@ -1,0 +1,38 @@
+(** Disjoint journeys and temporal separators — the connectivity side of
+    the Kempe–Kleinberg–Kumar programme [19] the paper builds on.
+
+    The maximum number of pairwise *time-edge-disjoint* journeys between
+    two vertices is polynomial: a unit-capacity max-flow on the
+    time-expanded graph ({!Expanded} + [Flow.Maxflow]).  The
+    *vertex*-disjoint variant is where temporal graphs famously deviate
+    from static ones: Menger's theorem fails — the minimum number of
+    vertices whose removal disconnects [s] from [t] in time can strictly
+    exceed the maximum number of internally vertex-disjoint journeys
+    ([19], §2).  Exhaustive reference implementations of both vertex
+    quantities are provided for small networks so the gap can be
+    exhibited and tested. *)
+
+val max_edge_disjoint : Tgraph.t -> s:int -> t:int -> int
+(** Maximum number of journeys from [s] to [t], no two sharing a time
+    edge (the same edge at two different labels counts as two time
+    edges).  Exact, via max-flow; polynomial.
+    @raise Invalid_argument if [s = t] or out of range. *)
+
+val max_vertex_disjoint_exhaustive : Tgraph.t -> s:int -> t:int -> int
+(** Maximum number of journeys pairwise sharing no internal vertex.
+    Exhaustive (exponential): intended for networks of ≲ 10 vertices,
+    as used in tests and demos.
+    @raise Invalid_argument if [s = t] or out of range. *)
+
+val min_vertex_separator_exhaustive : Tgraph.t -> s:int -> t:int -> int
+(** Minimum size of a vertex set [S ⊆ V \ {s,t}] whose removal leaves no
+    [(s,t)]-journey.  Exhaustive over subsets in increasing size.
+    Returns [max_int] when even removing everything cannot help (i.e.
+    the direct edge [s→t] has a label).
+    @raise Invalid_argument if [s = t] or out of range. *)
+
+val menger_gap_example : unit -> Tgraph.t * int * int
+(** A fixed small temporal network [(net, s, t)] on which Menger fails:
+    [max_vertex_disjoint_exhaustive = 1] but
+    [min_vertex_separator_exhaustive = 2] — the phenomenon of [19],
+    verified by the test suite via the exhaustive procedures. *)

@@ -1,0 +1,47 @@
+let distance net u v =
+  let res = Foremost.run net u in
+  Foremost.distance res v
+
+let eccentricity net s = Foremost.max_distance (Foremost.run net s)
+
+let worst_over_sources net sources =
+  let rec scan worst = function
+    | [] -> Some worst
+    | s :: rest -> (
+      match eccentricity net s with
+      | None -> None
+      | Some e -> scan (Stdlib.max worst e) rest)
+  in
+  scan 0 sources
+
+let instance_diameter net =
+  worst_over_sources net (List.init (Tgraph.n net) Fun.id)
+
+let instance_diameter_sampled rng net ~sources =
+  let n = Tgraph.n net in
+  let k = Stdlib.min sources n in
+  let picks = Prng.Sample.choose_distinct rng ~k ~n in
+  worst_over_sources net (Array.to_list picks)
+
+let all_pairs net =
+  Array.init (Tgraph.n net) (fun u ->
+      let res = Foremost.run net u in
+      let row = Foremost.arrival_array res in
+      row.(u) <- 0;
+      row)
+
+let average net =
+  let n = Tgraph.n net in
+  let total = ref 0 and pairs = ref 0 in
+  for u = 0 to n - 1 do
+    let res = Foremost.run net u in
+    for v = 0 to n - 1 do
+      if v <> u then
+        match Foremost.distance res v with
+        | Some d ->
+          total := !total + d;
+          incr pairs
+        | None -> ()
+    done
+  done;
+  if !pairs = 0 then Float.nan else float_of_int !total /. float_of_int !pairs

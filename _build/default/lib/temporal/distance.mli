@@ -1,0 +1,28 @@
+(** Temporal distances of a network instance.
+
+    The paper's Temporal Diameter (Definition 5) is the *expectation* of
+    the instance quantity computed here — the maximum temporal distance
+    over all ordered vertex pairs; the expectation itself is estimated by
+    [Sim.Estimators] over sampled instances. *)
+
+val distance : Tgraph.t -> int -> int -> int option
+(** δ(u, v) for a single pair; [None] when no journey exists. *)
+
+val eccentricity : Tgraph.t -> int -> int option
+(** Max δ(s, v) over all [v]; [None] if some vertex is unreachable. *)
+
+val instance_diameter : Tgraph.t -> int option
+(** Max δ over all ordered pairs — one foremost pass per source, so
+    O(n·M); [None] as soon as one pair is temporally disconnected. *)
+
+val instance_diameter_sampled : Prng.Rng.t -> Tgraph.t -> sources:int -> int option
+(** Same maximum restricted to [sources] distinct random source vertices
+    (each still checked against *all* targets) — an unbiased lower bound
+    that concentrates fast on symmetric instances such as the clique. *)
+
+val all_pairs : Tgraph.t -> int array array
+(** [all_pairs net] has δ(u, v) at [(u, v)], [max_int] when unreachable
+    and [0] on the diagonal. *)
+
+val average : Tgraph.t -> float
+(** Mean δ over ordered reachable pairs [u <> v]; [nan] when none. *)

@@ -1,0 +1,163 @@
+type params = { l1 : int; c2 : int; d : int }
+
+let make_params ~c1 ~c2 ~d ~n =
+  if c1 <= 0. then invalid_arg "Expansion.make_params: c1 must be positive";
+  if c2 < 1 then invalid_arg "Expansion.make_params: c2 must be >= 1";
+  if d < 0 then invalid_arg "Expansion.make_params: d must be >= 0";
+  let l1 = Stdlib.max 1 (int_of_float (Float.round (c1 *. log (float_of_int n)))) in
+  { l1; c2; d }
+
+let default_params ?(c1 = 2.0) ?(c2 = 6) ~n () =
+  let fn = float_of_int n in
+  let l1 = Stdlib.max 1. (Float.round (c1 *. log fn)) in
+  (* Depth so that l1 · (c2/2)^d ≈ √n: the expected per-layer growth
+     factor is about c2/2 once the Chernoff slack is dropped. *)
+  let growth = Stdlib.max 1.5 (float_of_int c2 /. 2.) in
+  let needed = log (sqrt fn /. l1) /. log growth in
+  let d = Stdlib.max 1 (int_of_float (Float.ceil needed)) in
+  make_params ~c1 ~c2 ~d ~n
+
+let horizon { l1; c2; d } = (3 * l1) + (2 * d * c2)
+
+let delta { l1; c2; d } i =
+  if i < 1 || i > d + 1 then invalid_arg "Expansion.delta: index out of range";
+  if i = 1 then (0, l1) else (l1 + ((i - 2) * c2), l1 + ((i - 1) * c2))
+
+let delta_star { l1; c2; d } = (l1 + (d * c2), (2 * l1) + (d * c2))
+
+let delta' { l1; c2; d } i =
+  if i < 1 || i > d + 1 then invalid_arg "Expansion.delta': index out of range";
+  if i = 1 then ((2 * l1) + (2 * d * c2), (3 * l1) + (2 * d * c2))
+  else ((2 * l1) + ((2 * d) - i + 1) * c2, (2 * l1) + ((2 * d) - i + 2) * c2)
+
+type outcome = {
+  success : bool;
+  journey : Journey.t option;
+  arrival : int option;
+  forward_layers : int array;
+  backward_layers : int array;
+}
+
+let run net params ~s ~t =
+  let n = Tgraph.n net in
+  if s < 0 || s >= n || t < 0 || t >= n then
+    invalid_arg "Expansion.run: endpoint out of range";
+  let depth = params.d + 1 in
+  if s = t then
+    {
+      success = true;
+      journey = Some [];
+      arrival = Some 0;
+      forward_layers = Array.make depth 0;
+      backward_layers = Array.make depth 0;
+    }
+  else begin
+    (* Forward expansion out of s.  fwd_layer.(v) = layer index (1-based)
+       or 0; fwd_via.(v) = (predecessor, label) that brought v in. *)
+    let fwd_layer = Array.make n 0 in
+    let fwd_via = Array.make n (-1, -1) in
+    let forward_layers = Array.make depth 0 in
+    let expand_forward i frontier =
+      let lo, hi = delta params i in
+      let next = ref [] in
+      List.iter
+        (fun w ->
+          Array.iter
+            (fun (_, v, ls) ->
+              if v <> s && fwd_layer.(v) = 0 then
+                match Label.any_in ls ~lo ~hi with
+                | Some label ->
+                  fwd_layer.(v) <- i;
+                  fwd_via.(v) <- (w, label);
+                  next := v :: !next
+                | None -> ())
+            (Tgraph.crossings_out net w))
+        frontier;
+      forward_layers.(i - 1) <- List.length !next;
+      !next
+    in
+    let rec grow_forward i frontier =
+      if i > depth then frontier
+      else grow_forward (i + 1) (expand_forward i frontier)
+    in
+    let fwd_last = grow_forward 1 [ s ] in
+    (* Backward expansion out of t: bwd_layer.(v) = layer index; a vertex
+       v in layer i reaches t starting with the arc bwd_via.(v) =
+       (successor, label) whose label is in Δ'_i. *)
+    let bwd_layer = Array.make n 0 in
+    let bwd_via = Array.make n (-1, -1) in
+    let backward_layers = Array.make depth 0 in
+    let expand_backward i frontier =
+      let lo, hi = delta' params i in
+      let next = ref [] in
+      List.iter
+        (fun w ->
+          Array.iter
+            (fun (_, v, ls) ->
+              if v <> t && bwd_layer.(v) = 0 then
+                match Label.any_in ls ~lo ~hi with
+                | Some label ->
+                  bwd_layer.(v) <- i;
+                  bwd_via.(v) <- (w, label);
+                  next := v :: !next
+                | None -> ())
+            (Tgraph.crossings_in net w))
+        frontier;
+      backward_layers.(i - 1) <- List.length !next;
+      !next
+    in
+    let rec grow_backward i frontier =
+      if i > depth then frontier
+      else grow_backward (i + 1) (expand_backward i frontier)
+    in
+    ignore (grow_backward 1 [ t ]);
+    (* Matching step: one edge from Γ_{d+1}(s) to Γ'_{d+1}(t) labelled
+       within Δ*. *)
+    let lo_star, hi_star = delta_star params in
+    let matching = ref None in
+    List.iter
+      (fun u ->
+        if !matching = None then
+          Array.iter
+            (fun (_, v, ls) ->
+              if !matching = None && bwd_layer.(v) = depth then
+                match Label.any_in ls ~lo:lo_star ~hi:hi_star with
+                | Some label -> matching := Some (u, v, label)
+                | None -> ())
+            (Tgraph.crossings_out net u))
+      fwd_last;
+    match !matching with
+    | None ->
+      {
+        success = false;
+        journey = None;
+        arrival = None;
+        forward_layers;
+        backward_layers;
+      }
+    | Some (u, v, label_star) ->
+      let rec forward_path v acc =
+        if v = s then acc
+        else
+          let w, label = fwd_via.(v) in
+          forward_path w ({ Journey.src = w; dst = v; label } :: acc)
+      in
+      let rec backward_path v acc =
+        if v = t then List.rev acc
+        else
+          let w, label = bwd_via.(v) in
+          backward_path w ({ Journey.src = v; dst = w; label } :: acc)
+      in
+      let journey =
+        forward_path u []
+        @ [ { Journey.src = u; dst = v; label = label_star } ]
+        @ backward_path v []
+      in
+      {
+        success = true;
+        journey = Some journey;
+        arrival = Journey.arrival journey;
+        forward_layers;
+        backward_layers;
+      }
+  end

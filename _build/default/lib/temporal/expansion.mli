@@ -1,0 +1,57 @@
+(** The Expansion Process (paper, Algorithm 1 and Figure 1).
+
+    Constructive search for a short journey [s → t] in a (random)
+    temporal network: grow forward layers [Γ_1(s), .., Γ_{d+1}(s)] whose
+    entering labels live in consecutive time windows [Δ_1, .., Δ_{d+1}],
+    grow backward layers [Γ'_1(t), .., Γ'_{d+1}(t)] symmetrically from
+    the target inside the windows [Δ'_i], and look for one matching edge
+    between the two final layers with a label in the middle window [Δ*].
+    On the normalized uniform random clique the paper proves this
+    succeeds w.h.p. and yields an arrival time of [3·c1·log n + 2·d·c2 =
+    Θ(log n)] (Theorem 3).
+
+    The implementation is parameterised exactly by the analysis'
+    quantities: [l1 = |Δ_1| = |Δ*| = |Δ'_1| ≈ c1·log n], the middle
+    window width [c2], and the depth [d]. *)
+
+type params = {
+  l1 : int;  (** width of the first, last and matching windows *)
+  c2 : int;  (** width of each middle window *)
+  d : int;  (** number of middle expansion steps per side *)
+}
+
+val make_params : c1:float -> c2:int -> d:int -> n:int -> params
+(** [make_params ~c1 ~c2 ~d ~n] sets [l1 = max 1 (round (c1 · ln n))].
+    @raise Invalid_argument if [c2 < 1], [d < 0] or [c1 <= 0]. *)
+
+val default_params : ?c1:float -> ?c2:int -> n:int -> unit -> params
+(** Practical defaults ([c1 = 2.0], [c2 = 6]): depth [d] is chosen so the
+    layers grow to about [√n], following the geometric-growth step of the
+    analysis (§3.2) with the proof's Chernoff slack dropped. *)
+
+val horizon : params -> int
+(** [3·l1 + 2·d·c2] — the time by which the constructed journey arrives,
+    i.e. the right end of [Δ'_1]. *)
+
+val delta : params -> int -> int * int
+(** [delta p i] is the forward window [Δ_i] as [(lo, hi)] meaning
+    [(lo, hi]]; [i] in [1 .. d+1]. *)
+
+val delta_star : params -> int * int
+val delta' : params -> int -> int * int
+(** Backward window [Δ'_i], [i] in [1 .. d+1]. *)
+
+type outcome = {
+  success : bool;
+  journey : Journey.t option;  (** present iff [success] (or [s = t]) *)
+  arrival : int option;  (** its arrival time *)
+  forward_layers : int array;  (** [|Γ_1(s)| .. |Γ_{d+1}(s)|] *)
+  backward_layers : int array;  (** [|Γ'_1(t)| .. |Γ'_{d+1}(t)|] *)
+}
+
+val run : Tgraph.t -> params -> s:int -> t:int -> outcome
+(** Execute the process on any temporal network (the paper states it for
+    the directed clique; the layer construction is graph-agnostic).  The
+    returned journey, when present, always satisfies
+    [Journey.is_journey net ~source:s ~target:t] and arrives within
+    {!horizon}. *)

@@ -1,0 +1,76 @@
+type result = {
+  source : int;
+  informed_time : int array;
+  informed_count : int;
+  completion_time : int option;
+  transmissions : int;
+}
+
+let run ?(start_time = 1) net s =
+  if start_time < 1 then invalid_arg "Flooding.run: start_time must be >= 1";
+  let n = Tgraph.n net in
+  if s < 0 || s >= n then invalid_arg "Flooding.run: source out of range";
+  let informed_time = Array.make n max_int in
+  informed_time.(s) <- start_time - 1;
+  let transmissions = ref 0 in
+  (* Sweeping the label-sorted stream reproduces the protocol exactly:
+     an arc with label l carries the message iff its source was informed
+     strictly before l, and stream order guarantees every informing event
+     before time l has already been applied. *)
+  Tgraph.iter_time_edges net (fun ~src ~dst ~label ~edge:_ ->
+      if informed_time.(src) < label then begin
+        incr transmissions;
+        if label < informed_time.(dst) then informed_time.(dst) <- label
+      end);
+  let informed_count = ref 0 and completion = ref 0 in
+  Array.iter
+    (fun t ->
+      if t < max_int then begin
+        incr informed_count;
+        if t > !completion then completion := t
+      end)
+    informed_time;
+  {
+    source = s;
+    informed_time;
+    informed_count = !informed_count;
+    completion_time = (if !informed_count = n then Some !completion else None);
+    transmissions = !transmissions;
+  }
+
+let broadcast_time net s = (run net s).completion_time
+
+let run_budgeted ?(start_time = 1) ~k net s =
+  if k < 0 then invalid_arg "Flooding.run_budgeted: k must be >= 0";
+  if start_time < 1 then
+    invalid_arg "Flooding.run_budgeted: start_time must be >= 1";
+  let n = Tgraph.n net in
+  if s < 0 || s >= n then invalid_arg "Flooding.run_budgeted: source out of range";
+  let informed_time = Array.make n max_int in
+  informed_time.(s) <- start_time - 1;
+  let remaining = Array.make n k in
+  let transmissions = ref 0 in
+  (* Same sweep as [run]; a vertex simply stops forwarding once its
+     budget is spent.  The stream order makes "earliest k opportunities"
+     the ones consumed. *)
+  Tgraph.iter_time_edges net (fun ~src ~dst ~label ~edge:_ ->
+      if informed_time.(src) < label && remaining.(src) > 0 then begin
+        remaining.(src) <- remaining.(src) - 1;
+        incr transmissions;
+        if label < informed_time.(dst) then informed_time.(dst) <- label
+      end);
+  let informed_count = ref 0 and completion = ref 0 in
+  Array.iter
+    (fun t ->
+      if t < max_int then begin
+        incr informed_count;
+        if t > !completion then completion := t
+      end)
+    informed_time;
+  {
+    source = s;
+    informed_time;
+    informed_count = !informed_count;
+    completion_time = (if !informed_count = n then Some !completion else None);
+    transmissions = !transmissions;
+  }

@@ -1,0 +1,40 @@
+(** The dissemination protocol of §3.5.
+
+    Every vertex that holds the message forwards it on each of its arcs
+    at the moment that arc becomes available:
+
+    {v ∀u: if u has the message, when an arc out of u becomes available,
+       send the message through that arc. v}
+
+    Flooding is *foremost-optimal*: the time each vertex is informed
+    equals its temporal distance from the source (property-tested against
+    {!Foremost}).  The simulation additionally counts transmissions,
+    which is what the phone-call comparison (§1.1) reports. *)
+
+type result = {
+  source : int;
+  informed_time : int array;
+      (** time each vertex first holds the message; [start_time - 1] at
+          the source, [max_int] if never informed *)
+  informed_count : int;  (** vertices ever informed, source included *)
+  completion_time : int option;
+      (** time by which *all* vertices are informed, if they all are *)
+  transmissions : int;
+      (** messages sent: available arcs out of already-informed vertices *)
+}
+
+val run : ?start_time:int -> Tgraph.t -> int -> result
+(** [run net s] simulates the protocol from source [s], with the message
+    present at [s] from time [start_time - 1] (default: before time 1).
+    @raise Invalid_argument on a bad source or [start_time < 1]. *)
+
+val broadcast_time : Tgraph.t -> int -> int option
+(** Just the completion time. *)
+
+val run_budgeted : ?start_time:int -> k:int -> Tgraph.t -> int -> result
+(** Budgeted flooding: each informed vertex forwards on at most [k]
+    available arcs — its earliest [k] opportunities — then goes silent.
+    [k] large enough recovers {!run} exactly (property-tested); small
+    [k] trades completion time for a transmission budget of at most
+    [k·n] instead of §3.5's every-open-arc Θ(M).
+    @raise Invalid_argument if [k < 0], plus {!run}'s conditions. *)

@@ -1,0 +1,78 @@
+type result = {
+  source : int;
+  start_time : int;
+  arrival : int array;
+  pred : int array;  (* index into the time-edge stream, or -1 *)
+}
+
+let run ?(start_time = 1) net s =
+  if start_time < 1 then invalid_arg "Foremost.run: start_time must be >= 1";
+  let n = Tgraph.n net in
+  if s < 0 || s >= n then invalid_arg "Foremost.run: source out of range";
+  let arrival = Array.make n max_int in
+  let pred = Array.make n (-1) in
+  arrival.(s) <- start_time - 1;
+  let stream_pos = ref (-1) in
+  Tgraph.iter_time_edges net (fun ~src ~dst ~label ~edge:_ ->
+      incr stream_pos;
+      if arrival.(src) < label && label < arrival.(dst) then begin
+        arrival.(dst) <- label;
+        pred.(dst) <- !stream_pos
+      end);
+  { source = s; start_time; arrival; pred }
+
+let source r = r.source
+let start_time r = r.start_time
+
+let distance r v =
+  if v = r.source then Some 0
+  else if r.arrival.(v) = max_int then None
+  else Some r.arrival.(v)
+
+let arrival_array r = Array.copy r.arrival
+
+let reachable_count r =
+  Array.fold_left (fun acc a -> if a < max_int then acc + 1 else acc) 0 r.arrival
+
+let max_distance r =
+  let worst = ref 0 and complete = ref true in
+  Array.iteri
+    (fun v a ->
+      if v <> r.source then
+        if a = max_int then complete := false
+        else if a > !worst then worst := a)
+    r.arrival;
+  if !complete then Some !worst else None
+
+let journey_to net r v =
+  if v = r.source then Some []
+  else if r.arrival.(v) = max_int then None
+  else begin
+    let rec walk v acc =
+      if v = r.source then acc
+      else
+        let src, dst, label = Tgraph.time_edge net r.pred.(v) in
+        walk src ({ Journey.src; dst; label } :: acc)
+    in
+    Some (walk v [])
+  end
+
+let brute_force_distance net ?(start_time = 1) s t =
+  if s = t then Some 0
+  else begin
+    let best = ref max_int in
+    (* DFS over label-respecting walks, pruned by the best arrival so far;
+       exponential in the worst case — a reference oracle, not a tool. *)
+    let rec explore v time =
+      Array.iter
+        (fun (_, target, ls) ->
+          List.iter
+            (fun label ->
+              if label > time && label < !best then
+                if target = t then best := label else explore target label)
+            (Label.to_list ls))
+        (Tgraph.crossings_out net v)
+    in
+    explore s (start_time - 1);
+    if !best = max_int then None else Some !best
+  end

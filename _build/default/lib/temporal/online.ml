@@ -1,0 +1,36 @@
+type t = {
+  n : int;
+  source : int;
+  mutable now : int;
+  arrival : int array;
+}
+
+let create ?(start_time = 1) ~n source =
+  if start_time < 1 then invalid_arg "Online.create: start_time must be >= 1";
+  if source < 0 || source >= n then
+    invalid_arg "Online.create: source out of range";
+  let arrival = Array.make n max_int in
+  arrival.(source) <- start_time - 1;
+  { n; source; now = 0; arrival }
+
+let observe t ~src ~dst ~label =
+  if src < 0 || src >= t.n || dst < 0 || dst >= t.n then
+    invalid_arg "Online.observe: endpoint out of range";
+  if label < t.now then
+    invalid_arg "Online.observe: labels must arrive in non-decreasing order";
+  t.now <- label;
+  if t.arrival.(src) < label && label < t.arrival.(dst) then
+    t.arrival.(dst) <- label
+
+let now t = t.now
+
+let arrival t v =
+  if v = t.source then Some 0
+  else if t.arrival.(v) = max_int then None
+  else Some t.arrival.(v)
+
+let reachable_count t =
+  Array.fold_left (fun acc a -> if a < max_int then acc + 1 else acc) 0 t.arrival
+
+let informed t v = t.arrival.(v) < max_int
+let arrivals t = Array.copy t.arrival

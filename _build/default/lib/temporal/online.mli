@@ -1,0 +1,35 @@
+(** Online (streaming) foremost computation.
+
+    The batch sweep in {!Foremost} is a left-to-right pass over the
+    label-sorted time-edge stream; this module exposes that pass as a
+    stateful consumer, so earliest arrivals can be maintained while a
+    contact trace is still being observed — queries are O(1) between
+    observations, and the final state provably equals the batch result
+    (property-tested).  Observations must arrive in non-decreasing label
+    order, which is how traces naturally come. *)
+
+type t
+
+val create : ?start_time:int -> n:int -> int -> t
+(** [create ~n source] tracks earliest arrivals from [source] among
+    vertices [0..n-1].
+    @raise Invalid_argument on a bad source or [start_time < 1]. *)
+
+val observe : t -> src:int -> dst:int -> label:int -> unit
+(** Feed one directed contact: [src] can pass the message to [dst] at
+    time [label] (call twice for an undirected contact).
+    @raise Invalid_argument if the label precedes an earlier observation
+    (the stream must be non-decreasing) or endpoints are out of range. *)
+
+val now : t -> int
+(** Largest label observed so far ([0] initially). *)
+
+val arrival : t -> int -> int option
+(** Current earliest arrival; [Some 0] for the source. *)
+
+val reachable_count : t -> int
+val informed : t -> int -> bool
+
+val arrivals : t -> int array
+(** Snapshot of the raw arrival array ([max_int] = not yet reached,
+    source holds [start_time - 1]). *)

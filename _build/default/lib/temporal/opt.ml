@@ -1,0 +1,129 @@
+module Graph = Sgraph.Graph
+module Traverse = Sgraph.Traverse
+module Metrics = Sgraph.Metrics
+module Components = Sgraph.Components
+
+let is_clique g =
+  let n = Graph.n g in
+  let expected =
+    match Graph.kind g with
+    | Directed -> n * (n - 1)
+    | Undirected -> n * (n - 1) / 2
+  in
+  Graph.m g = expected
+  &&
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    if Graph.out_degree g u <> n - 1 then ok := false
+  done;
+  !ok
+
+let is_star g =
+  (not (Graph.is_directed g))
+  && Graph.n g >= 2
+  && Graph.m g = Graph.n g - 1
+  && Graph.out_degree g 0 = Graph.n g - 1
+
+let clique_single g =
+  if not (is_clique g) then invalid_arg "Opt.clique_single: not a clique";
+  Assignment.constant g ~a:1 (Label.singleton 1)
+
+let star_two_labels g =
+  if not (is_star g) then
+    invalid_arg "Opt.star_two_labels: not a star with centre 0";
+  Assignment.constant g ~a:2 (Label.of_list [ 1; 2 ])
+
+let tree_up_down g ~root =
+  let n = Graph.n g in
+  if Graph.is_directed g then invalid_arg "Opt.tree_up_down: directed graph";
+  if Graph.m g <> n - 1 || not (Components.is_connected g) then
+    invalid_arg "Opt.tree_up_down: not a tree";
+  let depth = Traverse.bfs g root in
+  let height = Array.fold_left Stdlib.max 0 depth in
+  let h = Stdlib.max 1 height in
+  let labels =
+    Array.init (Graph.m g) (fun e ->
+        let u, v = Graph.edge_endpoints g e in
+        (* In a tree every edge joins consecutive depths. *)
+        let j = Stdlib.max depth.(u) depth.(v) in
+        Label.of_list [ h - j + 1; h + j ])
+  in
+  Tgraph.create g ~lifetime:(2 * h) labels
+
+let spanning_tree_upper g =
+  let n = Graph.n g in
+  if Graph.is_directed g then
+    invalid_arg "Opt.spanning_tree_upper: directed graph";
+  if not (Components.is_connected g) then
+    invalid_arg "Opt.spanning_tree_upper: disconnected graph";
+  if n = 1 then Assignment.of_fun g ~a:1 (fun _ -> Label.empty)
+  else begin
+    let depth, parent = Traverse.bfs_tree g 0 in
+    let height = Array.fold_left Stdlib.max 0 depth in
+    let h = Stdlib.max 1 height in
+    let labels = Array.make (Graph.m g) Label.empty in
+    for v = 1 to n - 1 do
+      match Graph.find_edge g v parent.(v) with
+      | Some e -> labels.(e) <- Label.of_list [ h - depth.(v) + 1; h + depth.(v) ]
+      | None -> assert false
+    done;
+    Tgraph.create g ~lifetime:(2 * h) labels
+  end
+
+let default_pick ~edge:_ ~box:_ ~lo ~hi:_ = lo + 1
+
+let boxes ?(pick = default_pick) g ~q =
+  if not (Components.is_connected g) then
+    invalid_arg "Opt.boxes: disconnected graph";
+  let d = Stdlib.max 1 (Metrics.diameter g) in
+  if q < d then invalid_arg "Opt.boxes: lifetime q below the diameter";
+  let lambda = q / d in
+  let labels =
+    Array.init (Graph.m g) (fun e ->
+        Label.of_list
+          (List.init d (fun i ->
+               let box = i + 1 in
+               let lo = (box - 1) * lambda and hi = box * lambda in
+               let label = pick ~edge:e ~box ~lo ~hi in
+               if label <= lo || label > hi then
+                 invalid_arg "Opt.boxes: pick left its box";
+               label)))
+  in
+  Tgraph.create g ~lifetime:q labels
+
+let single_label_counterexample g =
+  (* With every edge labelled 1, journeys have length exactly one, so a
+     statically-connected non-adjacent pair breaks Treach. *)
+  let net = Assignment.constant g ~a:1 (Label.singleton 1) in
+  if Reachability.treach net then None else Some net
+
+let single_label_always_preserves g ~a =
+  let m = Graph.m g in
+  let combos =
+    let rec power acc k = if k = 0 then acc else power (acc * a) (k - 1) in
+    power 1 m
+  in
+  if combos > 100_000 then
+    invalid_arg "Opt.single_label_always_preserves: a^m too large";
+  let labels = Array.make m 1 in
+  let rec enumerate e =
+    if e = m then
+      Reachability.treach
+        (Assignment.of_fun g ~a (fun i -> Label.singleton labels.(i)))
+    else begin
+      let ok = ref true in
+      let l = ref 1 in
+      while !ok && !l <= a do
+        labels.(e) <- !l;
+        if not (enumerate (e + 1)) then ok := false;
+        incr l
+      done;
+      !ok
+    end
+  in
+  m = 0 || enumerate 0
+
+let lower_bound g = Graph.n g - 1
+let star_value ~n = 2 * (n - 1)
+let clique_value g = Graph.m g
+let upper_bound g = 2 * (Graph.n g - 1)

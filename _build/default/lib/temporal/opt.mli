@@ -1,0 +1,76 @@
+(** Deterministic label assignments that preserve reachability, and the
+    OPT quantities they certify (paper §4–5).
+
+    [OPT] is the least total number of labels over all edges in an
+    assignment with property [Treach] (Definition 8).  It is hard to
+    approximate in general [21], but the paper only ever needs:
+    the exact values for the clique ([m]) and the star ([2m]), the
+    universal lower bound [OPT >= n-1], and constructive upper bounds —
+    all provided here, each returning an assignment that the test suite
+    verifies satisfies [Treach]. *)
+
+val clique_single : Sgraph.Graph.t -> Tgraph.t
+(** One label (time [1]) per edge of a clique — the unique graph family
+    where a single label per edge always preserves reachability (§4.1).
+    @raise Invalid_argument if the graph is not a clique. *)
+
+val star_two_labels : Sgraph.Graph.t -> Tgraph.t
+(** Labels [{1, 2}] on every edge of a star: any leaf-to-leaf journey
+    rides [1] then [2].  This realises [OPT = 2m] (Theorem 6 preamble).
+    @raise Invalid_argument if the graph is not a star with centre 0. *)
+
+val tree_up_down : Sgraph.Graph.t -> root:int -> Tgraph.t
+(** On a tree of height [h] from [root]: the edge joining depth [j] to
+    depth [j-1] gets labels [{h - j + 1, h + j}].  Every journey goes up
+    (labels [1..h] increasing towards the root) then down (labels
+    [h+1..2h] increasing away from it), so two labels per edge preserve
+    reachability: [OPT <= 2(n-1)] on trees.
+    @raise Invalid_argument if the graph is not a tree. *)
+
+val spanning_tree_upper : Sgraph.Graph.t -> Tgraph.t
+(** {!tree_up_down} applied to a BFS spanning tree of a connected graph
+    (non-tree edges get no labels): the universal certificate
+    [OPT <= 2(n-1)].
+    @raise Invalid_argument if the graph is disconnected. *)
+
+val boxes : ?pick:(edge:int -> box:int -> lo:int -> hi:int -> int) ->
+  Sgraph.Graph.t -> q:int -> Tgraph.t
+(** Claim 1's structure (Figure 3): with lifetime [q] and [d = diam(G)],
+    each edge gets one label from each of the [d] consecutive boxes of
+    width [λ = q/d] ([Box_i ↦ ((i-1)λ, iλ]]).  Any such assignment makes
+    every shortest path a journey, hence guarantees reachability with
+    [d·m] labels.  [pick] chooses the label within each box (default: the
+    box's first label).
+    @raise Invalid_argument if [q < d] or the graph is disconnected. *)
+
+val lower_bound : Sgraph.Graph.t -> int
+(** [n - 1]: a labelled spanning structure is unavoidable (§5). *)
+
+val star_value : n:int -> int
+(** [2·(n-1)], the exact star OPT. *)
+
+val clique_value : Sgraph.Graph.t -> int
+(** [m], the cost of the 1-label-per-edge clique scheme — an upper bound
+    on the clique's OPT (the spanning-tree certificate [2(n-1)] is
+    smaller for [n >= 5]; §4.1's uniqueness claim is about per-edge
+    schemes, not total label minimality). *)
+
+val upper_bound : Sgraph.Graph.t -> int
+(** [2·(n-1)] for connected graphs, via {!spanning_tree_upper}. *)
+
+val is_clique : Sgraph.Graph.t -> bool
+val is_star : Sgraph.Graph.t -> bool
+
+val single_label_counterexample : Sgraph.Graph.t -> Tgraph.t option
+(** §4.1: "the clique is the only graph for which temporal reachability
+    is guaranteed even with 1 label per edge".  For a non-clique with
+    some statically-joined non-adjacent pair, the all-ones assignment is
+    a counterexample (equal labels never chain); returns it.  [None] for
+    cliques and for graphs where no non-adjacent pair is statically
+    connected. *)
+
+val single_label_always_preserves : Sgraph.Graph.t -> a:int -> bool
+(** Exhaustive verification of the same claim: does *every* assignment
+    of one label from [{1..a}] per edge preserve reachability?  Cost
+    [a^m] — small fixtures only (guarded at [a^m <= 100_000]).
+    @raise Invalid_argument beyond the guard. *)

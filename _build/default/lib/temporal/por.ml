@@ -1,0 +1,99 @@
+module Graph = Sgraph.Graph
+module Metrics = Sgraph.Metrics
+
+type estimate = {
+  r : int;
+  success_rate : float;
+  ci : Stats.Ci.interval;
+  trials : int;
+  target : float;
+}
+
+let successes rng g ~a ~r ~trials =
+  let count = ref 0 in
+  for _ = 1 to trials do
+    let net = Assignment.uniform_multi rng g ~a ~r in
+    if Reachability.treach net then incr count
+  done;
+  !count
+
+let success_probability rng g ~a ~r ~trials =
+  float_of_int (successes rng g ~a ~r ~trials) /. float_of_int trials
+
+let min_r ?r_max rng g ~a ~target ~trials =
+  if not (target > 0. && target <= 1.) then
+    invalid_arg "Por.min_r: target must be in (0,1]";
+  if trials <= 0 then invalid_arg "Por.min_r: trials must be positive";
+  let r_max = Option.value r_max ~default:(4 * a) in
+  let needed = int_of_float (Float.ceil (target *. float_of_int trials)) in
+  let hits r = successes rng g ~a ~r ~trials >= needed in
+  (* Exponential ramp-up to find a succeeding r. *)
+  let rec bracket r =
+    if r > r_max then None
+    else if hits r then Some r
+    else bracket (2 * r)
+  in
+  match bracket 1 with
+  | None -> None
+  | Some hi_start ->
+    (* Binary search on [lo, hi]: hi always succeeded at least once. *)
+    let rec narrow lo hi =
+      if lo >= hi then hi
+      else
+        let mid = (lo + hi) / 2 in
+        if hits mid then narrow lo mid else narrow (mid + 1) hi
+    in
+    let r = narrow (Stdlib.max 1 (hi_start / 2)) hi_start in
+    (* Re-measure at the chosen r with fresh samples for an honest rate. *)
+    let final = successes rng g ~a ~r ~trials in
+    Some
+      {
+        r;
+        success_rate = float_of_int final /. float_of_int trials;
+        ci = Stats.Ci.wilson ~trials final;
+        trials;
+        target;
+      }
+
+let whp_target ~n = 1. -. (1. /. float_of_int n)
+let price ~m ~r ~opt = float_of_int (m * r) /. float_of_int opt
+
+type report = {
+  graph_name : string;
+  n : int;
+  m : int;
+  estimate : estimate;
+  opt_lower : int;
+  opt_upper : int;
+  por_lower : float;
+  por_upper : float;
+  thm7_bound : float;
+  coupon_bound : float;
+}
+
+let report ?r_max rng ~name g ~a ~target ~trials =
+  match min_r ?r_max rng g ~a ~target ~trials with
+  | None -> None
+  | Some estimate ->
+    let n = Graph.n g and m = Graph.m g in
+    let opt_lower = Opt.lower_bound g in
+    let opt_upper =
+      if Opt.is_star g then Opt.star_value ~n
+      else if Opt.is_clique g then
+        Stdlib.min (Opt.clique_value g) (Opt.upper_bound g)
+      else Opt.upper_bound g
+    in
+    let diameter = Metrics.diameter g in
+    Some
+      {
+        graph_name = name;
+        n;
+        m;
+        estimate;
+        opt_lower;
+        opt_upper;
+        por_lower = price ~m ~r:estimate.r ~opt:opt_upper;
+        por_upper = price ~m ~r:estimate.r ~opt:opt_lower;
+        thm7_bound = Stats.Bounds.thm7_labels ~diameter ~n;
+        coupon_bound = Stats.Bounds.coupon_labels ~diameter ~n ~m;
+      }

@@ -1,0 +1,67 @@
+(** The Price of Randomness (paper, Definition 8).
+
+    [r(n)] is the least number of i.i.d. uniform labels per edge that
+    strongly guarantees temporal reachability w.h.p.; the Price of
+    Randomness is [PoR(G) = m·r(n) / OPT].  This module estimates [r(n)]
+    by Monte-Carlo search over empirical success probabilities, and
+    assembles PoR values against the OPT bounds of {!Opt}. *)
+
+type estimate = {
+  r : int;  (** least label count whose success rate met the target *)
+  success_rate : float;  (** empirical success probability at [r] *)
+  ci : Stats.Ci.interval;  (** Wilson interval at [r] *)
+  trials : int;
+  target : float;
+}
+
+val success_probability :
+  Prng.Rng.t -> Sgraph.Graph.t -> a:int -> r:int -> trials:int -> float
+(** Empirical probability that [r] uniform labels per edge satisfy
+    [Treach], over freshly sampled assignments. *)
+
+val min_r :
+  ?r_max:int ->
+  Prng.Rng.t ->
+  Sgraph.Graph.t ->
+  a:int ->
+  target:float ->
+  trials:int ->
+  estimate option
+(** [min_r rng g ~a ~target ~trials] searches for the least [r] whose
+    empirical [Treach] rate reaches [target]: exponential ramp-up to
+    bracket, then binary search (success probability is monotone in [r]
+    in distribution, up to sampling noise).  [None] if even
+    [r_max] (default [4·a]) fails — e.g. a disconnected graph. *)
+
+val whp_target : n:int -> float
+(** The paper's "with high probability" bar instantiated at finite [n]:
+    [1 - 1/n] (Definition 7 with [a = 1]). *)
+
+val price : m:int -> r:int -> opt:int -> float
+(** [m·r / OPT]. *)
+
+type report = {
+  graph_name : string;
+  n : int;
+  m : int;
+  estimate : estimate;
+  opt_lower : int;  (** [n - 1] *)
+  opt_upper : int;  (** [2(n-1)], or the exact value when known *)
+  por_lower : float;  (** PoR against [opt_upper] (conservative) *)
+  por_upper : float;  (** PoR against [opt_lower] *)
+  thm7_bound : float;  (** [2·d(G)·ln n] *)
+  coupon_bound : float;  (** coupon-collector refinement *)
+}
+
+val report :
+  ?r_max:int ->
+  Prng.Rng.t ->
+  name:string ->
+  Sgraph.Graph.t ->
+  a:int ->
+  target:float ->
+  trials:int ->
+  report option
+(** Bundle an estimate with the theoretical bounds for one graph; uses
+    the exact OPT for cliques and stars, the spanning-tree bound
+    otherwise. *)

@@ -1,0 +1,62 @@
+module Traverse = Sgraph.Traverse
+
+let temporally_reachable net u v =
+  Foremost.distance (Foremost.run net u) v <> None
+
+let static_row net u = Traverse.bfs (Tgraph.graph net) u
+
+let source_ok net u =
+  let static = static_row net u in
+  let res = Foremost.run net u in
+  let n = Tgraph.n net in
+  let rec scan v =
+    v >= n
+    || ((static.(v) = Traverse.unreachable || Foremost.distance res v <> None)
+        && scan (v + 1))
+  in
+  scan 0
+
+let treach net =
+  let n = Tgraph.n net in
+  let rec scan u = u >= n || (source_ok net u && scan (u + 1)) in
+  scan 0
+
+let missing_pairs net =
+  let n = Tgraph.n net in
+  let missing = ref [] in
+  for u = n - 1 downto 0 do
+    let static = static_row net u in
+    let res = Foremost.run net u in
+    for v = n - 1 downto 0 do
+      if v <> u && static.(v) <> Traverse.unreachable
+         && Foremost.distance res v = None
+      then missing := (u, v) :: !missing
+    done
+  done;
+  !missing
+
+let count_pairs net ~temporal =
+  let n = Tgraph.n net in
+  let count = ref 0 in
+  for u = 0 to n - 1 do
+    if temporal then begin
+      let res = Foremost.run net u in
+      (* reachable_count includes the source itself. *)
+      count := !count + (Foremost.reachable_count res - 1)
+    end
+    else begin
+      let static = static_row net u in
+      Array.iteri
+        (fun v d -> if v <> u && d <> Traverse.unreachable then incr count)
+        static
+    end
+  done;
+  !count
+
+let reachable_pair_count net = count_pairs net ~temporal:true
+let static_reachable_pair_count net = count_pairs net ~temporal:false
+
+let reachability_ratio net =
+  let static = static_reachable_pair_count net in
+  if static = 0 then 1.
+  else float_of_int (reachable_pair_count net) /. float_of_int static

@@ -1,0 +1,166 @@
+module Graph = Sgraph.Graph
+
+let to_string net =
+  let g = Tgraph.graph net in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "temporal %s n=%d lifetime=%d\n"
+       (if Graph.is_directed g then "directed" else "undirected")
+       (Graph.n g) (Tgraph.lifetime net));
+  Graph.iter_edges g (fun e u v ->
+      Buffer.add_string buf (Printf.sprintf "%d %d :" u v);
+      List.iter
+        (fun l -> Buffer.add_string buf (Printf.sprintf " %d" l))
+        (Label.to_list (Tgraph.labels net e));
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let parse_header line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "temporal"; kind; n_field; lifetime_field ] -> (
+    let kind =
+      match kind with
+      | "directed" -> Ok Graph.Directed
+      | "undirected" -> Ok Graph.Undirected
+      | other -> Error (Printf.sprintf "unknown kind %S" other)
+    in
+    let field name s =
+      let prefix = name ^ "=" in
+      if String.length s > String.length prefix
+         && String.sub s 0 (String.length prefix) = prefix
+      then
+        match
+          int_of_string_opt
+            (String.sub s (String.length prefix)
+               (String.length s - String.length prefix))
+        with
+        | Some v -> Ok v
+        | None -> Error (Printf.sprintf "bad %s value in %S" name s)
+      else Error (Printf.sprintf "expected %s=<int>, got %S" name s)
+    in
+    match (kind, field "n" n_field, field "lifetime" lifetime_field) with
+    | Ok kind, Ok n, Ok lifetime -> Ok (kind, n, lifetime)
+    | Error e, _, _ | _, Error e, _ | _, _, Error e -> Error e)
+  | _ ->
+    Error "header must be: temporal <directed|undirected> n=<n> lifetime=<a>"
+
+let parse_edge_line line =
+  match String.index_opt line ':' with
+  | None -> Error "edge line must contain ':'"
+  | Some colon ->
+    let endpoints = String.sub line 0 colon in
+    let labels =
+      String.sub line (colon + 1) (String.length line - colon - 1)
+    in
+    let ints s =
+      String.split_on_char ' ' s
+      |> List.filter (fun token -> token <> "")
+      |> List.map int_of_string_opt
+    in
+    (match ints endpoints with
+    | [ Some u; Some v ] -> (
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | Some l :: rest -> collect (l :: acc) rest
+        | None :: _ -> Error "bad label"
+      in
+      match collect [] (ints labels) with
+      | Ok labels -> Ok ((u, v), labels)
+      | Error e -> Error e)
+    | _ -> Error "edge line must start with two vertex ids")
+
+let of_string text =
+  let lines = String.split_on_char '\n' text in
+  let content =
+    List.filteri
+      (fun _ line ->
+        let line = String.trim line in
+        line <> "" && not (String.length line > 0 && line.[0] = '#'))
+      lines
+  in
+  match content with
+  | [] -> Error "empty input"
+  | header :: edge_lines -> (
+    match parse_header header with
+    | Error e -> Error ("line 1: " ^ e)
+    | Ok (kind, n, lifetime) -> (
+      let rec parse_edges index acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          match parse_edge_line line with
+          | Ok parsed -> parse_edges (index + 1) (parsed :: acc) rest
+          | Error e -> Error (Printf.sprintf "edge line %d: %s" index e))
+      in
+      match parse_edges 1 [] edge_lines with
+      | Error e -> Error e
+      | Ok parsed -> (
+        try
+          let g = Graph.create kind ~n (List.map fst parsed) in
+          let labels =
+            Array.of_list (List.map (fun (_, ls) -> Label.of_list ls) parsed)
+          in
+          Ok (Tgraph.create g ~lifetime labels)
+        with Invalid_argument msg -> Error msg)))
+
+let to_channel oc net = output_string oc (to_string net)
+
+let of_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> of_string text
+  | exception Sys_error msg -> Error msg
+
+let to_file path net =
+  Out_channel.with_open_text path (fun oc -> to_channel oc net)
+
+let to_gexf net =
+  let g = Tgraph.graph net in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n";
+  Buffer.add_string buf
+    "<gexf xmlns=\"http://www.gexf.net/1.2draft\" version=\"1.2\">\n";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "  <graph mode=\"dynamic\" defaultedgetype=\"%s\" timeformat=\"integer\" \
+        start=\"1\" end=\"%d\">\n"
+       (if Graph.is_directed g then "directed" else "undirected")
+       (Tgraph.lifetime net));
+  Buffer.add_string buf "    <nodes>\n";
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf
+      (Printf.sprintf "      <node id=\"%d\" label=\"%d\"/>\n" v v)
+  done;
+  Buffer.add_string buf "    </nodes>\n    <edges>\n";
+  Graph.iter_edges g (fun e u v ->
+      Buffer.add_string buf
+        (Printf.sprintf "      <edge id=\"%d\" source=\"%d\" target=\"%d\">\n"
+           e u v);
+      Buffer.add_string buf "        <spells>\n";
+      List.iter
+        (fun l ->
+          Buffer.add_string buf
+            (Printf.sprintf "          <spell start=\"%d\" end=\"%d\"/>\n" l l))
+        (Label.to_list (Tgraph.labels net e));
+      Buffer.add_string buf "        </spells>\n      </edge>\n");
+  Buffer.add_string buf "    </edges>\n  </graph>\n</gexf>\n";
+  Buffer.contents buf
+
+let to_dot ?(name = "temporal") net =
+  let g = Tgraph.graph net in
+  let directed = Graph.is_directed g in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %S {\n" (if directed then "digraph" else "graph") name);
+  for v = 0 to Graph.n g - 1 do
+    Buffer.add_string buf (Printf.sprintf "  %d;\n" v)
+  done;
+  Graph.iter_edges g (fun e u v ->
+      let labels =
+        String.concat ","
+          (List.map string_of_int (Label.to_list (Tgraph.labels net e)))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d %s %d [label=\"%s\"];\n" u
+           (if directed then "->" else "--")
+           v labels));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,48 @@
+module Graph = Sgraph.Graph
+
+type result = { pruned : Tgraph.t; kept : int; removed : int }
+
+let with_label_removed net ~edge ~label =
+  let g = Tgraph.graph net in
+  Assignment.of_fun g ~a:(Tgraph.lifetime net) (fun e ->
+      if e = edge then
+        Label.of_list
+          (List.filter (fun l -> l <> label) (Label.to_list (Tgraph.labels net e)))
+      else Tgraph.labels net e)
+
+let all_labels net =
+  let acc = ref [] in
+  Graph.iter_edges (Tgraph.graph net) (fun e _ _ ->
+      List.iter
+        (fun l -> acc := (e, l) :: !acc)
+        (Label.to_list (Tgraph.labels net e)));
+  !acc
+
+let prune ?(order = `Latest_first) net =
+  if not (Reachability.treach net) then
+    invalid_arg "Spanner.prune: input must preserve reachability";
+  let initial = Tgraph.label_count net in
+  let candidates =
+    let by_label (_, l1) (_, l2) = compare l1 l2 in
+    let sorted = List.sort by_label (all_labels net) in
+    match order with
+    | `Earliest_first -> sorted
+    | `Latest_first -> List.rev sorted
+  in
+  let current = ref net in
+  List.iter
+    (fun (edge, label) ->
+      (* The candidate may already be gone conceptually? No: we only
+         ever delete candidates, each exactly once, so it is present. *)
+      let attempt = with_label_removed !current ~edge ~label in
+      if Reachability.treach attempt then current := attempt)
+    candidates;
+  let kept = Tgraph.label_count !current in
+  { pruned = !current; kept; removed = initial - kept }
+
+let is_minimal net =
+  Reachability.treach net
+  && List.for_all
+       (fun (edge, label) ->
+         not (Reachability.treach (with_label_removed net ~edge ~label)))
+       (all_labels net)

@@ -1,0 +1,53 @@
+type t = {
+  n : int;
+  m : int;
+  lifetime : int;
+  labels : int;
+  time_edges : int;
+  statically_connected : bool;
+  treach : bool;
+  reachable_pairs : int;
+  static_pairs : int;
+  temporal_diameter : int option;
+  average_distance : float;
+  best_broadcaster : int;
+  broadcast_time : int option;
+  cover_sources : int;
+  temporal_scc_count : int;
+}
+
+let compute net =
+  let g = Tgraph.graph net in
+  let best, time = Centrality.best_broadcaster net in
+  {
+    n = Tgraph.n net;
+    m = Sgraph.Graph.m g;
+    lifetime = Tgraph.lifetime net;
+    labels = Tgraph.label_count net;
+    time_edges = Tgraph.time_edge_count net;
+    statically_connected = Sgraph.Components.is_connected g;
+    treach = Reachability.treach net;
+    reachable_pairs = Reachability.reachable_pair_count net;
+    static_pairs = Reachability.static_reachable_pair_count net;
+    temporal_diameter = Distance.instance_diameter net;
+    average_distance = Distance.average net;
+    best_broadcaster = best;
+    broadcast_time = (if time = max_int then None else Some time);
+    cover_sources = List.length (Centrality.broadcast_cover net);
+    temporal_scc_count = Tcc.scc_count net;
+  }
+
+let pp ppf t =
+  let opt ppf = function
+    | Some x -> Format.fprintf ppf "%d" x
+    | None -> Format.fprintf ppf "-"
+  in
+  Format.fprintf ppf
+    "@[<v>n=%d m=%d lifetime=%d labels=%d time-edges=%d@,\
+     statically connected: %b   Treach: %b@,\
+     reachable pairs: %d/%d   temporal diameter: %a   mean distance: %.2f@,\
+     best broadcaster: %d (time %a)   cover: %d source(s)   temporal sccs: %d@]"
+    t.n t.m t.lifetime t.labels t.time_edges t.statically_connected t.treach
+    t.reachable_pairs t.static_pairs opt t.temporal_diameter
+    t.average_distance t.best_broadcaster opt t.broadcast_time t.cover_sources
+    t.temporal_scc_count

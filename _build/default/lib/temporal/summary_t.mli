@@ -1,0 +1,27 @@
+(** One-call summary of a temporal network.
+
+    The facade behind `ephemeral analyze`: everything a user wants to
+    know about an instance at a glance, computed with the cheapest exact
+    machinery available.  Costs O(n·M) overall (dominated by the
+    per-source foremost sweeps). *)
+
+type t = {
+  n : int;
+  m : int;
+  lifetime : int;
+  labels : int;
+  time_edges : int;
+  statically_connected : bool;
+  treach : bool;
+  reachable_pairs : int;
+  static_pairs : int;
+  temporal_diameter : int option;
+  average_distance : float;  (** [nan] when no reachable pairs *)
+  best_broadcaster : int;
+  broadcast_time : int option;  (** of the best broadcaster *)
+  cover_sources : int;  (** greedy broadcast cover size *)
+  temporal_scc_count : int;
+}
+
+val compute : Tgraph.t -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+module Graph = Sgraph.Graph
+
+type t = {
+  graph : Graph.t;
+  lifetime : int;
+  labels : Label.t array;
+  te_src : int array;
+  te_dst : int array;
+  te_label : int array;
+  te_edge : int array;
+  out_cache : (int * int * Label.t) array array;
+  in_cache : (int * int * Label.t) array array;
+}
+
+let create g ~lifetime labels =
+  if lifetime <= 0 then invalid_arg "Tgraph.create: lifetime must be positive";
+  if Array.length labels <> Graph.m g then
+    invalid_arg "Tgraph.create: one label set per edge required";
+  Array.iter
+    (fun ls ->
+      if not (Label.within_lifetime ls lifetime) then
+        invalid_arg "Tgraph.create: label beyond the lifetime")
+    labels;
+  (* Count stream entries: one per (arc direction, label). *)
+  let directions = if Graph.is_directed g then 1 else 2 in
+  let total = ref 0 in
+  Array.iter (fun ls -> total := !total + (directions * Label.size ls)) labels;
+  let total = !total in
+  let te_src = Array.make total 0 in
+  let te_dst = Array.make total 0 in
+  let te_label = Array.make total 0 in
+  let te_edge = Array.make total 0 in
+  let fill = ref 0 in
+  Graph.iter_edges g (fun e u v ->
+      let emit src dst label =
+        te_src.(!fill) <- src;
+        te_dst.(!fill) <- dst;
+        te_label.(!fill) <- label;
+        te_edge.(!fill) <- e;
+        incr fill
+      in
+      let ls = labels.(e) in
+      Array.iter
+        (fun label ->
+          emit u v label;
+          if not (Graph.is_directed g) then emit v u label)
+        (ls :> int array));
+  (* Sort the stream by label via an index permutation. *)
+  let order = Array.init total (fun i -> i) in
+  Array.sort (fun i j -> compare te_label.(i) te_label.(j)) order;
+  let permute a = Array.map (fun i -> a.(i)) order in
+  let te_src = permute te_src
+  and te_dst = permute te_dst
+  and te_label = permute te_label
+  and te_edge = permute te_edge in
+  let out_cache =
+    Array.init (Graph.n g) (fun v ->
+        Array.map (fun (e, target) -> (e, target, labels.(e))) (Graph.out_arcs g v))
+  in
+  let in_cache =
+    Array.init (Graph.n g) (fun v ->
+        Array.map (fun (e, source) -> (e, source, labels.(e))) (Graph.in_arcs g v))
+  in
+  { graph = g; lifetime; labels; te_src; te_dst; te_label; te_edge;
+    out_cache; in_cache }
+
+let graph t = t.graph
+let lifetime t = t.lifetime
+let n t = Graph.n t.graph
+let labels t e = t.labels.(e)
+
+let label_count t =
+  Array.fold_left (fun acc ls -> acc + Label.size ls) 0 t.labels
+
+let time_edge_count t = Array.length t.te_label
+
+let iter_time_edges t f =
+  for i = 0 to time_edge_count t - 1 do
+    f ~src:t.te_src.(i) ~dst:t.te_dst.(i) ~label:t.te_label.(i)
+      ~edge:t.te_edge.(i)
+  done
+
+let time_edge t i = (t.te_src.(i), t.te_dst.(i), t.te_label.(i))
+let crossings_out t v = t.out_cache.(v)
+let crossings_in t v = t.in_cache.(v)
+
+let can_cross_at t ~src ~dst time =
+  Array.exists
+    (fun (_, target, ls) -> target = dst && Label.mem ls time)
+    t.out_cache.(src)
+
+let pp ppf t =
+  Format.fprintf ppf "temporal network on %a, lifetime=%d, labels=%d"
+    Graph.pp t.graph t.lifetime (label_count t)

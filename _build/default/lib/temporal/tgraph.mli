@@ -1,0 +1,50 @@
+(** Temporal networks [G = (V, E, L)] (paper, Definition 1).
+
+    A static graph plus a label assignment and a lifetime [a] (the network
+    is ephemeral: no label exceeds [a]).  Construction pre-sorts the
+    *time-edge* stream — every [(u, v, l)] triple with [l ∈ L_{(u,v)}],
+    both directions for undirected edges — by label, which is what makes
+    foremost-journey computation a single linear sweep. *)
+
+type t
+
+val create : Sgraph.Graph.t -> lifetime:int -> Label.t array -> t
+(** [create g ~lifetime labels] with [labels.(e)] the label set of edge
+    id [e].
+    @raise Invalid_argument if the array length differs from [m g], if
+    the lifetime is non-positive, or if any label exceeds the lifetime. *)
+
+val graph : t -> Sgraph.Graph.t
+val lifetime : t -> int
+
+val n : t -> int
+(** Vertex count of the underlying graph. *)
+
+val labels : t -> int -> Label.t
+(** Label set of an edge id. *)
+
+val label_count : t -> int
+(** Total number of labels over all edges — the quantity compared against
+    [OPT] in the Price of Randomness. *)
+
+val time_edge_count : t -> int
+(** Number of directed time edges in the sweep stream (undirected edges
+    contribute both directions per label). *)
+
+val iter_time_edges : t -> (src:int -> dst:int -> label:int -> edge:int -> unit) -> unit
+(** Iterate the stream in non-decreasing label order. *)
+
+val time_edge : t -> int -> int * int * int
+(** [time_edge t i] is the [i]-th stream entry as [(src, dst, label)]. *)
+
+val crossings_out : t -> int -> (int * int * Label.t) array
+(** [crossings_out t v] lists [(edge id, target, labels)] for each arc
+    leaving [v] (do not mutate). *)
+
+val crossings_in : t -> int -> (int * int * Label.t) array
+(** [(edge id, source, labels)] for each arc entering [v]. *)
+
+val can_cross_at : t -> src:int -> dst:int -> int -> bool
+(** Is some arc [src → dst] available exactly at the given time? *)
+
+val pp : Format.formatter -> t -> unit

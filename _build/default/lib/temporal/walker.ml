@@ -1,0 +1,85 @@
+module Rng = Prng.Rng
+
+type trajectory = {
+  positions : int array;
+  first_visit : int array;
+  visited : int;
+  cover_time : int option;
+  moves : int;
+}
+
+let walk ?(laziness = 0.) rng net ~source =
+  if not (laziness >= 0. && laziness <= 1.) then
+    invalid_arg "Walker.walk: laziness not in [0,1]";
+  let n = Tgraph.n net in
+  if source < 0 || source >= n then invalid_arg "Walker.walk: source out of range";
+  let a = Tgraph.lifetime net in
+  let positions = Array.make (a + 1) source in
+  let first_visit = Array.make n max_int in
+  first_visit.(source) <- 0;
+  let visited = ref 1 in
+  let cover_time = ref (if n = 1 then Some 0 else None) in
+  let moves = ref 0 in
+  let current = ref source in
+  for t = 1 to a do
+    (* Arcs out of the current vertex available exactly now. *)
+    let options = ref [] in
+    Array.iter
+      (fun (_, target, labels) ->
+        if Label.mem labels t then options := target :: !options)
+      (Tgraph.crossings_out net !current);
+    (match !options with
+    | [] -> ()
+    | candidates ->
+      if not (Rng.bernoulli rng laziness) then begin
+        let k = List.length candidates in
+        let target = List.nth candidates (Rng.int rng k) in
+        incr moves;
+        current := target;
+        if first_visit.(target) = max_int then begin
+          first_visit.(target) <- t;
+          incr visited;
+          if !visited = n && !cover_time = None then cover_time := Some t
+        end
+      end);
+    positions.(t) <- !current
+  done;
+  {
+    positions;
+    first_visit;
+    visited = !visited;
+    cover_time = !cover_time;
+    moves = !moves;
+  }
+
+let pack ?laziness rng net ~sources =
+  let n = Tgraph.n net in
+  let earliest = Array.make n max_int in
+  List.iter
+    (fun source ->
+      let trajectory = walk ?laziness rng net ~source in
+      Array.iteri
+        (fun v t -> if t < earliest.(v) then earliest.(v) <- t)
+        trajectory.first_visit)
+    sources;
+  let visited = ref 0 and cover = ref 0 in
+  Array.iter
+    (fun t ->
+      if t < max_int then begin
+        incr visited;
+        if t > !cover then cover := t
+      end)
+    earliest;
+  (!visited, if !visited = n then Some !cover else None)
+
+let mean_coverage ?laziness rng net ~trials =
+  let n = Tgraph.n net in
+  let coverage = ref 0. and covered = ref 0 in
+  for _ = 1 to trials do
+    let source = Rng.int rng n in
+    let trajectory = walk ?laziness rng net ~source in
+    coverage := !coverage +. (float_of_int trajectory.visited /. float_of_int n);
+    if trajectory.cover_time <> None then incr covered
+  done;
+  ( !coverage /. float_of_int trials,
+    float_of_int !covered /. float_of_int trials )

@@ -1,0 +1,164 @@
+module Graph = Sgraph.Graph
+
+type window = { from_time : int; until_time : int }
+type schedule = window array  (* sorted, disjoint, non-adjacent *)
+
+let schedule_of_list pairs =
+  List.iter
+    (fun (from_time, until_time) ->
+      if from_time < 1 then invalid_arg "Windows: window start must be >= 1";
+      if until_time < from_time then invalid_arg "Windows: empty window")
+    pairs;
+  let sorted = List.sort compare pairs in
+  let rec merge = function
+    | (f1, u1) :: (f2, u2) :: rest when f2 <= u1 + 1 ->
+      merge ((f1, Stdlib.max u1 u2) :: rest)
+    | w :: rest -> w :: merge rest
+    | [] -> []
+  in
+  Array.of_list
+    (List.map (fun (from_time, until_time) -> { from_time; until_time })
+       (merge sorted))
+
+let schedule_windows s = Array.to_list s
+
+let schedule_duration s =
+  Array.fold_left (fun acc w -> acc + w.until_time - w.from_time + 1) 0 s
+
+let first_available_after s t =
+  (* First window with until_time > t. *)
+  let lo = ref 0 and hi = ref (Array.length s) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if s.(mid).until_time <= t then lo := mid + 1 else hi := mid
+  done;
+  if !lo >= Array.length s then None
+  else Some (Stdlib.max (t + 1) s.(!lo).from_time)
+
+let schedule_of_labels labels =
+  schedule_of_list (List.map (fun l -> (l, l)) (Label.to_list labels))
+
+let labels_of_schedule s =
+  Label.of_list
+    (List.concat_map
+       (fun w ->
+         List.init (w.until_time - w.from_time + 1) (fun i -> w.from_time + i))
+       (Array.to_list s))
+
+type t = {
+  graph : Graph.t;
+  lifetime : int;
+  schedules : schedule array;
+}
+
+let create g ~lifetime schedules =
+  if lifetime <= 0 then invalid_arg "Windows.create: lifetime must be positive";
+  if Array.length schedules <> Graph.m g then
+    invalid_arg "Windows.create: one schedule per edge required";
+  Array.iter
+    (fun s ->
+      Array.iter
+        (fun w ->
+          if w.until_time > lifetime then
+            invalid_arg "Windows.create: window beyond the lifetime")
+        s)
+    schedules;
+  { graph = g; lifetime; schedules }
+
+let graph t = t.graph
+let lifetime t = t.lifetime
+let schedule t e = t.schedules.(e)
+
+let to_tgraph t =
+  Tgraph.create t.graph ~lifetime:t.lifetime
+    (Array.map labels_of_schedule t.schedules)
+
+let of_tgraph net =
+  let g = Tgraph.graph net in
+  {
+    graph = g;
+    lifetime = Tgraph.lifetime net;
+    schedules =
+      Array.init (Graph.m g) (fun e -> schedule_of_labels (Tgraph.labels net e));
+  }
+
+(* A plain binary min-heap of (key, vertex) pairs; stale entries are
+   skipped on pop (lazy deletion), as usual for array-based Dijkstra. *)
+module Heap = struct
+  type t = {
+    mutable data : (int * int) array;
+    mutable size : int;
+  }
+
+  let create () = { data = Array.make 16 (0, 0); size = 0 }
+
+  let push h entry =
+    if h.size = Array.length h.data then begin
+      let grown = Array.make (2 * h.size) (0, 0) in
+      Array.blit h.data 0 grown 0 h.size;
+      h.data <- grown
+    end;
+    h.data.(h.size) <- entry;
+    h.size <- h.size + 1;
+    let i = ref (h.size - 1) in
+    while !i > 0 && fst h.data.((!i - 1) / 2) > fst h.data.(!i) do
+      let parent = (!i - 1) / 2 in
+      let tmp = h.data.(parent) in
+      h.data.(parent) <- h.data.(!i);
+      h.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let pop h =
+    if h.size = 0 then None
+    else begin
+      let top = h.data.(0) in
+      h.size <- h.size - 1;
+      h.data.(0) <- h.data.(h.size);
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let left = (2 * !i) + 1 and right = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if left < h.size && fst h.data.(left) < fst h.data.(!smallest) then
+          smallest := left;
+        if right < h.size && fst h.data.(right) < fst h.data.(!smallest) then
+          smallest := right;
+        if !smallest = !i then continue := false
+        else begin
+          let tmp = h.data.(!i) in
+          h.data.(!i) <- h.data.(!smallest);
+          h.data.(!smallest) <- tmp;
+          i := !smallest
+        end
+      done;
+      Some top
+    end
+end
+
+let earliest_arrival ?(start_time = 1) t s =
+  if start_time < 1 then
+    invalid_arg "Windows.earliest_arrival: start_time must be >= 1";
+  let n = Graph.n t.graph in
+  if s < 0 || s >= n then invalid_arg "Windows.earliest_arrival: bad source";
+  let arrival = Array.make n max_int in
+  arrival.(s) <- start_time - 1;
+  let heap = Heap.create () in
+  Heap.push heap (start_time - 1, s);
+  let continue = ref true in
+  while !continue do
+    match Heap.pop heap with
+    | None -> continue := false
+    | Some (key, u) ->
+      if key = arrival.(u) then
+        Array.iter
+          (fun (e, v) ->
+            match first_available_after t.schedules.(e) arrival.(u) with
+            | Some when_crossing when when_crossing < arrival.(v) ->
+              arrival.(v) <- when_crossing;
+              Heap.push heap (when_crossing, v)
+            | _ -> ())
+          (Graph.out_arcs t.graph u)
+  done;
+  arrival.(s) <- 0;
+  arrival

@@ -1,0 +1,57 @@
+(** Interval availability: edges available over whole time windows.
+
+    The paper's related work (§1.2) contrasts its discrete labels with
+    models where an edge is available for entire intervals [\[t1, t2\]]
+    (Bui-Xuan et al. [6], Fleischer–Tardos [14]).  Over discrete time
+    the two models coincide semantically — a window is the label set
+    [{t1..t2}] — but *representationally* windows are exponentially more
+    compact for dense availability.  This module provides the compact
+    form: normalised window lists per edge, an earliest-arrival
+    algorithm working directly on windows (label-free Dijkstra sweep,
+    O((n + W) log n) instead of O(Σ window widths)), and lossless
+    conversion to/from {!Tgraph} (property-tested equal distances). *)
+
+type window = { from_time : int; until_time : int }
+(** Inclusive bounds. *)
+
+type schedule
+(** A normalised window list: sorted, disjoint, non-adjacent. *)
+
+val schedule_of_list : (int * int) list -> schedule
+(** Normalises (sorts, merges overlapping/adjacent windows).
+    @raise Invalid_argument on a window with [from < 1] or
+    [until < from]. *)
+
+val schedule_windows : schedule -> window list
+val schedule_duration : schedule -> int
+(** Total number of discrete moments covered. *)
+
+val first_available_after : schedule -> int -> int option
+(** Smallest covered time [> t] — the window analogue of
+    {!Label.first_after}; O(log windows). *)
+
+val schedule_of_labels : Label.t -> schedule
+val labels_of_schedule : schedule -> Label.t
+
+type t
+(** A window-temporal network: graph + schedule per edge + lifetime. *)
+
+val create : Sgraph.Graph.t -> lifetime:int -> schedule array -> t
+(** @raise Invalid_argument on arity mismatch or windows beyond the
+    lifetime. *)
+
+val graph : t -> Sgraph.Graph.t
+val lifetime : t -> int
+val schedule : t -> int -> schedule
+
+val to_tgraph : t -> Tgraph.t
+(** Expand windows into explicit labels (can be large!). *)
+
+val of_tgraph : Tgraph.t -> t
+(** Compress label sets into windows (lossless). *)
+
+val earliest_arrival : ?start_time:int -> t -> int -> int array
+(** Foremost distances directly on the window representation: a
+    label-ordered relaxation queue never materialising the labels.
+    Entry [v] is the earliest arrival ([0] at the source, [max_int] if
+    unreachable) — agrees with {!Foremost.run} on {!to_tgraph}. *)

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Assignment Label List Option Printf Prng QCheck2 QCheck_alcotest Sgraph String Temporal Tgraph

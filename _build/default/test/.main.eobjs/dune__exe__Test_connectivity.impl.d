@@ -1,0 +1,1 @@
+test/test_connectivity.ml: Alcotest Array Disjoint Expanded Filename Flow Foremost Fun Hashtbl Helpers Label List Printf Prng QCheck2 Serial Sgraph Stdlib Sys Tcc Temporal Tgraph

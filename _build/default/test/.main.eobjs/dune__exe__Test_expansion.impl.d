@@ -1,0 +1,1 @@
+test/test_expansion.ml: Alcotest Array Assignment Expansion Helpers Journey Label List Printf Prng QCheck2 Sgraph Temporal

@@ -1,0 +1,1 @@
+test/test_foremost.ml: Alcotest Array Distance Flooding Foremost Helpers Journey Label Option Sgraph Temporal Tgraph

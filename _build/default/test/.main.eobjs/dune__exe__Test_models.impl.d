@@ -1,0 +1,1 @@
+test/test_models.ml: Adversary Alcotest Array Distance Evolving Filename Foremost Helpers Label List Mobility Online Out_channel Printf QCheck2 Sgraph String Sys Temporal Tgraph Walker Windows

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest Array Assignment Builder Design Distance Foremost Fun Helpers Label List Ops Opt Option Prng QCheck2 Reachability Reverse_foremost Serial Sgraph Spanner Temporal Tgraph

@@ -1,0 +1,1 @@
+test/test_opt.ml: Alcotest Helpers Label List Opt Printf Prng Reachability Sgraph Stdlib Temporal Tgraph

@@ -1,0 +1,1 @@
+test/test_phonecall.ml: Alcotest Float Helpers List Phonecall Printf Prng Sgraph

@@ -1,0 +1,1 @@
+test/test_por.ml: Alcotest Assignment Distance Helpers Label Lifetime Por Printf Prng QCheck2 Sgraph Stats Temporal Tgraph

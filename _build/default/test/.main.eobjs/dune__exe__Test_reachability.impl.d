@@ -1,0 +1,1 @@
+test/test_reachability.ml: Alcotest Array Assignment Distance Foremost Helpers Label List Printf Prng QCheck2 Reachability Sgraph Temporal Tgraph

@@ -1,0 +1,1 @@
+test/test_sgraph.ml: Alcotest Array Helpers List Prng Sgraph Stdlib

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Filename Helpers List Option Printf Prng Result Sgraph Sim Stats String Sys Temporal

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Format Helpers List Prng QCheck2 Stats String

@@ -1,0 +1,1 @@
+test/test_temporal_core.ml: Alcotest Array Format Helpers Journey Label List Sgraph String Temporal Tgraph

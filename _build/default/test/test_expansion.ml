@@ -1,0 +1,235 @@
+(* Tests for the Expansion Process (Algorithm 1). *)
+
+open Helpers
+module Rng = Prng.Rng
+open Temporal
+
+let params_exact ~l1 ~c2 ~d = { Expansion.l1; c2; d }
+
+(* --------------------------------------------------------------- *)
+(* Parameters and windows *)
+
+let make_params_values () =
+  let p = Expansion.make_params ~c1:2.0 ~c2:5 ~d:3 ~n:100 in
+  check_int "l1 = round(c1 ln n)" 9 p.l1;
+  check_int "c2" 5 p.c2;
+  check_int "d" 3 p.d
+
+let make_params_invalid () =
+  Alcotest.check_raises "c1 <= 0"
+    (Invalid_argument "Expansion.make_params: c1 must be positive") (fun () ->
+      ignore (Expansion.make_params ~c1:0. ~c2:2 ~d:1 ~n:10));
+  Alcotest.check_raises "c2 < 1"
+    (Invalid_argument "Expansion.make_params: c2 must be >= 1") (fun () ->
+      ignore (Expansion.make_params ~c1:1. ~c2:0 ~d:1 ~n:10));
+  Alcotest.check_raises "d < 0"
+    (Invalid_argument "Expansion.make_params: d must be >= 0") (fun () ->
+      ignore (Expansion.make_params ~c1:1. ~c2:2 ~d:(-1) ~n:10))
+
+let horizon_formula () =
+  let p = params_exact ~l1:7 ~c2:3 ~d:4 in
+  check_int "3*l1 + 2*d*c2" ((3 * 7) + (2 * 4 * 3)) (Expansion.horizon p)
+
+(* The window schedule must tile [0, horizon] exactly as in the paper:
+   Delta_1 .. Delta_{d+1}, Delta_*, Delta'_{d+1} .. Delta'_1. *)
+let windows_tile () =
+  let p = params_exact ~l1:6 ~c2:2 ~d:3 in
+  let check_adjacent (_, hi) (lo', _) = check_int "windows abut" hi lo' in
+  let forward = List.init (p.d + 1) (fun i -> Expansion.delta p (i + 1)) in
+  let backward = List.init (p.d + 1) (fun i -> Expansion.delta' p (i + 1)) in
+  (* Forward windows chain from 0. *)
+  check_int "starts at 0" 0 (fst (List.hd forward));
+  List.iteri
+    (fun i window ->
+      if i > 0 then check_adjacent (List.nth forward (i - 1)) window)
+    forward;
+  (* Delta* follows the last forward window. *)
+  let star = Expansion.delta_star p in
+  check_adjacent (List.nth forward p.d) star;
+  (* Backward windows run from Delta* up to the horizon, in reverse index
+     order: Delta'_{d+1} abuts Delta*, Delta'_1 ends at the horizon. *)
+  check_adjacent star (List.nth backward p.d);
+  for i = p.d downto 1 do
+    check_adjacent (List.nth backward i) (List.nth backward (i - 1))
+  done;
+  check_int "ends at horizon" (Expansion.horizon p)
+    (snd (List.hd backward))
+
+let windows_widths () =
+  let p = params_exact ~l1:6 ~c2:2 ~d:3 in
+  let width (lo, hi) = hi - lo in
+  check_int "Delta_1 width = l1" 6 (width (Expansion.delta p 1));
+  check_int "middle width = c2" 2 (width (Expansion.delta p 2));
+  check_int "Delta* width = l1" 6 (width (Expansion.delta_star p));
+  check_int "Delta'_1 width = l1" 6 (width (Expansion.delta' p 1));
+  check_int "Delta'_3 width = c2" 2 (width (Expansion.delta' p 3))
+
+let windows_range_checks () =
+  let p = params_exact ~l1:2 ~c2:2 ~d:1 in
+  Alcotest.check_raises "delta 0"
+    (Invalid_argument "Expansion.delta: index out of range") (fun () ->
+      ignore (Expansion.delta p 0));
+  Alcotest.check_raises "delta' too big"
+    (Invalid_argument "Expansion.delta': index out of range") (fun () ->
+      ignore (Expansion.delta' p 3))
+
+let default_params_sane =
+  qcase ~count:50 "default params well-formed across n" ~print:string_of_int
+    QCheck2.Gen.(int_range 4 2000)
+    (fun n ->
+      let p = Expansion.default_params ~n () in
+      p.l1 >= 1 && p.c2 >= 1 && p.d >= 1 && Expansion.horizon p > 0)
+
+(* --------------------------------------------------------------- *)
+(* Runs *)
+
+let run_s_equals_t () =
+  let g = Sgraph.Gen.clique Directed 8 in
+  let net = Assignment.normalized_uniform (rng ()) g in
+  let outcome = Expansion.run net (Expansion.default_params ~n:8 ()) ~s:3 ~t:3 in
+  check_bool "trivial success" true outcome.success;
+  check_bool "empty journey" true (outcome.journey = Some []);
+  check_int_option "arrival 0" (Some 0) outcome.arrival
+
+let run_bad_endpoint () =
+  let g = Sgraph.Gen.clique Directed 4 in
+  let net = Assignment.normalized_uniform (rng ()) g in
+  Alcotest.check_raises "endpoint range"
+    (Invalid_argument "Expansion.run: endpoint out of range") (fun () ->
+      ignore (Expansion.run net (Expansion.default_params ~n:4 ()) ~s:0 ~t:9))
+
+let run_success_on_all_times () =
+  (* With every label present everywhere, depth d = 0 succeeds
+     deterministically on a clique: Gamma_1(s) and Gamma'_1(t) are the
+     full vertex set and any edge between them matches in Delta*.
+     (Deeper layers would be empty here — the first window absorbs every
+     vertex — which is faithful to the algorithm, so d = 0 is the only
+     deterministic configuration.) *)
+  let n = 16 in
+  let g = Sgraph.Gen.clique Directed n in
+  let p = params_exact ~l1:2 ~c2:2 ~d:0 in
+  let net = Assignment.all_times g ~a:(Expansion.horizon p) in
+  let outcome = Expansion.run net p ~s:0 ~t:5 in
+  check_bool "success" true outcome.success;
+  (match outcome.journey with
+  | Some journey ->
+    check_bool "journey valid" true
+      (Journey.is_journey net ~source:0 ~target:5 journey)
+  | None -> Alcotest.fail "expected a journey")
+
+let run_failure_without_labels () =
+  let n = 8 in
+  let g = Sgraph.Gen.clique Directed n in
+  let net = Assignment.of_fun g ~a:5 (fun _ -> Label.empty) in
+  let outcome =
+    Expansion.run net (params_exact ~l1:2 ~c2:1 ~d:1) ~s:0 ~t:3
+  in
+  check_bool "failure" true (not outcome.success);
+  check_bool "no journey" true (outcome.journey = None);
+  Alcotest.(check (array int)) "empty layers" [| 0; 0 |] outcome.forward_layers
+
+let run_journeys_valid =
+  qcase ~count:60 "successful runs return valid short journeys"
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let n = 64 in
+      let g = Sgraph.Gen.clique Directed n in
+      let net = Assignment.normalized_uniform (Rng.create seed) g in
+      let p = Expansion.default_params ~n () in
+      let s = seed mod n in
+      let t = (s + 1 + (seed / 7 mod (n - 1))) mod n in
+      let outcome = Expansion.run net p ~s ~t in
+      match (outcome.success, outcome.journey, outcome.arrival) with
+      | false, None, None -> true (* failure is allowed, whp only *)
+      | true, Some journey, Some arrival ->
+        Journey.is_journey net ~source:s ~target:t journey
+        && arrival <= Expansion.horizon p
+        && Journey.arrival journey = Some arrival
+      | _ -> false)
+
+let run_layer_sizes_consistent () =
+  let n = 64 in
+  let g = Sgraph.Gen.clique Directed n in
+  let net = Assignment.normalized_uniform (rng ()) g in
+  let p = Expansion.default_params ~n () in
+  let outcome = Expansion.run net p ~s:0 ~t:1 in
+  check_int "d+1 forward layers" (p.d + 1) (Array.length outcome.forward_layers);
+  check_int "d+1 backward layers" (p.d + 1)
+    (Array.length outcome.backward_layers);
+  Array.iter
+    (fun size -> check_bool "layer size within n" true (size >= 0 && size < n))
+    outcome.forward_layers
+
+let run_succeeds_often () =
+  (* Statistical smoke: with default parameters on n = 128, at least 80%
+     of pairs succeed (the paper proves -> 1; defaults are tuned well
+     above that empirically). *)
+  let n = 128 in
+  let g = Sgraph.Gen.clique Directed n in
+  let p = Expansion.default_params ~n () in
+  let root = rng () in
+  let successes = ref 0 in
+  let attempts = 30 in
+  for i = 1 to attempts do
+    let net = Assignment.normalized_uniform (Rng.split root) g in
+    let s = i mod n and t = (i * 17 + 1) mod n in
+    let s, t = if s = t then (s, (t + 1) mod n) else (s, t) in
+    if (Expansion.run net p ~s ~t).success then incr successes
+  done;
+  check_bool
+    (Printf.sprintf "%d/%d succeeded" !successes attempts)
+    true
+    (!successes >= (8 * attempts) / 10)
+
+(* Remark 1: the same result holds for the undirected clique. *)
+let run_undirected_clique () =
+  let n = 128 in
+  let g = Sgraph.Gen.clique Undirected n in
+  let p = Expansion.default_params ~n () in
+  let root = rng () in
+  let successes = ref 0 in
+  let attempts = 20 in
+  for i = 1 to attempts do
+    let net = Assignment.normalized_uniform (Rng.split root) g in
+    let s = i mod n and t = ((i * 31) + 7) mod n in
+    let s, t = if s = t then (s, (t + 1) mod n) else (s, t) in
+    let outcome = Expansion.run net p ~s ~t in
+    if outcome.success then begin
+      incr successes;
+      match outcome.journey with
+      | Some journey ->
+        check_bool "undirected journey valid" true
+          (Journey.is_journey net ~source:s ~target:t journey)
+      | None -> Alcotest.fail "success without a journey"
+    end
+  done;
+  check_bool
+    (Printf.sprintf "undirected success %d/%d" !successes attempts)
+    true
+    (!successes >= (7 * attempts) / 10)
+
+let suites =
+  [
+    ( "temporal.expansion.params",
+      [
+        case "make_params" make_params_values;
+        case "make_params invalid" make_params_invalid;
+        case "horizon" horizon_formula;
+        case "windows tile [0, horizon]" windows_tile;
+        case "window widths" windows_widths;
+        case "window range checks" windows_range_checks;
+        default_params_sane;
+      ] );
+    ( "temporal.expansion.run",
+      [
+        case "s = t" run_s_equals_t;
+        case "bad endpoint" run_bad_endpoint;
+        case "deterministic success on all-times" run_success_on_all_times;
+        case "failure without labels" run_failure_without_labels;
+        run_journeys_valid;
+        case "layer sizes consistent" run_layer_sizes_consistent;
+        case "succeeds often at defaults" run_succeeds_often;
+        case "undirected clique (Remark 1)" run_undirected_clique;
+      ] );
+  ]

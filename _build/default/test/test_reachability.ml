@@ -1,0 +1,233 @@
+(* Tests for Reachability (Treach, Definition 6) and Assignment. *)
+
+open Helpers
+module Graph = Sgraph.Graph
+module Rng = Prng.Rng
+open Temporal
+
+(* --------------------------------------------------------------- *)
+(* Reachability *)
+
+let treach_fixture () =
+  check_bool "fixture preserves reachability" true
+    (Reachability.treach (fixture ()))
+
+let treach_broken_path () =
+  let g = Graph.create Undirected ~n:3 [ (0, 1); (1, 2) ] in
+  let net =
+    Tgraph.create g ~lifetime:3 [| Label.singleton 2; Label.singleton 1 |]
+  in
+  check_bool "out-of-order labels break Treach" false (Reachability.treach net);
+  let missing = Reachability.missing_pairs net in
+  check_bool "0 -> 2 missing" true (List.mem (0, 2) missing);
+  check_bool "2 -> 0 fine (2,1 then 1,0? no: 1 then 2 works)" true
+    (not (List.mem (2, 0) missing))
+
+let treach_empty_labels_disconnected_static () =
+  (* Two static components, no labels at all: Treach holds vacuously
+     within the "no static path" pairs and fails inside components. *)
+  let g = Graph.create Undirected ~n:4 [ (0, 1); (2, 3) ] in
+  let net = Tgraph.create g ~lifetime:2 [| Label.empty; Label.empty |] in
+  check_bool "labelless edges break Treach" false (Reachability.treach net);
+  check_int "4 missing ordered pairs" 4
+    (List.length (Reachability.missing_pairs net))
+
+let treach_isolated_vertices () =
+  let g = Graph.create Undirected ~n:3 [] in
+  let net = Tgraph.create g ~lifetime:1 [||] in
+  check_bool "no static pairs -> Treach" true (Reachability.treach net);
+  check_float "ratio 1 by convention" 1. (Reachability.reachability_ratio net)
+
+let reachable_pair_counts () =
+  let net = fixture () in
+  check_int "all 20 ordered pairs" 20 (Reachability.reachable_pair_count net);
+  check_int "static same" 20 (Reachability.static_reachable_pair_count net);
+  check_float "ratio" 1. (Reachability.reachability_ratio net)
+
+let reachable_pair_counts_partial () =
+  let g = Graph.create Undirected ~n:3 [ (0, 1); (1, 2) ] in
+  let net =
+    Tgraph.create g ~lifetime:3 [| Label.singleton 2; Label.singleton 1 |]
+  in
+  (* Journeys: 0<->1, 1<->2, 2 -> 0 (2-1@1 then 1-0@2); missing 0 -> 2. *)
+  check_int "five of six" 5 (Reachability.reachable_pair_count net);
+  check_int "six static" 6 (Reachability.static_reachable_pair_count net)
+
+let treach_iff_no_missing =
+  qcase ~count:120 "treach <=> missing_pairs empty" ~print:print_params
+    gen_params
+    (fun params ->
+      let net = random_tnet params in
+      Reachability.treach net = (Reachability.missing_pairs net = []))
+
+let ratio_one_iff_treach =
+  qcase ~count:120 "ratio = 1 <=> treach" ~print:print_params gen_params
+    (fun params ->
+      let net = random_tnet params in
+      Reachability.treach net = (Reachability.reachability_ratio net >= 1.))
+
+let temporally_reachable_consistent () =
+  let net = fixture () in
+  check_bool "0 reaches 3" true (Reachability.temporally_reachable net 0 3);
+  let g = Graph.create Undirected ~n:3 [ (0, 1); (1, 2) ] in
+  let broken =
+    Tgraph.create g ~lifetime:3 [| Label.singleton 2; Label.singleton 1 |]
+  in
+  check_bool "0 cannot reach 2" false
+    (Reachability.temporally_reachable broken 0 2)
+
+(* --------------------------------------------------------------- *)
+(* Assignment *)
+
+let assignment_uniform_single () =
+  let g = Sgraph.Gen.clique Directed 10 in
+  let net = Assignment.uniform_single (rng ()) g ~a:7 in
+  check_int "lifetime" 7 (Tgraph.lifetime net);
+  Graph.iter_edges g (fun e _ _ ->
+      let labels = Tgraph.labels net e in
+      check_int "exactly one label" 1 (Label.size labels);
+      check_bool "in range" true
+        (Label.min_label labels >= 1 && Label.max_label labels <= 7))
+
+let assignment_normalized () =
+  let g = Sgraph.Gen.clique Directed 12 in
+  let net = Assignment.normalized_uniform (rng ()) g in
+  check_int "a = n" 12 (Tgraph.lifetime net)
+
+let assignment_uniform_single_covers =
+  qcase ~count:30 "single labels cover {1..a} across many edges"
+    ~print:string_of_int
+    QCheck2.Gen.(int_range 1 500)
+    (fun seed ->
+      let g = Sgraph.Gen.clique Directed 20 in
+      let net = Assignment.uniform_single (Rng.create seed) g ~a:4 in
+      let seen = Array.make 5 false in
+      Graph.iter_edges g (fun e _ _ ->
+          seen.(Label.min_label (Tgraph.labels net e)) <- true);
+      (* 380 draws over 4 values: all hit, overwhelmingly. *)
+      seen.(1) && seen.(2) && seen.(3) && seen.(4))
+
+let assignment_multi () =
+  let g = Sgraph.Gen.star 8 in
+  let net = Assignment.uniform_multi (rng ()) g ~a:50 ~r:5 in
+  Graph.iter_edges g (fun e _ _ ->
+      let size = Label.size (Tgraph.labels net e) in
+      check_bool "between 1 and r (collisions collapse)" true
+        (size >= 1 && size <= 5))
+
+let assignment_multi_zero () =
+  let g = Sgraph.Gen.star 4 in
+  let net = Assignment.uniform_multi (rng ()) g ~a:5 ~r:0 in
+  check_int "no labels at all" 0 (Tgraph.label_count net)
+
+let assignment_multi_invalid () =
+  Alcotest.check_raises "negative r"
+    (Invalid_argument "Assignment.uniform_multi: r must be >= 0") (fun () ->
+      ignore (Assignment.uniform_multi (rng ()) (Sgraph.Gen.star 4) ~a:5 ~r:(-1)))
+
+let assignment_of_dist_point () =
+  let g = Sgraph.Gen.path 5 in
+  let net = Assignment.of_dist (rng ()) (Point 3) g ~a:10 ~r:4 in
+  Graph.iter_edges g (fun e _ _ ->
+      Alcotest.(check (list int)) "all mass at 3" [ 3 ]
+        (Label.to_list (Tgraph.labels net e)))
+
+let assignment_constant () =
+  let g = Sgraph.Gen.cycle 4 in
+  let net = Assignment.constant g ~a:9 (Label.of_list [ 2; 5 ]) in
+  check_int "label count" 8 (Tgraph.label_count net)
+
+let assignment_all_times_collapses_to_hops () =
+  (* With every time available, the temporal distance from a vertex equals
+     its BFS hop distance (cross one edge per time step, greedily). *)
+  let g = Sgraph.Gen.grid 3 3 in
+  let net = Assignment.all_times g ~a:(Graph.n g) in
+  let hops = Sgraph.Traverse.bfs g 0 in
+  let res = Foremost.run net 0 in
+  for v = 0 to Graph.n g - 1 do
+    check_int_option
+      (Printf.sprintf "hop distance to %d" v)
+      (Some hops.(v))
+      (Foremost.distance res v)
+  done
+
+let assignment_of_fun () =
+  let g = Sgraph.Gen.path 3 in
+  let net = Assignment.of_fun g ~a:4 (fun e -> Label.singleton (e + 1)) in
+  check_int_option "chained path" (Some 2) (Distance.distance net 0 2)
+
+let assignment_periodic () =
+  let g = Sgraph.Gen.path 6 in
+  let net = Assignment.periodic (rng ()) g ~a:20 ~period:5 in
+  Graph.iter_edges g (fun e _ _ ->
+      let labels = Label.to_list (Tgraph.labels net e) in
+      check_bool "at least floor(a/p) ticks" true (List.length labels >= 4);
+      match labels with
+      | first :: _ ->
+        check_bool "phase within the first period" true (first >= 1 && first <= 5);
+        List.iteri
+          (fun i l -> check_int "arithmetic progression" (first + (5 * i)) l)
+          labels
+      | [] -> Alcotest.fail "periodic edges are never empty")
+
+let assignment_periodic_invalid () =
+  Alcotest.check_raises "period 0"
+    (Invalid_argument "Assignment.periodic: period must be >= 1") (fun () ->
+      ignore (Assignment.periodic (rng ()) (Sgraph.Gen.path 3) ~a:5 ~period:0))
+
+let assignment_bursty_extremes () =
+  let g = Sgraph.Gen.path 4 in
+  let never = Assignment.bursty (rng ()) g ~a:10 ~burst:3 ~rate:0. in
+  check_int "rate 0: empty" 0 (Tgraph.label_count never);
+  let always = Assignment.bursty (rng ()) g ~a:10 ~burst:1 ~rate:1. in
+  check_int "rate 1, burst 1: everything" 30 (Tgraph.label_count always)
+
+let assignment_bursty_runs () =
+  let g = Sgraph.Gen.path 3 in
+  let net = Assignment.bursty (rng ()) g ~a:50 ~burst:5 ~rate:0.1 in
+  Graph.iter_edges g (fun e _ _ ->
+      List.iter
+        (fun l -> check_bool "labels within lifetime" true (l >= 1 && l <= 50))
+        (Label.to_list (Tgraph.labels net e)))
+
+let assignment_bursty_invalid () =
+  Alcotest.check_raises "burst 0"
+    (Invalid_argument "Assignment.bursty: burst must be >= 1") (fun () ->
+      ignore (Assignment.bursty (rng ()) (Sgraph.Gen.path 3) ~a:5 ~burst:0 ~rate:0.5));
+  Alcotest.check_raises "rate out of range"
+    (Invalid_argument "Assignment.bursty: rate not in [0,1]") (fun () ->
+      ignore (Assignment.bursty (rng ()) (Sgraph.Gen.path 3) ~a:5 ~burst:2 ~rate:2.))
+
+let suites =
+  [
+    ( "temporal.reachability",
+      [
+        case "fixture treach" treach_fixture;
+        case "broken path" treach_broken_path;
+        case "labelless edges" treach_empty_labels_disconnected_static;
+        case "isolated vertices" treach_isolated_vertices;
+        case "pair counts" reachable_pair_counts;
+        case "partial pair counts" reachable_pair_counts_partial;
+        treach_iff_no_missing;
+        ratio_one_iff_treach;
+        case "temporally_reachable" temporally_reachable_consistent;
+      ] );
+    ( "temporal.assignment",
+      [
+        case "uniform single" assignment_uniform_single;
+        case "normalized" assignment_normalized;
+        assignment_uniform_single_covers;
+        case "multi label" assignment_multi;
+        case "multi r=0" assignment_multi_zero;
+        case "multi invalid" assignment_multi_invalid;
+        case "of_dist point" assignment_of_dist_point;
+        case "constant" assignment_constant;
+        case "all_times = hop distances" assignment_all_times_collapses_to_hops;
+        case "of_fun" assignment_of_fun;
+        case "periodic" assignment_periodic;
+        case "periodic invalid" assignment_periodic_invalid;
+        case "bursty extremes" assignment_bursty_extremes;
+        case "bursty runs" assignment_bursty_runs;
+        case "bursty invalid" assignment_bursty_invalid;
+      ] );
+  ]

@@ -1,0 +1,271 @@
+(* Tests for the simulation harness: runner, estimators, experiments. *)
+
+open Helpers
+module Rng = Prng.Rng
+module Runner = Sim.Runner
+module Estimators = Sim.Estimators
+module Experiments = Sim.Experiments
+
+(* --------------------------------------------------------------- *)
+(* Runner *)
+
+let runner_foreach_counts () =
+  let calls = ref [] in
+  Runner.foreach (rng ()) ~trials:5 (fun i _ -> calls := i :: !calls);
+  Alcotest.(check (list int)) "indices in order" [ 0; 1; 2; 3; 4 ]
+    (List.rev !calls)
+
+let runner_collect () =
+  let values = Runner.collect (rng ()) ~trials:4 (fun trial_rng -> Rng.int trial_rng 100) in
+  check_int "four values" 4 (List.length values)
+
+let runner_reproducible () =
+  let run () =
+    Runner.collect (Rng.create 9) ~trials:6 (fun trial_rng -> Rng.bits64 trial_rng)
+  in
+  Alcotest.(check (list int64)) "identical across runs" (run ()) (run ())
+
+let runner_trial_isolation () =
+  (* Trial i's stream does not depend on how much trial i-1 consumed. *)
+  let consume_lots trial_rng =
+    for _ = 1 to 100 do
+      ignore (Rng.bits64 trial_rng)
+    done
+  in
+  let second_of consume =
+    let root = Rng.create 4 in
+    let first = Rng.split root in
+    if consume then consume_lots first else ignore (Rng.bits64 first);
+    Rng.bits64 (Rng.split root)
+  in
+  Alcotest.(check int64) "second trial unaffected" (second_of false)
+    (second_of true)
+
+let runner_summarize () =
+  let summary = Runner.summarize (rng ()) ~trials:50 (fun trial_rng -> Rng.float trial_rng) in
+  check_int "count" 50 (Stats.Summary.count summary);
+  let mean = Stats.Summary.mean summary in
+  check_bool "uniform mean plausible" true (mean > 0.2 && mean < 0.8)
+
+let runner_count () =
+  check_int "all true" 10 (Runner.count (rng ()) ~trials:10 (fun _ -> true));
+  check_int "all false" 0 (Runner.count (rng ()) ~trials:10 (fun _ -> false))
+
+(* --------------------------------------------------------------- *)
+(* Estimators *)
+
+let estimator_clique_diameter () =
+  let stats = Estimators.clique_temporal_diameter (rng ()) ~n:16 ~a:16 ~trials:10 in
+  check_int "trials" 10 stats.trials;
+  check_int "clique never disconnects" 0 stats.disconnected;
+  check_int "all trials measured" 10 (Stats.Summary.count stats.summary);
+  let mean = Stats.Summary.mean stats.summary in
+  check_bool "diameter within (1, n]" true (mean > 1. && mean <= 16.)
+
+let estimator_diameter_records_disconnection () =
+  (* A path with one label per edge essentially never preserves full
+     reachability: expect disconnected instances. *)
+  let g = Sgraph.Gen.path 8 in
+  let stats = Estimators.temporal_diameter (rng ()) g ~a:8 ~r:1 ~trials:10 in
+  check_bool "disconnections observed" true (stats.disconnected > 0);
+  check_int "measured + disconnected = trials" 10
+    (Stats.Summary.count stats.summary + stats.disconnected)
+
+let estimator_flooding () =
+  let g = Sgraph.Gen.clique Directed 16 in
+  let summary, incomplete = Estimators.flooding_time (rng ()) g ~a:16 ~r:1 ~trials:8 in
+  check_int "complete on the clique" 0 incomplete;
+  check_int "all measured" 8 (Stats.Summary.count summary)
+
+let estimator_expansion () =
+  let params = Temporal.Expansion.default_params ~n:64 () in
+  let stats =
+    Estimators.expansion (rng ()) ~n:64 ~params ~instances:3 ~pairs_per_instance:5
+  in
+  check_int "attempts" 15 stats.attempts;
+  check_bool "rate in [0,1]" true
+    (stats.success_rate >= 0. && stats.success_rate <= 1.);
+  check_int "horizon matches params" (Temporal.Expansion.horizon params)
+    stats.horizon
+
+let estimator_gnp_connectivity () =
+  check_float "p=1 connected" 1.
+    (Estimators.gnp_connectivity (rng ()) ~n:12 ~p:1. ~trials:5);
+  check_float "p=0 disconnected" 0.
+    (Estimators.gnp_connectivity (rng ()) ~n:12 ~p:0. ~trials:5)
+
+(* --------------------------------------------------------------- *)
+(* Family *)
+
+let family_roundtrip () =
+  List.iter
+    (fun name ->
+      (* "gnp" is an alias for "gnp:2" and "gnp:<c>" is help text. *)
+      if name <> "gnp:<c>" && name <> "gnp" then
+        match Sim.Family.of_string name with
+        | Ok f -> Alcotest.(check string) name name (Sim.Family.to_string f)
+        | Error (`Msg m) -> Alcotest.fail m)
+    Sim.Family.names;
+  (match Sim.Family.of_string "gnp" with
+  | Ok f -> Alcotest.(check string) "gnp alias" "gnp:2" (Sim.Family.to_string f)
+  | Error (`Msg m) -> Alcotest.fail m)
+
+let family_gnp_coefficient () =
+  (match Sim.Family.of_string "gnp:3.5" with
+  | Ok (Gnp c) -> check_float "coefficient" 3.5 c
+  | _ -> Alcotest.fail "gnp:3.5 should parse");
+  check_bool "bad coefficient rejected" true
+    (Result.is_error (Sim.Family.of_string "gnp:zero"));
+  check_bool "unknown family rejected" true
+    (Result.is_error (Sim.Family.of_string "mobius"))
+
+let family_builds () =
+  let g = rng () in
+  List.iter
+    (fun name ->
+      if name <> "gnp:<c>" then
+        match Sim.Family.of_string name with
+        | Ok f ->
+          let graph = Sim.Family.build f g ~n:16 in
+          check_bool (name ^ " nonempty") true (Sgraph.Graph.n graph >= 4)
+        | Error (`Msg m) -> Alcotest.fail m)
+    Sim.Family.names;
+  check_int "hypercube rounds to power of two" 16
+    (Sgraph.Graph.n (Sim.Family.build Hypercube g ~n:16))
+
+(* --------------------------------------------------------------- *)
+(* Experiments registry *)
+
+let registry_ids_unique () =
+  let ids = List.map (fun (e : Experiments.t) -> e.id) Experiments.all in
+  check_int "twenty-two experiments" 22 (List.length ids);
+  check_int "ids unique" 22 (List.length (List.sort_uniq compare ids))
+
+let registry_find () =
+  (match Experiments.find "e3" with
+  | Some e -> check_bool "found e3" true (e.id = "e3")
+  | None -> Alcotest.fail "e3 must exist");
+  (match Experiments.find "E5" with
+  | Some e -> check_bool "case-insensitive" true (e.id = "e5")
+  | None -> Alcotest.fail "E5 must resolve");
+  check_bool "unknown id" true (Experiments.find "e99" = None)
+
+(* Every experiment runs at quick scale and produces populated tables.
+   This is the suite's end-to-end smoke over the entire stack. *)
+let experiment_cases =
+  List.map
+    (fun (e : Experiments.t) ->
+      case ("quick run " ^ e.id) (fun () ->
+          let outcome = e.run ~quick:true ~seed:17 in
+          check_bool "has tables" true (outcome.tables <> []);
+          List.iter
+            (fun table ->
+              check_bool
+                (Stats.Table.title table ^ " has rows")
+                true
+                (Stats.Table.rows table <> []))
+            outcome.tables;
+          check_bool "renders" true
+            (String.length (Sim.Outcome.render outcome) > 0)))
+    Experiments.all
+
+let experiments_deterministic () =
+  let render seed =
+    Sim.Outcome.render ((List.hd Experiments.all).run ~quick:true ~seed)
+  in
+  Alcotest.(check string) "same seed, same output" (render 3) (render 3);
+  check_bool "different seed, different output" true (render 3 <> render 4)
+
+(* Qualitative shape assertions at quick scale. *)
+let e1_shape () =
+  let outcome = (Option.get (Experiments.find "e1")).run ~quick:true ~seed:5 in
+  let table = List.hd outcome.tables in
+  let ratios = Stats.Table.column_floats table "TD/ln n" in
+  List.iter
+    (fun ratio ->
+      check_bool
+        (Printf.sprintf "TD/ln n = %.2f within [1.5, 7]" ratio)
+        true
+        (ratio > 1.5 && ratio < 7.))
+    ratios;
+  let disconn = Stats.Table.column_floats table "disconn" in
+  List.iter (fun d -> check_float "no disconnections" 0. d) disconn
+
+let e6_shape () =
+  let outcome = (Option.get (Experiments.find "e6")).run ~quick:true ~seed:5 in
+  let table = List.hd outcome.tables in
+  match Stats.Table.column_floats table "n=64" with
+  | low :: rest ->
+    let high = List.nth rest (List.length rest - 1) in
+    check_bool
+      (Printf.sprintf "connectivity steps up: %.2f -> %.2f" low high)
+      true
+      (low < 0.3 && high > 0.7)
+  | [] -> Alcotest.fail "expected rows"
+
+(* --------------------------------------------------------------- *)
+(* Outcome and report persistence *)
+
+let outcome_render_sections () =
+  let table = Stats.Table.create ~title:"T" ~columns:[ "c" ] in
+  Stats.Table.add_row table [ Int 1 ];
+  let outcome = Sim.Outcome.make ~notes:[ "a note" ] ~plots:[ "PLOT" ] [ table ] in
+  let s = Sim.Outcome.render outcome in
+  check_bool "table" true (contains s "T");
+  check_bool "note" true (contains s "note: a note");
+  check_bool "plot" true (contains s "PLOT")
+
+let report_persistence () =
+  let dir = Filename.temp_file "ephemeral" "" in
+  Sys.remove dir;
+  let exp = List.hd Experiments.all in
+  let outcome = exp.run ~quick:true ~seed:2 in
+  let csvs = Sim.Report.save_csv ~dir exp outcome in
+  check_bool "csv files written" true (csvs <> []);
+  List.iter (fun path -> check_bool path true (Sys.file_exists path)) csvs;
+  let md = Sim.Report.save_markdown ~dir exp outcome in
+  check_bool "markdown written" true (Sys.file_exists md);
+  (* Clean up. *)
+  List.iter Sys.remove csvs;
+  Sys.remove md;
+  Sys.rmdir dir
+
+let suites =
+  [
+    ( "sim.runner",
+      [
+        case "foreach" runner_foreach_counts;
+        case "collect" runner_collect;
+        case "reproducible" runner_reproducible;
+        case "trial isolation" runner_trial_isolation;
+        case "summarize" runner_summarize;
+        case "count" runner_count;
+      ] );
+    ( "sim.estimators",
+      [
+        case "clique diameter" estimator_clique_diameter;
+        case "diameter records disconnection" estimator_diameter_records_disconnection;
+        case "flooding" estimator_flooding;
+        case "expansion" estimator_expansion;
+        case "gnp connectivity" estimator_gnp_connectivity;
+      ] );
+    ( "sim.family",
+      [
+        case "roundtrip" family_roundtrip;
+        case "gnp coefficient" family_gnp_coefficient;
+        case "builds" family_builds;
+      ] );
+    ( "sim.experiments",
+      [ case "registry unique" registry_ids_unique; case "find" registry_find ]
+      @ experiment_cases
+      @ [
+          case "deterministic" experiments_deterministic;
+          case "e1 shape" e1_shape;
+          case "e6 shape" e6_shape;
+        ] );
+    ( "sim.report",
+      [
+        case "outcome render" outcome_render_sections;
+        case "persistence" report_persistence;
+      ] );
+  ]
