@@ -7,7 +7,8 @@
 
    Run with:  dune exec bench/main.exe            (full scale)
               dune exec bench/main.exe -- --quick (reduced scale)
-              dune exec bench/main.exe -- --no-micro / --no-tables       *)
+              dune exec bench/main.exe -- --no-micro / --no-tables
+              dune exec bench/main.exe -- --metrics --trace out.jsonl    *)
 
 module Rng = Prng.Rng
 open Temporal
@@ -15,6 +16,17 @@ open Temporal
 let quick = Array.exists (( = ) "--quick") Sys.argv
 let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
 let no_tables = Array.exists (( = ) "--no-tables") Sys.argv
+let metrics = Array.exists (( = ) "--metrics") Sys.argv
+
+let trace =
+  let argv = Sys.argv in
+  let n = Array.length argv in
+  let rec find i =
+    if i >= n then None
+    else if argv.(i) = "--trace" && i + 1 < n then Some argv.(i + 1)
+    else find (i + 1)
+  in
+  find 1
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: experiment tables *)
@@ -200,5 +212,21 @@ let run_micro () =
     (benchmark ())
 
 let () =
+  let sink =
+    Option.map
+      (fun path ->
+        let sink =
+          try Obs.Sink.open_jsonl path with
+          | Sys_error msg ->
+            Printf.eprintf "cannot open trace file: %s\n" msg;
+            exit 1
+        in
+        Obs.Sink.attach sink;
+        sink)
+      trace
+  in
+  if metrics || Option.is_some sink then Obs.Control.set_enabled true;
   if not no_tables then run_tables ();
-  if not no_micro then run_micro ()
+  if not no_micro then run_micro ();
+  Option.iter Obs.Sink.close sink;
+  if metrics then Obs.Export.print_summary ()

@@ -43,6 +43,39 @@ let r_term =
 let lifetime_of n = function Some a -> a | None -> n
 
 (* ------------------------------------------------------------------ *)
+(* Observability options *)
+
+let metrics_term =
+  let doc =
+    "Collect telemetry and print an end-of-run summary: one row per span \
+     (count, total/mean wall ms, GC words) plus every registered metric."
+  in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let trace_term =
+  let doc =
+    "Write every completed span as one JSON object per line to $(docv) \
+     (fields: name, depth, start_ns, dur_ns, minor_words, major_words)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+(* Returns the teardown to run after the instrumented work: closes the
+   trace sink and prints the summary, in that order. *)
+let setup_obs ~metrics ~trace =
+  let sink =
+    Option.map
+      (fun path ->
+        let sink = Obs.Sink.open_jsonl path in
+        Obs.Sink.attach sink;
+        sink)
+      trace
+  in
+  if metrics || Option.is_some sink then Obs.Control.set_enabled true;
+  fun () ->
+    Option.iter Obs.Sink.close sink;
+    if metrics then Obs.Export.print_summary ()
+
+(* ------------------------------------------------------------------ *)
 (* run / list *)
 
 let run_cmd =
@@ -58,7 +91,7 @@ let run_cmd =
     let doc = "Also write each experiment as Markdown into $(docv)." in
     Arg.(value & opt (some string) None & info [ "md" ] ~docv:"DIR" ~doc)
   in
-  let run ids quick seed csv md =
+  let run ids quick seed csv md metrics trace =
     let selected =
       match ids with
       | [] -> Ok Sim.Experiments.all
@@ -77,6 +110,11 @@ let run_cmd =
       prerr_endline msg;
       1
     | Ok experiments ->
+    match setup_obs ~metrics ~trace with
+    | exception Sys_error msg ->
+      Printf.eprintf "cannot open trace file: %s\n" msg;
+      1
+    | teardown ->
       List.iter
         (fun exp ->
           let outcome = Sim.Report.run_and_print ~quick ~seed exp in
@@ -87,11 +125,13 @@ let run_cmd =
             (fun dir -> ignore (Sim.Report.save_markdown ~dir exp outcome))
             md)
         experiments;
+      teardown ();
       0
   in
   let doc = "Run reproduction experiments and print their tables." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ ids_term $ quick_term $ seed_term $ csv_term $ md_term)
+    Term.(const run $ ids_term $ quick_term $ seed_term $ csv_term $ md_term
+          $ metrics_term $ trace_term)
 
 let list_cmd =
   let run () =

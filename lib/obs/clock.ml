@@ -1,0 +1,6 @@
+external now : unit -> int64 = "obs_clock_monotonic_ns"
+
+let elapsed_ns ~since = Int64.sub (now ()) since
+let ns_to_ms ns = Int64.to_float ns /. 1e6
+let ns_to_s ns = Int64.to_float ns /. 1e9
+let wall_s () = ns_to_s (now ())

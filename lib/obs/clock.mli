@@ -1,0 +1,21 @@
+(** Monotonic wall clock.
+
+    Nanoseconds since an arbitrary (boot-time) epoch via
+    [clock_gettime(CLOCK_MONOTONIC)]: real elapsed time, immune to NTP
+    steps and never paused — unlike [Sys.time], which reports CPU time
+    and undercounts anything that sleeps, waits on IO, or runs on other
+    cores.  All timing in the repository goes through this module. *)
+
+val now : unit -> int64
+(** Current monotonic time in nanoseconds.  Only differences are
+    meaningful. *)
+
+val elapsed_ns : since:int64 -> int64
+(** [elapsed_ns ~since:t0] is [now () - t0]. *)
+
+val wall_s : unit -> float
+(** [now] in seconds, for drop-in replacement of [Sys.time]-style
+    timing code ([wall_s () -. start]). *)
+
+val ns_to_ms : int64 -> float
+val ns_to_s : int64 -> float

@@ -1,0 +1,10 @@
+(** Global on/off switch for the telemetry subsystem.
+
+    Instrumentation sites ([Span.with_span], the counters threaded
+    through [Sim.Runner], ...) check this flag and reduce to a direct
+    call when it is off, so an uninstrumented run pays one branch per
+    site and allocates nothing.  Off by default; the CLI's [--metrics]
+    and [--trace] flags switch it on. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit

@@ -1,0 +1,56 @@
+module Table = Stats.Table
+
+let span_table () =
+  let table =
+    Table.create ~title:"Observability: spans"
+      ~columns:
+        [ "span"; "count"; "total ms"; "mean ms"; "minor words"; "major words" ]
+  in
+  List.iter
+    (fun (name, (t : Span.totals)) ->
+      let total_ms = Clock.ns_to_ms t.total_ns in
+      Table.add_row table
+        [
+          Str name;
+          Int t.count;
+          Float (total_ms, 2);
+          Float (total_ms /. float_of_int (Stdlib.max 1 t.count), 4);
+          Float (t.minor_words, 0);
+          Float (t.major_words, 0);
+        ])
+    (Span.totals ());
+  table
+
+let metrics_table () =
+  let table =
+    Table.create ~title:"Observability: metrics"
+      ~columns:[ "metric"; "kind"; "value"; "p50"; "p90"; "p99" ]
+  in
+  let dash = Table.Str "-" in
+  List.iter
+    (fun (name, v) ->
+      match (v : Metrics.value_snapshot) with
+      | Counter_v n ->
+        Table.add_row table [ Str name; Str "counter"; Int n; dash; dash; dash ]
+      | Gauge_v x ->
+        Table.add_row table
+          [ Str name; Str "gauge"; Float (x, 3); dash; dash; dash ]
+      | Histogram_v h ->
+        Table.add_row table
+          [
+            Str name;
+            Str "histogram";
+            Str (Printf.sprintf "n=%d sum=%.3g" h.h_count h.h_sum);
+            Float (h.p50, 3);
+            Float (h.p90, 3);
+            Float (h.p99, 3);
+          ])
+    (Metrics.snapshot ());
+  table
+
+let print_summary () =
+  print_string (Table.to_ascii (span_table ()));
+  if Metrics.snapshot () <> [] then begin
+    print_newline ();
+    print_string (Table.to_ascii (metrics_table ()))
+  end

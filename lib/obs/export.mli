@@ -1,0 +1,12 @@
+(** End-of-run telemetry rendering, via {!Stats.Table}.
+
+    [print_summary] is what the CLI's [--metrics] flag shows: one row
+    per span path (count, total and mean wall milliseconds, minor and
+    major words allocated), then one row per registered metric. *)
+
+val span_table : unit -> Stats.Table.t
+val metrics_table : unit -> Stats.Table.t
+
+val print_summary : unit -> unit
+(** Span table, then — only if any metric is registered — the metrics
+    table, to stdout. *)

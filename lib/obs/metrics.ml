@@ -1,0 +1,131 @@
+type counter = { mutable c_count : int }
+type gauge = { mutable g_value : float }
+
+(* Geometric buckets: value v > 0 lands in the bucket indexed by
+   floor ((log2 v - min_exp) * sub), i.e. 8 sub-buckets per power of
+   two starting at 2^-30 (~1e-9).  512 buckets cover 2^-30 .. 2^34. *)
+let sub = 8
+let min_exp = -30
+let nbuckets = 64 * sub
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+  buckets : int array;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
+let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+
+let get_or_create table name fresh =
+  match Hashtbl.find_opt table name with
+  | Some x -> x
+  | None ->
+    let x = fresh () in
+    Hashtbl.add table name x;
+    x
+
+let counter name = get_or_create counters name (fun () -> { c_count = 0 })
+let incr c = c.c_count <- c.c_count + 1
+let add c n = c.c_count <- c.c_count + n
+let count c = c.c_count
+
+let gauge name = get_or_create gauges name (fun () -> { g_value = 0. })
+let set g v = g.g_value <- v
+let value g = g.g_value
+
+let histogram name =
+  get_or_create histograms name (fun () ->
+      {
+        h_count = 0;
+        h_sum = 0.;
+        h_min = Float.infinity;
+        h_max = Float.neg_infinity;
+        buckets = Array.make nbuckets 0;
+      })
+
+let bucket_index v =
+  if v <= 0. then 0
+  else
+    let i =
+      int_of_float
+        (Float.floor ((Float.log2 v -. float_of_int min_exp) *. float_of_int sub))
+    in
+    if i < 0 then 0 else if i >= nbuckets then nbuckets - 1 else i
+
+(* Geometric midpoint of bucket [i], the canonical readout value. *)
+let bucket_mid i =
+  Float.exp2 (((float_of_int i +. 0.5) /. float_of_int sub) +. float_of_int min_exp)
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v;
+  let i = bucket_index v in
+  h.buckets.(i) <- h.buckets.(i) + 1
+
+let observations h = h.h_count
+
+let percentile h q =
+  if h.h_count = 0 then Float.nan
+  else if q <= 0. then h.h_min
+  else if q >= 1. then h.h_max
+  else begin
+    let rank =
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count)))
+    in
+    let rec walk i cum =
+      if i >= nbuckets then h.h_max
+      else
+        let cum = cum + h.buckets.(i) in
+        if cum >= rank then Float.min h.h_max (Float.max h.h_min (bucket_mid i))
+        else walk (i + 1) cum
+    in
+    walk 0 0
+  end
+
+type histo_summary = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type value_snapshot =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of histo_summary
+
+let snapshot () =
+  let entries = ref [] in
+  Hashtbl.iter (fun name c -> entries := (name, Counter_v c.c_count) :: !entries) counters;
+  Hashtbl.iter (fun name g -> entries := (name, Gauge_v g.g_value) :: !entries) gauges;
+  Hashtbl.iter
+    (fun name (h : histogram) ->
+      entries :=
+        ( name,
+          Histogram_v
+            {
+              h_count = h.h_count;
+              h_sum = h.h_sum;
+              h_min = h.h_min;
+              h_max = h.h_max;
+              p50 = percentile h 0.5;
+              p90 = percentile h 0.9;
+              p99 = percentile h 0.99;
+            } )
+        :: !entries)
+    histograms;
+  List.sort compare !entries
+
+let reset () =
+  Hashtbl.reset counters;
+  Hashtbl.reset gauges;
+  Hashtbl.reset histograms

@@ -1,0 +1,38 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let record_to_json (r : Span.record) =
+  Printf.sprintf
+    {|{"name":"%s","depth":%d,"start_ns":%Ld,"dur_ns":%Ld,"minor_words":%.0f,"major_words":%.0f}|}
+    (json_escape r.name) r.depth r.start_ns r.dur_ns r.minor_words r.major_words
+
+type t = { oc : out_channel; mutable closed : bool }
+
+let open_jsonl path = { oc = open_out path; closed = false }
+
+let emit t r =
+  if not t.closed then begin
+    output_string t.oc (record_to_json r);
+    output_char t.oc '\n'
+  end
+
+let attach t = Span.on_record (emit t)
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    close_out t.oc
+  end

@@ -1,0 +1,31 @@
+(** Trace sinks: span records out of the process.
+
+    The JSONL sink writes one JSON object per completed span, one per
+    line — the schema documented in README.md ("Observability"):
+
+    {v
+    {"name":"e1/trial","depth":1,"start_ns":123,"dur_ns":456,
+     "minor_words":7890,"major_words":0}
+    v} *)
+
+type t
+
+val open_jsonl : string -> t
+(** Open (truncate) [path] for writing. *)
+
+val attach : t -> unit
+(** Subscribe the sink to {!Span.on_record}. *)
+
+val emit : t -> Span.record -> unit
+val close : t -> unit
+(** Flush and close; idempotent.  Does not unsubscribe — use
+    {!Span.clear_handlers} when reconfiguring in-process. *)
+
+(** Serialization, exposed for tests. *)
+
+val json_escape : string -> string
+(** Escape a string for inclusion inside a JSON string literal
+    (backslash, double quote, and control characters). *)
+
+val record_to_json : Span.record -> string
+(** One JSON object, no trailing newline. *)

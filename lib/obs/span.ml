@@ -1,0 +1,90 @@
+type record = {
+  name : string;
+  depth : int;
+  start_ns : int64;
+  dur_ns : int64;
+  minor_words : float;
+  major_words : float;
+}
+
+type totals = {
+  count : int;
+  total_ns : int64;
+  minor_words : float;
+  major_words : float;
+}
+
+type agg = {
+  mutable a_count : int;
+  mutable a_total_ns : int64;
+  mutable a_minor : float;
+  mutable a_major : float;
+}
+
+(* Stack of full paths of the currently-open spans, innermost first. *)
+let stack : string list ref = ref []
+let handlers : (record -> unit) list ref = ref []
+let aggregates : (string, agg) Hashtbl.t = Hashtbl.create 32
+
+let on_record h = handlers := h :: !handlers
+let clear_handlers () = handlers := []
+
+let emit r =
+  (match Hashtbl.find_opt aggregates r.name with
+  | Some a ->
+    a.a_count <- a.a_count + 1;
+    a.a_total_ns <- Int64.add a.a_total_ns r.dur_ns;
+    a.a_minor <- a.a_minor +. r.minor_words;
+    a.a_major <- a.a_major +. r.major_words
+  | None ->
+    Hashtbl.add aggregates r.name
+      {
+        a_count = 1;
+        a_total_ns = r.dur_ns;
+        a_minor = r.minor_words;
+        a_major = r.major_words;
+      });
+  List.iter (fun h -> h r) !handlers
+
+let with_span name f =
+  if not (Control.enabled ()) then f ()
+  else begin
+    let path = match !stack with [] -> name | p :: _ -> p ^ "/" ^ name in
+    let depth = List.length !stack in
+    stack := path :: !stack;
+    let g0 = Gc.quick_stat () in
+    let start = Clock.now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur = Clock.elapsed_ns ~since:start in
+        let g1 = Gc.quick_stat () in
+        (match !stack with _ :: rest -> stack := rest | [] -> ());
+        emit
+          {
+            name = path;
+            depth;
+            start_ns = start;
+            dur_ns = dur;
+            minor_words = g1.minor_words -. g0.minor_words;
+            major_words = g1.major_words -. g0.major_words;
+          })
+      f
+  end
+
+let totals () =
+  Hashtbl.fold
+    (fun name a acc ->
+      ( name,
+        {
+          count = a.a_count;
+          total_ns = a.a_total_ns;
+          minor_words = a.a_minor;
+          major_words = a.a_major;
+        } )
+      :: acc)
+    aggregates []
+  |> List.sort compare
+
+let reset () =
+  Hashtbl.reset aggregates;
+  stack := []

@@ -1,0 +1,45 @@
+(** Nested span tracing on the monotonic clock, with GC deltas.
+
+    [with_span "trial" f] times [f] and captures how many minor- and
+    major-heap words it allocated ([Gc.quick_stat] deltas).  Spans
+    nest: a span opened inside another records its full path
+    ("e1/trial"), so one instrumentation site in a generic driver
+    yields per-caller breakdowns for free.
+
+    When {!Control.enabled} is off, [with_span] is [f ()] — one branch,
+    no clock read, no allocation.  When on, each closing span feeds the
+    in-process aggregate table (read by {!Export}) and every handler
+    registered with {!on_record} (the JSONL sink). *)
+
+type record = {
+  name : string;  (** full slash-joined path, e.g. ["e1/trial"] *)
+  depth : int;  (** 0 for a root span *)
+  start_ns : int64;  (** {!Clock.now} at open *)
+  dur_ns : int64;
+  minor_words : float;  (** words allocated in the minor heap inside the span *)
+  major_words : float;
+}
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** Exceptions propagate; the span still closes and records. *)
+
+val on_record : (record -> unit) -> unit
+(** Register a handler called with each completed span (innermost
+    first, since children close before their parent). *)
+
+val clear_handlers : unit -> unit
+
+(** Aggregates, accumulated whenever tracing is enabled. *)
+
+type totals = {
+  count : int;
+  total_ns : int64;
+  minor_words : float;
+  major_words : float;
+}
+
+val totals : unit -> (string * totals) list
+(** Per-span-path aggregate over the whole run, sorted by path. *)
+
+val reset : unit -> unit
+(** Drop aggregates and any dangling nesting state (not handlers). *)

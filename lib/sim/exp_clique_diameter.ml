@@ -19,7 +19,11 @@ let run ~quick ~seed =
     (fun n ->
       let trials = trials_for ~quick n in
       let stats =
-        Estimators.clique_temporal_diameter (Prng.Rng.split rng) ~n ~a:n ~trials
+        (* Per-size phase span: shows up in traces as e.g. "e1/n=64",
+           with the runner's per-trial spans nested one deeper. *)
+        Obs.Span.with_span (Printf.sprintf "n=%d" n) (fun () ->
+            Estimators.clique_temporal_diameter (Prng.Rng.split rng) ~n ~a:n
+              ~trials)
       in
       let mean = Summary.mean stats.summary in
       let ln_n = log (float_of_int n) in
@@ -58,13 +62,15 @@ let run ~quick ~seed =
         let trials = if quick then 4 else 5 in
         let g = Sgraph.Gen.clique Directed n in
         let summary = Summary.create () in
-        Runner.foreach rng ~trials (fun _ trial_rng ->
-            let net = Temporal.Assignment.normalized_uniform trial_rng g in
-            match
-              Temporal.Distance.instance_diameter_sampled trial_rng net ~sources
-            with
-            | Some d -> Summary.add_int summary d
-            | None -> ());
+        Obs.Span.with_span (Printf.sprintf "sampled/n=%d" n) (fun () ->
+            Runner.foreach rng ~trials (fun _ trial_rng ->
+                let net = Temporal.Assignment.normalized_uniform trial_rng g in
+                match
+                  Temporal.Distance.instance_diameter_sampled trial_rng net
+                    ~sources
+                with
+                | Some d -> Summary.add_int summary d
+                | None -> ()));
         let mean = Summary.mean summary in
         Table.add_row table
           [

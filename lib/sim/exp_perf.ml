@@ -2,13 +2,15 @@ module Table = Stats.Table
 module Rng = Prng.Rng
 open Temporal
 
-(* Median CPU time of [repeats] runs of [f], in seconds. *)
+(* Median wall time of [repeats] runs of [f], in seconds, on the
+   monotonic clock (Sys.time would report CPU time and undercount
+   anything that waits). *)
 let time_median ~repeats f =
   let samples =
     Array.init repeats (fun _ ->
-        let start = Sys.time () in
+        let start = Obs.Clock.now () in
         ignore (Sys.opaque_identity (f ()));
-        Sys.time () -. start)
+        Obs.Clock.ns_to_s (Obs.Clock.elapsed_ns ~since:start))
   in
   Stats.Quantile.median samples
 
@@ -57,8 +59,9 @@ let run ~quick ~seed =
       "all-pairs TD = n sweeps, so it scales as n*M = O(n^3) on the \
        clique; construction (sort + adjacency caches) dominates single \
        queries, which is why the API sorts once and reuses the stream";
-      "unlike every other table, these numbers are timings: shapes are \
-       stable, absolute values move with the machine";
+      "unlike every other table, these numbers are timings (median wall \
+       time on the monotonic clock): shapes are stable, absolute values \
+       move with the machine";
     ]
   in
   Outcome.make ~notes [ table ]

@@ -143,6 +143,17 @@ let all =
 
 let find id =
   let id = String.lowercase_ascii id in
-  List.find_opt (fun e -> e.id = id) all
+  match List.find_opt (fun e -> e.id = id) all with
+  | Some e -> Some e
+  | None ->
+    (* Forgiving lookup: "E1", "exp1", "ed1" all mean e1 — any spelling
+       whose digits name an experiment. *)
+    let digits =
+      String.to_seq id
+      |> Seq.filter (fun c -> c >= '0' && c <= '9')
+      |> String.of_seq
+    in
+    if digits = "" then None
+    else List.find_opt (fun e -> e.id = "e" ^ digits) all
 
 let default_seed = 20140623 (* SPAA'14 opening day *)

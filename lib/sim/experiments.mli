@@ -15,6 +15,8 @@ val all : t list
 (** In id order, e1 .. e10. *)
 
 val find : string -> t option
-(** Lookup by id (case-insensitive). *)
+(** Lookup by id, case-insensitively and forgiving of decoration:
+    any spelling whose digits name an experiment resolves (["E1"],
+    ["exp1"], ["ed1"] all mean [e1]). *)
 
 val default_seed : int

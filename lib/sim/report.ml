@@ -9,11 +9,25 @@ let print_outcome exp outcome =
   print_newline ()
 
 let run_and_print ~quick ~seed (exp : Experiments.t) =
-  let outcome = exp.run ~quick ~seed in
+  let outcome =
+    if not (Obs.Control.enabled ()) then exp.run ~quick ~seed
+    else begin
+      Obs.Metrics.incr (Obs.Metrics.counter "sim.experiments");
+      Obs.Span.with_span exp.id (fun () -> exp.run ~quick ~seed)
+    end
+  in
   print_outcome exp outcome;
   outcome
 
-let ensure_dir dir = if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+(* mkdir -p: create every missing component, tolerating races with a
+   concurrent creator. *)
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir -> ()
+  end
 
 let save_csv ~dir (exp : Experiments.t) (outcome : Outcome.t) =
   ensure_dir dir;

@@ -6,7 +6,12 @@ val print_outcome : Experiments.t -> Outcome.t -> unit
 
 val run_and_print : quick:bool -> seed:int -> Experiments.t -> Outcome.t
 (** Run, print, and also return the outcome (so callers can persist
-    it). *)
+    it).  When [Obs.Control.enabled], the run is wrapped in an
+    [Obs.Span] named after the experiment id and counted in
+    ["sim.experiments"]. *)
+
+val ensure_dir : string -> unit
+(** Create a directory and any missing parents ([mkdir -p]). *)
 
 val save_csv : dir:string -> Experiments.t -> Outcome.t -> string list
 (** Write each table as [<dir>/<id>_<k>.csv]; returns the paths.

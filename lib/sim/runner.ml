@@ -1,10 +1,35 @@
+(* When telemetry is on, every trial runs inside an Obs span named
+   "trial" — nested under the experiment's span (see Report), so the
+   trace shows e.g. "e1/trial" — and bumps the "sim.trials" counter.
+   The disabled path is the bare loop: same RNG splits, no clock reads,
+   no allocation. *)
+
 let foreach rng ~trials f =
-  for i = 0 to trials - 1 do
-    f i (Prng.Rng.split rng)
-  done
+  if not (Obs.Control.enabled ()) then
+    for i = 0 to trials - 1 do
+      f i (Prng.Rng.split rng)
+    done
+  else begin
+    let trial_count = Obs.Metrics.counter "sim.trials" in
+    for i = 0 to trials - 1 do
+      let trial_rng = Prng.Rng.split rng in
+      Obs.Span.with_span "trial" (fun () ->
+          Obs.Metrics.incr trial_count;
+          f i trial_rng)
+    done
+  end
 
 let collect rng ~trials f =
-  List.init trials (fun _ -> f (Prng.Rng.split rng))
+  if not (Obs.Control.enabled ()) then
+    List.init trials (fun _ -> f (Prng.Rng.split rng))
+  else begin
+    let trial_count = Obs.Metrics.counter "sim.trials" in
+    List.init trials (fun _ ->
+        let trial_rng = Prng.Rng.split rng in
+        Obs.Span.with_span "trial" (fun () ->
+            Obs.Metrics.incr trial_count;
+            f trial_rng))
+  end
 
 let summarize rng ~trials f =
   let summary = Stats.Summary.create () in

@@ -3,7 +3,13 @@
     Each trial gets its *own* stream split off the experiment's root
     stream, so trial [i] sees identical randomness no matter what other
     trials consumed — results are stable under reordering, sub-sampling
-    and (hypothetically) parallel execution. *)
+    and (hypothetically) parallel execution.
+
+    When [Obs.Control.enabled], every trial additionally runs inside an
+    [Obs.Span] named ["trial"] (nested under the enclosing experiment's
+    span) and increments the ["sim.trials"] counter; instrumentation
+    never touches the RNG stream, so traced and untraced runs produce
+    identical results. *)
 
 val foreach : Prng.Rng.t -> trials:int -> (int -> Prng.Rng.t -> unit) -> unit
 (** [foreach rng ~trials f] runs [f i rng_i] for [i = 0 .. trials-1]. *)

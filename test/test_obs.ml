@@ -1,0 +1,319 @@
+(* Tests for the Obs telemetry subsystem: metric semantics, histogram
+   percentiles, span nesting + GC deltas, JSONL serialization, and the
+   disabled fast path.
+
+   Obs state is global and process-wide, so every test that enables
+   tracing restores the disabled default and resets the registries on
+   the way out. *)
+
+open Helpers
+
+let with_tracing f =
+  Obs.Control.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Control.set_enabled false;
+      Obs.Span.clear_handlers ();
+      Obs.Span.reset ();
+      Obs.Metrics.reset ())
+    f
+
+(* --------------------------------------------------------------- *)
+(* Metrics: counters and gauges *)
+
+let counter_semantics () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter "test.c" in
+  check_int "fresh counter is zero" 0 (Obs.Metrics.count c);
+  Obs.Metrics.incr c;
+  Obs.Metrics.incr c;
+  Obs.Metrics.add c 40;
+  check_int "incr/add accumulate" 42 (Obs.Metrics.count c);
+  let c' = Obs.Metrics.counter "test.c" in
+  Obs.Metrics.incr c';
+  check_int "same name shares the instrument" 43 (Obs.Metrics.count c);
+  Obs.Metrics.reset ();
+  check_int "reset forgets" 0 (Obs.Metrics.count (Obs.Metrics.counter "test.c"))
+
+let gauge_semantics () =
+  Obs.Metrics.reset ();
+  let g = Obs.Metrics.gauge "test.g" in
+  check_float "fresh gauge is zero" 0. (Obs.Metrics.value g);
+  Obs.Metrics.set g 3.5;
+  Obs.Metrics.set g (-1.25);
+  check_float "set overwrites" (-1.25) (Obs.Metrics.value g);
+  check_float "same name shares the instrument" (-1.25)
+    (Obs.Metrics.value (Obs.Metrics.gauge "test.g"))
+
+(* --------------------------------------------------------------- *)
+(* Histograms *)
+
+let check_close ~rel msg expected actual =
+  let err = Float.abs (actual -. expected) /. Float.abs expected in
+  if err > rel then
+    Alcotest.failf "%s: expected ~%g, got %g (rel err %.3f > %.3f)" msg expected
+      actual err rel
+
+let histogram_percentiles () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "test.h" in
+  (* 1, 2, ..., 1000: every percentile is known exactly. *)
+  for i = 1 to 1000 do
+    Obs.Metrics.observe h (float_of_int i)
+  done;
+  check_int "count" 1000 (Obs.Metrics.observations h);
+  check_float "p0 is exact min" 1. (Obs.Metrics.percentile h 0.);
+  check_float "p100 is exact max" 1000. (Obs.Metrics.percentile h 1.);
+  (* 8 sub-buckets per octave: geometric-midpoint readout is within
+     a factor 2^(1/16) ~ 4.4% of the true rank value. *)
+  check_close ~rel:0.05 "p50" 500. (Obs.Metrics.percentile h 0.5);
+  check_close ~rel:0.05 "p90" 900. (Obs.Metrics.percentile h 0.9);
+  check_close ~rel:0.05 "p99" 990. (Obs.Metrics.percentile h 0.99)
+
+let histogram_extremes () =
+  Obs.Metrics.reset ();
+  let h = Obs.Metrics.histogram "test.h2" in
+  check_bool "empty percentile is nan" true
+    (Float.is_nan (Obs.Metrics.percentile h 0.5));
+  (* Non-positive and huge values must not escape the bucket range. *)
+  Obs.Metrics.observe h 0.;
+  Obs.Metrics.observe h (-5.);
+  Obs.Metrics.observe h 1e30;
+  check_int "count includes extremes" 3 (Obs.Metrics.observations h);
+  check_float "min exact" (-5.) (Obs.Metrics.percentile h 0.);
+  check_float "max exact" 1e30 (Obs.Metrics.percentile h 1.);
+  let p50 = Obs.Metrics.percentile h 0.5 in
+  check_bool "mid readout clamped to observed range" true
+    (p50 >= -5. && p50 <= 1e30)
+
+(* --------------------------------------------------------------- *)
+(* Clock *)
+
+let clock_monotonic () =
+  let t0 = Obs.Clock.now () in
+  let t1 = Obs.Clock.now () in
+  check_bool "clock never goes backwards" true (Int64.compare t1 t0 >= 0);
+  check_float ~eps:1e-12 "ns_to_ms" 1.5 (Obs.Clock.ns_to_ms 1_500_000L);
+  check_float ~eps:1e-12 "ns_to_s" 2. (Obs.Clock.ns_to_s 2_000_000_000L)
+
+(* --------------------------------------------------------------- *)
+(* Spans *)
+
+let span_nesting_and_gc () =
+  with_tracing (fun () ->
+      let records = ref [] in
+      Obs.Span.on_record (fun r -> records := r :: !records);
+      let result =
+        Obs.Span.with_span "outer" (fun () ->
+            Obs.Span.with_span "inner" (fun () ->
+                (* Force some minor-heap allocation to show up in the delta. *)
+                ignore (Sys.opaque_identity (Array.init 1000 (fun i -> [ i ])));
+                17))
+      in
+      check_int "with_span returns f's value" 17 result;
+      match List.rev !records with
+      | [ inner; outer ] ->
+        Alcotest.(check string) "inner path" "outer/inner" inner.Obs.Span.name;
+        Alcotest.(check string) "outer path" "outer" outer.Obs.Span.name;
+        check_int "inner depth" 1 inner.depth;
+        check_int "outer depth" 0 outer.depth;
+        check_bool "children close first" true
+          (Int64.compare inner.dur_ns outer.dur_ns <= 0);
+        check_bool "inner starts after outer" true
+          (Int64.compare outer.start_ns inner.start_ns <= 0);
+        check_bool "durations are non-negative" true
+          (Int64.compare inner.dur_ns 0L >= 0);
+        check_bool "allocation was observed" true (inner.minor_words > 0.);
+        check_bool "GC deltas nest" true (outer.minor_words >= inner.minor_words)
+      | records -> Alcotest.failf "expected 2 records, got %d" (List.length records))
+
+let span_survives_exceptions () =
+  with_tracing (fun () ->
+      (try Obs.Span.with_span "boom" (fun () -> failwith "boom") with
+      | Failure _ -> ());
+      match Obs.Span.totals () with
+      | [ ("boom", t) ] ->
+        check_int "the failed span still recorded" 1 t.Obs.Span.count;
+        (* The nesting stack must be clean: a sibling span is a root again. *)
+        Obs.Span.with_span "after" (fun () -> ());
+        check_bool "stack unwound" true
+          (List.mem_assoc "after" (Obs.Span.totals ()))
+      | l -> Alcotest.failf "expected [boom], got %d entries" (List.length l))
+
+let span_totals_aggregate () =
+  with_tracing (fun () ->
+      for _ = 1 to 5 do
+        Obs.Span.with_span "work" (fun () -> ())
+      done;
+      match List.assoc_opt "work" (Obs.Span.totals ()) with
+      | Some t ->
+        check_int "count aggregates" 5 t.Obs.Span.count;
+        check_bool "total duration non-negative" true
+          (Int64.compare t.total_ns 0L >= 0)
+      | None -> Alcotest.fail "missing aggregate for 'work'")
+
+let disabled_path_records_nothing () =
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Obs.Control.set_enabled false;
+  let fired = ref false in
+  Obs.Span.on_record (fun _ -> fired := true);
+  let r = Obs.Span.with_span "ghost" (fun () -> 3) in
+  Obs.Span.clear_handlers ();
+  check_int "disabled with_span is just f ()" 3 r;
+  check_bool "no handler fired" false !fired;
+  check_int "no aggregates" 0 (List.length (Obs.Span.totals ()))
+
+let runner_disabled_records_nothing () =
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Obs.Control.set_enabled false;
+  let summary =
+    Sim.Runner.summarize (rng ()) ~trials:10 (fun trial_rng ->
+        Prng.Rng.float trial_rng)
+  in
+  check_int "trials ran" 10 (Stats.Summary.count summary);
+  check_int "no spans recorded" 0 (List.length (Obs.Span.totals ()));
+  check_int "no trial counter" 0
+    (Obs.Metrics.count (Obs.Metrics.counter "sim.trials"));
+  Obs.Metrics.reset ()
+
+let runner_instrumentation_matches_results () =
+  (* Tracing must not perturb the RNG stream: same trial values with
+     telemetry on and off. *)
+  let collect () =
+    Sim.Runner.collect (Prng.Rng.create 7) ~trials:8 (fun trial_rng ->
+        Prng.Rng.bits64 trial_rng)
+  in
+  let plain = collect () in
+  let traced = with_tracing collect in
+  Alcotest.(check (list int64)) "identical trial randomness" plain traced
+
+let runner_traced_spans_and_counter () =
+  with_tracing (fun () ->
+      ignore (Sim.Runner.count (rng ()) ~trials:6 (fun _ -> true));
+      check_int "sim.trials counted" 6
+        (Obs.Metrics.count (Obs.Metrics.counter "sim.trials"));
+      match List.assoc_opt "trial" (Obs.Span.totals ()) with
+      | Some t -> check_int "one span per trial" 6 t.Obs.Span.count
+      | None -> Alcotest.fail "missing 'trial' aggregate")
+
+(* --------------------------------------------------------------- *)
+(* JSONL sink *)
+
+let json_escaping () =
+  Alcotest.(check string) "plain passes through" "abc" (Obs.Sink.json_escape "abc");
+  Alcotest.(check string) "quote" {|a\"b|} (Obs.Sink.json_escape {|a"b|});
+  Alcotest.(check string) "backslash" {|a\\b|} (Obs.Sink.json_escape {|a\b|});
+  Alcotest.(check string) "newline+tab" {|a\nb\tc|}
+    (Obs.Sink.json_escape "a\nb\tc");
+  Alcotest.(check string) "control char" {|\u0001|}
+    (Obs.Sink.json_escape "\x01")
+
+let record_serialization () =
+  let r =
+    {
+      Obs.Span.name = "e1/trial";
+      depth = 1;
+      start_ns = 123L;
+      dur_ns = 456L;
+      minor_words = 7890.;
+      major_words = 0.;
+    }
+  in
+  Alcotest.(check string) "canonical record"
+    {|{"name":"e1/trial","depth":1,"start_ns":123,"dur_ns":456,"minor_words":7890,"major_words":0}|}
+    (Obs.Sink.record_to_json r)
+
+let jsonl_sink_writes_lines () =
+  let path = Filename.temp_file "obs_test" ".jsonl" in
+  with_tracing (fun () ->
+      let sink = Obs.Sink.open_jsonl path in
+      Obs.Sink.attach sink;
+      Obs.Span.with_span "a" (fun () -> Obs.Span.with_span "b" (fun () -> ()));
+      Obs.Sink.close sink);
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  check_int "one line per span" 2 (List.length lines);
+  List.iter
+    (fun line ->
+      check_bool "line is an object" true
+        (String.length line > 2
+        && line.[0] = '{'
+        && line.[String.length line - 1] = '}');
+      check_bool "has name field" true (contains line {|"name":|});
+      check_bool "has dur_ns field" true (contains line {|"dur_ns":|}))
+    lines;
+  check_bool "inner span first (closes first)" true
+    (contains (List.nth lines 0) {|"name":"a/b"|})
+
+(* --------------------------------------------------------------- *)
+(* Export *)
+
+let export_tables () =
+  with_tracing (fun () ->
+      Obs.Span.with_span "phase" (fun () -> ());
+      Obs.Metrics.incr (Obs.Metrics.counter "c");
+      let h = Obs.Metrics.histogram "h" in
+      Obs.Metrics.observe h 10.;
+      let spans = Stats.Table.to_ascii (Obs.Export.span_table ()) in
+      check_bool "span row present" true (contains spans "phase");
+      check_bool "span columns" true (contains spans "total ms");
+      let metrics = Stats.Table.to_ascii (Obs.Export.metrics_table ()) in
+      check_bool "counter row present" true (contains metrics "counter");
+      check_bool "histogram row present" true (contains metrics "histogram"))
+
+(* --------------------------------------------------------------- *)
+(* Report.ensure_dir (satellite fix: nested paths) *)
+
+let ensure_dir_recursive () =
+  let base = Filename.temp_file "obs_dir" "" in
+  Sys.remove base;
+  let nested = Filename.concat (Filename.concat base "csv") "run1" in
+  Sim.Report.ensure_dir nested;
+  check_bool "nested directory exists" true
+    (Sys.file_exists nested && Sys.is_directory nested);
+  (* Idempotent on an existing path. *)
+  Sim.Report.ensure_dir nested;
+  check_bool "still exists" true (Sys.is_directory nested);
+  Sys.rmdir nested;
+  Sys.rmdir (Filename.concat base "csv");
+  Sys.rmdir base
+
+let suites =
+  [
+    ( "obs.metrics",
+      [
+        case "counter semantics" counter_semantics;
+        case "gauge semantics" gauge_semantics;
+        case "histogram percentiles on known data" histogram_percentiles;
+        case "histogram extremes and empty" histogram_extremes;
+      ] );
+    ( "obs.span",
+      [
+        case "clock is monotonic" clock_monotonic;
+        case "nesting, paths and GC deltas" span_nesting_and_gc;
+        case "exception safety" span_survives_exceptions;
+        case "aggregation" span_totals_aggregate;
+        case "disabled path records nothing" disabled_path_records_nothing;
+        case "disabled runner records nothing" runner_disabled_records_nothing;
+        case "tracing does not perturb trials"
+          runner_instrumentation_matches_results;
+        case "traced runner spans + counter" runner_traced_spans_and_counter;
+      ] );
+    ( "obs.sink",
+      [
+        case "JSON string escaping" json_escaping;
+        case "record serialization" record_serialization;
+        case "JSONL file output" jsonl_sink_writes_lines;
+        case "export tables" export_tables;
+      ] );
+    ("report.dirs", [ case "ensure_dir is recursive" ensure_dir_recursive ]);
+  ]

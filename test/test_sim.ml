@@ -148,7 +148,11 @@ let registry_find () =
   (match Experiments.find "E5" with
   | Some e -> check_bool "case-insensitive" true (e.id = "e5")
   | None -> Alcotest.fail "E5 must resolve");
-  check_bool "unknown id" true (Experiments.find "e99" = None)
+  (match Experiments.find "exp12" with
+  | Some e -> check_bool "decorated spelling" true (e.id = "e12")
+  | None -> Alcotest.fail "exp12 must resolve to e12");
+  check_bool "unknown id" true (Experiments.find "e99" = None);
+  check_bool "no digits, no guess" true (Experiments.find "clique" = None)
 
 (* Every experiment runs at quick scale and produces populated tables.
    This is the suite's end-to-end smoke over the entire stack. *)
