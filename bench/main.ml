@@ -2,31 +2,100 @@
 
    Part 1 regenerates every experiment table of the reproduction (the
    paper has no numeric tables of its own — each theorem's experiment is
-   the "table"; see DESIGN.md and EXPERIMENTS.md).  Part 2 runs Bechamel
+   the "table"; see DESIGN.md and EXPERIMENTS.md).  Part 2 measures the
+   sequential-vs-parallel wall time of E1 on the domain pool and checks
+   the outputs are byte-identical.  Part 3 runs Bechamel
    micro-benchmarks of the core algorithms, one Test.make per operation.
 
    Run with:  dune exec bench/main.exe            (full scale)
               dune exec bench/main.exe -- --quick (reduced scale)
-              dune exec bench/main.exe -- --no-micro / --no-tables
+              dune exec bench/main.exe -- --no-micro / --no-tables / --no-speedup
+              dune exec bench/main.exe -- --jobs 4
               dune exec bench/main.exe -- --metrics --trace out.jsonl    *)
 
 module Rng = Prng.Rng
 open Temporal
 
-let quick = Array.exists (( = ) "--quick") Sys.argv
-let no_micro = Array.exists (( = ) "--no-micro") Sys.argv
-let no_tables = Array.exists (( = ) "--no-tables") Sys.argv
-let metrics = Array.exists (( = ) "--metrics") Sys.argv
+(* ------------------------------------------------------------------ *)
+(* Options.  One pass over argv; anything unrecognized is a usage
+   error, so a typo ("--no-mirco") fails loudly instead of silently
+   running the full suite. *)
 
-let trace =
+type opts = {
+  mutable quick : bool;
+  mutable no_micro : bool;
+  mutable no_tables : bool;
+  mutable no_speedup : bool;
+  mutable metrics : bool;
+  mutable trace : string option;
+  mutable jobs : int option;
+}
+
+let usage_lines =
+  [
+    "usage: bench [options]";
+    "";
+    "  --quick        reduced scale (smaller sizes, shorter quotas)";
+    "  --no-tables    skip part 1 (experiment tables)";
+    "  --no-speedup   skip part 2 (E1 sequential-vs-parallel timing)";
+    "  --no-micro     skip part 3 (Bechamel micro-benchmarks)";
+    "  --jobs N, -j N worker domains for trial execution (default: 4";
+    "                 for the speedup run, EPHEMERAL_JOBS or the";
+    "                 recommended domain count elsewhere)";
+    "  --metrics      collect telemetry and print an end-of-run summary";
+    "  --trace FILE   write completed spans as JSONL to FILE";
+    "  --help         show this message";
+  ]
+
+let usage_error msg =
+  Printf.eprintf "bench: %s\n" msg;
+  List.iter (Printf.eprintf "%s\n") usage_lines;
+  exit 2
+
+let parse_args () =
+  let o =
+    {
+      quick = false;
+      no_micro = false;
+      no_tables = false;
+      no_speedup = false;
+      metrics = false;
+      trace = None;
+      jobs = None;
+    }
+  in
   let argv = Sys.argv in
   let n = Array.length argv in
-  let rec find i =
-    if i >= n then None
-    else if argv.(i) = "--trace" && i + 1 < n then Some argv.(i + 1)
-    else find (i + 1)
+  let value flag i =
+    if i + 1 >= n then usage_error (Printf.sprintf "%s needs a value" flag)
+    else argv.(i + 1)
   in
-  find 1
+  let int_value flag i =
+    match int_of_string_opt (value flag i) with
+    | Some v when v >= 1 -> v
+    | Some _ -> usage_error (Printf.sprintf "%s must be >= 1" flag)
+    | None -> usage_error (Printf.sprintf "%s needs an integer" flag)
+  in
+  let rec go i =
+    if i < n then
+      match argv.(i) with
+      | "--quick" -> o.quick <- true; go (i + 1)
+      | "--no-micro" -> o.no_micro <- true; go (i + 1)
+      | "--no-tables" -> o.no_tables <- true; go (i + 1)
+      | "--no-speedup" -> o.no_speedup <- true; go (i + 1)
+      | "--metrics" -> o.metrics <- true; go (i + 1)
+      | "--trace" -> o.trace <- Some (value "--trace" i); go (i + 2)
+      | ("--jobs" | "-j") as flag -> o.jobs <- Some (int_value flag i); go (i + 2)
+      | "--help" | "-h" ->
+        List.iter print_endline usage_lines;
+        exit 0
+      | arg -> usage_error (Printf.sprintf "unknown option %S" arg)
+  in
+  go 1;
+  o
+
+let opts = parse_args ()
+let quick = opts.quick
 
 (* ------------------------------------------------------------------ *)
 (* Part 1: experiment tables *)
@@ -48,7 +117,47 @@ let run_tables () =
     Sim.Experiments.all
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: Bechamel micro-benchmarks *)
+(* Part 2: sequential-vs-parallel speedup on E1 (quick scale).
+
+   Runs the same experiment at --jobs 1 and at the requested job count,
+   checks the rendered outcomes byte for byte (the determinism
+   contract), and reports the wall-time ratio.  Speedup above 1 needs
+   actual cores: on a single-core host the parallel leg only adds
+   scheduling overhead, and the printed ratio will honestly say so. *)
+
+let speedup_jobs = match opts.jobs with Some j -> j | None -> 4
+
+let run_speedup () =
+  print_endline
+    "=================================================================";
+  Printf.printf " E1 --quick: sequential vs parallel (%d domains, %d available)\n"
+    speedup_jobs (Domain.recommended_domain_count ());
+  print_endline
+    "=================================================================";
+  match Sim.Experiments.find "e1" with
+  | None -> print_endline "e1 not registered; skipping"
+  | Some e1 ->
+    let restore = Exec.Config.jobs () in
+    let time_run jobs =
+      Exec.Pool.set_jobs jobs;
+      let t0 = Unix.gettimeofday () in
+      let outcome = e1.run ~quick:true ~seed:Sim.Experiments.default_seed in
+      let dt = Unix.gettimeofday () -. t0 in
+      (Sim.Outcome.render outcome, dt)
+    in
+    ignore (time_run 1);  (* warm-up: page in code and the allocator *)
+    let seq_render, seq_t = time_run 1 in
+    let par_render, par_t = time_run speedup_jobs in
+    Printf.printf "  sequential (-j 1) : %7.3f s\n" seq_t;
+    Printf.printf "  parallel   (-j %d) : %7.3f s\n" speedup_jobs par_t;
+    Printf.printf "  speedup           : %5.2fx\n" (seq_t /. par_t);
+    Printf.printf "  outputs identical : %s\n"
+      (if String.equal seq_render par_render then "yes" else "NO (BUG)");
+    Exec.Pool.set_jobs restore;
+    print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: Bechamel micro-benchmarks *)
 
 open Bechamel
 open Toolkit
@@ -110,6 +219,24 @@ let micro_tests () =
         test "treach star n=64 r=8" (fun () -> Reachability.treach star64);
         test "diameter grid 16x16" (fun () -> Sgraph.Metrics.diameter grid);
       ];
+    (* Fixed per-task cost of the pool itself: the work (one array
+       write per index) is trivial, so the j=4 row is almost pure
+       dispatch + wakeup + gather overhead over the j=1 row. *)
+    (let pool1 = Exec.Pool.create ~jobs:1 in
+     let pool4 = Exec.Pool.create ~jobs:4 in
+     at_exit (fun () ->
+         Exec.Pool.shutdown pool1;
+         Exec.Pool.shutdown pool4);
+     Test.make_grouped ~name:"exec-pool" ~fmt:"%s %s"
+       [
+         test "map_range 1k j=1" (fun () ->
+             Exec.Pool.map_range pool1 ~lo:0 ~hi:1024 (fun i -> i * i));
+         test "map_range 1k j=4" (fun () ->
+             Exec.Pool.map_range pool4 ~lo:0 ~hi:1024 (fun i -> i * i));
+         test "reduce 1k j=4" (fun () ->
+             Exec.Pool.reduce pool4 ~lo:0 ~hi:1024 ~map:(fun i -> i)
+               ~fold:( + ) ~init:0);
+       ]);
     (let wnet128 = Windows.of_tgraph net128 in
      Test.make_grouped ~name:"windows" ~fmt:"%s %s"
        [
@@ -223,10 +350,12 @@ let () =
         in
         Obs.Sink.attach sink;
         sink)
-      trace
+      opts.trace
   in
-  if metrics || Option.is_some sink then Obs.Control.set_enabled true;
-  if not no_tables then run_tables ();
-  if not no_micro then run_micro ();
+  if opts.metrics || Option.is_some sink then Obs.Control.set_enabled true;
+  Option.iter Exec.Pool.set_jobs opts.jobs;
+  if not opts.no_tables then run_tables ();
+  if not opts.no_speedup then run_speedup ();
+  if not opts.no_micro then run_micro ();
   Option.iter Obs.Sink.close sink;
-  if metrics then Obs.Export.print_summary ()
+  if opts.metrics then Obs.Export.print_summary ()

@@ -40,6 +40,14 @@ let r_term =
   let doc = "Random labels per edge." in
   Arg.(value & opt int 1 & info [ "r" ] ~doc)
 
+let jobs_term =
+  let doc =
+    "Worker domains for trial execution (default: $(b,EPHEMERAL_JOBS) or \
+     the recommended domain count). Output is byte-identical at every \
+     job count."
+  in
+  Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let lifetime_of n = function Some a -> a | None -> n
 
 (* ------------------------------------------------------------------ *)
@@ -91,7 +99,8 @@ let run_cmd =
     let doc = "Also write each experiment as Markdown into $(docv)." in
     Arg.(value & opt (some string) None & info [ "md" ] ~docv:"DIR" ~doc)
   in
-  let run ids quick seed csv md metrics trace =
+  let run ids quick seed csv md metrics trace jobs =
+    Option.iter Exec.Pool.set_jobs jobs;
     let selected =
       match ids with
       | [] -> Ok Sim.Experiments.all
@@ -131,7 +140,7 @@ let run_cmd =
   let doc = "Run reproduction experiments and print their tables." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ ids_term $ quick_term $ seed_term $ csv_term $ md_term
-          $ metrics_term $ trace_term)
+          $ metrics_term $ trace_term $ jobs_term)
 
 let list_cmd =
   let run () =

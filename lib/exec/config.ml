@@ -1,0 +1,22 @@
+(* The runtime refuses to spawn more than ~128 domains; stay far below
+   so a typo'd EPHEMERAL_JOBS can't wedge the process. *)
+let max_jobs = 64
+
+let clamp n = if n < 1 then 1 else if n > max_jobs then max_jobs else n
+let recommended () = clamp (Domain.recommended_domain_count ())
+
+let env_jobs () =
+  match Sys.getenv_opt "EPHEMERAL_JOBS" with
+  | None -> None
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some n when n >= 1 -> Some (clamp n)
+    | Some _ | None -> None)
+
+let override : int option Atomic.t = Atomic.make None
+let set_jobs n = Atomic.set override (Some (clamp n))
+
+let jobs () =
+  match Atomic.get override with
+  | Some n -> n
+  | None -> ( match env_jobs () with Some n -> n | None -> recommended ())

@@ -1,0 +1,26 @@
+(** Job-count resolution for the domain pool.
+
+    The effective job count is, in priority order:
+
+    + an explicit {!set_jobs} (the CLI's [--jobs N]),
+    + the [EPHEMERAL_JOBS] environment variable,
+    + [Domain.recommended_domain_count ()].
+
+    Values are clamped to [\[1, max_jobs\]]; a malformed or non-positive
+    environment value is ignored rather than fatal, so a bad shell
+    profile can never break a run. *)
+
+val max_jobs : int
+(** Upper clamp on the job count (well under the runtime's domain
+    limit). *)
+
+val recommended : unit -> int
+(** [Domain.recommended_domain_count], clamped. *)
+
+val jobs : unit -> int
+(** The effective job count under the resolution order above. *)
+
+val set_jobs : int -> unit
+(** Override the job count for the rest of the process (clamped to
+    [\[1, max_jobs\]]).  Takes effect on the next {!Pool.global}
+    call. *)

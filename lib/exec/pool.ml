@@ -1,0 +1,217 @@
+(* A single-task barrier pool.  Workers park on [work] between tasks;
+   a task is published by bumping [gen] (the task generation each worker
+   last saw is its resume token).  Chunks are claimed from [task.next]
+   with fetch-and-add; the caller participates in draining, then waits
+   on [finished] until every claimed chunk has completed.
+
+   Chunk granularity: a few chunks per domain balances load (trial
+   costs vary — e.g. disconnected instances bail early) against
+   claim/complete traffic. *)
+
+type task = {
+  length : int;
+  chunk : int;
+  run_chunk : int -> int -> unit; (* run_chunk lo hi, hi exclusive *)
+  next : int Atomic.t;
+  mutable pending : int; (* chunks not yet completed; guarded by [m] *)
+  mutable failed : (exn * Printexc.raw_backtrace) option; (* guarded by [m] *)
+  ctx : (string * int) option; (* caller's open span, for path nesting *)
+}
+
+type t = {
+  jobs : int;
+  m : Mutex.t;
+  work : Condition.t;
+  finished : Condition.t;
+  mutable task : task option;
+  mutable gen : int;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let jobs t = t.jobs
+
+(* Set while a domain (worker or caller) is executing chunks: nested
+   map_range calls detect it and fall back to inline execution. *)
+let inside_task : bool ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref false)
+
+let chunks_per_domain = 4
+
+let drain t task =
+  let inside = Domain.DLS.get inside_task in
+  let was_inside = !inside in
+  inside := true;
+  Obs.Span.with_context task.ctx (fun () ->
+      let rec claim () =
+        let lo = Atomic.fetch_and_add task.next task.chunk in
+        if lo < task.length then begin
+          let hi = Stdlib.min task.length (lo + task.chunk) in
+          (* Once one chunk failed the task's result is dead: skip the
+             work, but still retire the chunk so completion counts up. *)
+          (if task.failed = None then
+             try task.run_chunk lo hi with
+             | e ->
+               let bt = Printexc.get_raw_backtrace () in
+               Mutex.lock t.m;
+               if task.failed = None then task.failed <- Some (e, bt);
+               Mutex.unlock t.m);
+          Mutex.lock t.m;
+          task.pending <- task.pending - 1;
+          if task.pending = 0 then Condition.broadcast t.finished;
+          Mutex.unlock t.m;
+          claim ()
+        end
+      in
+      claim ());
+  inside := was_inside
+
+let rec worker_loop t seen =
+  Mutex.lock t.m;
+  while t.gen = seen && not t.stop do
+    Condition.wait t.work t.m
+  done;
+  if t.stop then Mutex.unlock t.m
+  else begin
+    let gen = t.gen in
+    (* The task may already be complete and cleared by the time a slow
+       waker gets here; there is then nothing left to claim. *)
+    let task = t.task in
+    Mutex.unlock t.m;
+    Option.iter (drain t) task;
+    worker_loop t gen
+  end
+
+let create ~jobs =
+  let jobs = Stdlib.max 1 jobs in
+  let t =
+    {
+      jobs;
+      m = Mutex.create ();
+      work = Condition.create ();
+      finished = Condition.create ();
+      task = None;
+      gen = 0;
+      stop = false;
+      workers = [||];
+    }
+  in
+  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  let workers = t.workers in
+  t.stop <- true;
+  t.workers <- [||];
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  Array.iter Domain.join workers
+
+let run t task =
+  Mutex.lock t.m;
+  t.task <- Some task;
+  t.gen <- t.gen + 1;
+  Condition.broadcast t.work;
+  Mutex.unlock t.m;
+  drain t task;
+  Mutex.lock t.m;
+  while task.pending > 0 do
+    Condition.wait t.finished t.m
+  done;
+  t.task <- None;
+  Mutex.unlock t.m;
+  match task.failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+(* In-order sequential loop: the jobs = 1 / nested / tiny-range path. *)
+let seq_map ~lo ~hi f =
+  let a = Array.make (hi - lo) (f lo) in
+  for i = lo + 1 to hi - 1 do
+    a.(i - lo) <- f i
+  done;
+  a
+
+let parallel t ~lo ~hi run_chunk =
+  let length = hi - lo in
+  let chunk =
+    Stdlib.max 1 ((length + (t.jobs * chunks_per_domain) - 1) / (t.jobs * chunks_per_domain))
+  in
+  let pending = (length + chunk - 1) / chunk in
+  let enabled = Obs.Control.enabled () in
+  if enabled then begin
+    Obs.Metrics.incr (Obs.Metrics.counter "pool.tasks");
+    Obs.Metrics.add (Obs.Metrics.counter "pool.chunks") pending
+  end;
+  run t
+    {
+      length;
+      chunk;
+      run_chunk;
+      next = Atomic.make 0;
+      pending;
+      failed = None;
+      ctx = (if enabled then Obs.Span.context () else None);
+    }
+
+let sequential t ~lo ~hi =
+  hi - lo <= 1 || t.jobs = 1 || !(Domain.DLS.get inside_task)
+
+let map_range t ~lo ~hi f =
+  if hi <= lo then [||]
+  else if sequential t ~lo ~hi then seq_map ~lo ~hi f
+  else begin
+    let results = Array.make (hi - lo) None in
+    parallel t ~lo ~hi (fun clo chi ->
+        for i = clo to chi - 1 do
+          results.(i) <- Some (f (lo + i))
+        done);
+    Array.map (function Some v -> v | None -> assert false) results
+  end
+
+let iter_range t ~lo ~hi f =
+  if hi <= lo then ()
+  else if sequential t ~lo ~hi then
+    for i = lo to hi - 1 do
+      f i
+    done
+  else
+    parallel t ~lo ~hi (fun clo chi ->
+        for i = clo to chi - 1 do
+          f (lo + i)
+        done)
+
+let reduce t ~lo ~hi ~map ~fold ~init =
+  Array.fold_left fold init (map_range t ~lo ~hi map)
+
+(* ------------------------------------------------------------------ *)
+(* Process-wide pool *)
+
+let global_m = Mutex.create ()
+let global_pool : t option ref = ref None
+
+let set_jobs = Config.set_jobs
+
+let global () =
+  Mutex.lock global_m;
+  let want = Config.jobs () in
+  let pool =
+    match !global_pool with
+    | Some p when p.jobs = want -> p
+    | prev ->
+      Option.iter shutdown prev;
+      let p = create ~jobs:want in
+      global_pool := Some p;
+      p
+  in
+  Mutex.unlock global_m;
+  pool
+
+let () =
+  at_exit (fun () ->
+      Mutex.lock global_m;
+      let p = !global_pool in
+      global_pool := None;
+      Mutex.unlock global_m;
+      Option.iter shutdown p)

@@ -1,0 +1,65 @@
+(** Fixed-size domain pool with a chunked work queue over index ranges.
+
+    A pool of [jobs] domains total: the calling domain plus [jobs - 1]
+    spawned workers that park on a condition variable between tasks, so
+    per-task overhead is a couple of mutex operations rather than a
+    domain spawn.  One task runs at a time; its index range is cut into
+    chunks (a few per domain) claimed off a shared atomic counter, so a
+    slow chunk doesn't idle the rest of the pool.
+
+    {b Determinism contract.}  [map_range] writes slot [i] of the result
+    from [f i] no matter which domain ran it and returns the array in
+    index order, and [reduce] folds that array sequentially left to
+    right — so as long as [f i] depends only on [i] (e.g. on a
+    pre-split per-trial RNG, never on a stream shared across indices),
+    the result is byte-identical at any job count.  See DESIGN.md
+    "Parallel execution".
+
+    Worker domains propagate the caller's open {!Obs.Span} context, so
+    spans opened inside [f] record the same nested path ("e1/trial")
+    they would under sequential execution.
+
+    Calls from inside a pool task (nested parallelism) degrade to
+    sequential execution in the calling domain rather than deadlock. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [max 1 jobs - 1] worker domains.  [jobs = 1]
+    never spawns and runs everything inline. *)
+
+val jobs : t -> int
+
+val shutdown : t -> unit
+(** Join all workers.  Idempotent; the pool must be idle. *)
+
+val map_range : t -> lo:int -> hi:int -> (int -> 'a) -> 'a array
+(** [map_range t ~lo ~hi f] is [[| f lo; ...; f (hi - 1) |]], with the
+    calls distributed over the pool.  Empty when [hi <= lo].  If any
+    [f i] raises, the first exception (in claim order) is re-raised in
+    the caller once every running chunk has finished; remaining
+    unclaimed chunks are skipped. *)
+
+val iter_range : t -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [map_range] without results.  [f]'s side effects must be safe to
+    run concurrently (e.g. each [i] writing a distinct array slot). *)
+
+val reduce :
+  t -> lo:int -> hi:int -> map:(int -> 'a) -> fold:('b -> 'a -> 'b) -> init:'b -> 'b
+(** [reduce t ~lo ~hi ~map ~fold ~init] maps in parallel, then folds
+    the results {e sequentially in index order} — associativity of
+    [fold] is not required, and float accumulation matches the
+    sequential loop bit for bit. *)
+
+(** {2 Process-wide pool}
+
+    Shared by every trial-parallel call site ([Sim.Runner],
+    [Temporal.Por]).  Sized by {!Config.jobs} and rebuilt lazily when
+    that changes ([--jobs], {!set_jobs}); shut down automatically at
+    exit. *)
+
+val global : unit -> t
+
+val set_jobs : int -> unit
+(** [Config.set_jobs]: resize the global pool from the next {!global}
+    call on. *)

@@ -1,3 +1,5 @@
-let flag = ref false
-let enabled () = !flag
-let set_enabled b = flag := b
+(* Atomic so the flag is read coherently from pool worker domains; it
+   is set once at startup, so every read after that is a cache hit. *)
+let flag = Atomic.make false
+let enabled () = Atomic.get flag
+let set_enabled b = Atomic.set flag b

@@ -1,5 +1,19 @@
-type counter = { mutable c_count : int }
-type gauge = { mutable g_value : float }
+(* Domain-sharded registries.  Each domain owns one shard (Domain.DLS)
+   holding its private instrument records, so the hot operations —
+   incr/add/set/observe — touch only domain-local memory and need no
+   synchronization.  Every shard is listed in a global registry; reads
+   (count/value/percentile/snapshot) merge all shards under the
+   registry mutex: counters and histograms sum, gauges keep the most
+   recently set value (a global stamp breaks ties across domains).
+
+   A handle ([counter "x"]) carries the metric's name plus a one-slot
+   cache of (domain id, record).  The cache field is racy by design:
+   the pair itself is immutable, so a stale read just misses and
+   re-resolves against the reader's own shard.  Handles may therefore
+   be created in one domain and used in any other. *)
+
+type crecord = { mutable c_count : int }
+type grecord = { mutable g_value : float; mutable g_stamp : int }
 
 (* Geometric buckets: value v > 0 lands in the bucket indexed by
    floor ((log2 v - min_exp) * sub), i.e. 8 sub-buckets per power of
@@ -8,7 +22,7 @@ let sub = 8
 let min_exp = -30
 let nbuckets = 64 * sub
 
-type histogram = {
+type hrecord = {
   mutable h_count : int;
   mutable h_sum : float;
   mutable h_min : float;
@@ -16,36 +30,125 @@ type histogram = {
   buckets : int array;
 }
 
-let counters : (string, counter) Hashtbl.t = Hashtbl.create 16
-let gauges : (string, gauge) Hashtbl.t = Hashtbl.create 16
-let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 16
+type shard = {
+  s_counters : (string, crecord) Hashtbl.t;
+  s_gauges : (string, grecord) Hashtbl.t;
+  s_histograms : (string, hrecord) Hashtbl.t;
+}
 
+let registry_m = Mutex.create ()
+let shards : shard list ref = ref []
+let gauge_stamp = Atomic.make 1
+
+let shard_key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        {
+          s_counters = Hashtbl.create 16;
+          s_gauges = Hashtbl.create 16;
+          s_histograms = Hashtbl.create 16;
+        }
+      in
+      Mutex.lock registry_m;
+      shards := s :: !shards;
+      Mutex.unlock registry_m;
+      s)
+
+(* Bumped by [reset] so cached records from before the reset are
+   re-resolved instead of mutated as orphans. *)
+let epoch = Atomic.make 0
+
+type 'r handle = { name : string; mutable cache : (int * int * 'r) option }
+type counter = crecord handle
+type gauge = grecord handle
+type histogram = hrecord handle
+
+let counter name : counter = { name; cache = None }
+let gauge name : gauge = { name; cache = None }
+let histogram name : histogram = { name; cache = None }
+
+(* Instrument creation is rare; guard it with the registry mutex so a
+   merging reader never sees a shard table mid-resize. *)
 let get_or_create table name fresh =
-  match Hashtbl.find_opt table name with
-  | Some x -> x
-  | None ->
-    let x = fresh () in
-    Hashtbl.add table name x;
-    x
+  Mutex.lock registry_m;
+  let r =
+    match Hashtbl.find_opt table name with
+    | Some r -> r
+    | None ->
+      let r = fresh () in
+      Hashtbl.add table name r;
+      r
+  in
+  Mutex.unlock registry_m;
+  r
 
-let counter name = get_or_create counters name (fun () -> { c_count = 0 })
-let incr c = c.c_count <- c.c_count + 1
-let add c n = c.c_count <- c.c_count + n
-let count c = c.c_count
+let resolve (h : 'r handle) (pick : shard -> (string, 'r) Hashtbl.t) fresh : 'r =
+  let did = (Domain.self () :> int) in
+  let ep = Atomic.get epoch in
+  match h.cache with
+  | Some (e, d, r) when d = did && e = ep -> r
+  | _ ->
+    let r = get_or_create (pick (Domain.DLS.get shard_key)) h.name fresh in
+    h.cache <- Some (ep, did, r);
+    r
 
-let gauge name = get_or_create gauges name (fun () -> { g_value = 0. })
-let set g v = g.g_value <- v
-let value g = g.g_value
+let fresh_counter () = { c_count = 0 }
+let fresh_gauge () = { g_value = 0.; g_stamp = 0 }
 
-let histogram name =
-  get_or_create histograms name (fun () ->
-      {
-        h_count = 0;
-        h_sum = 0.;
-        h_min = Float.infinity;
-        h_max = Float.neg_infinity;
-        buckets = Array.make nbuckets 0;
-      })
+let fresh_histogram () =
+  {
+    h_count = 0;
+    h_sum = 0.;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+    buckets = Array.make nbuckets 0;
+  }
+
+let counter_record (h : counter) = resolve h (fun s -> s.s_counters) fresh_counter
+let gauge_record (h : gauge) = resolve h (fun s -> s.s_gauges) fresh_gauge
+
+let histogram_record (h : histogram) =
+  resolve h (fun s -> s.s_histograms) fresh_histogram
+
+(* Merged reads: fold the named record over every shard. *)
+let fold_shards pick name f init =
+  Mutex.lock registry_m;
+  let acc =
+    List.fold_left
+      (fun acc s ->
+        match Hashtbl.find_opt (pick s) name with
+        | Some r -> f acc r
+        | None -> acc)
+      init !shards
+  in
+  Mutex.unlock registry_m;
+  acc
+
+let incr (h : counter) =
+  let r = counter_record h in
+  r.c_count <- r.c_count + 1
+
+let add (h : counter) n =
+  let r = counter_record h in
+  r.c_count <- r.c_count + n
+
+let count (h : counter) =
+  fold_shards (fun s -> s.s_counters) h.name (fun acc r -> acc + r.c_count) 0
+
+let set (h : gauge) v =
+  let r = gauge_record h in
+  r.g_value <- v;
+  r.g_stamp <- Atomic.fetch_and_add gauge_stamp 1
+
+let value (h : gauge) =
+  let _, v =
+    fold_shards
+      (fun s -> s.s_gauges)
+      h.name
+      (fun (stamp, v) r -> if r.g_stamp >= stamp then (r.g_stamp, r.g_value) else (stamp, v))
+      (-1, 0.)
+  in
+  v
 
 let bucket_index v =
   if v <= 0. then 0
@@ -60,33 +163,47 @@ let bucket_index v =
 let bucket_mid i =
   Float.exp2 (((float_of_int i +. 0.5) /. float_of_int sub) +. float_of_int min_exp)
 
-let observe h v =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
+let observe (h : histogram) v =
+  let r = histogram_record h in
+  r.h_count <- r.h_count + 1;
+  r.h_sum <- r.h_sum +. v;
+  if v < r.h_min then r.h_min <- v;
+  if v > r.h_max then r.h_max <- v;
   let i = bucket_index v in
-  h.buckets.(i) <- h.buckets.(i) + 1
+  r.buckets.(i) <- r.buckets.(i) + 1
 
-let observations h = h.h_count
+let merge_into (acc : hrecord) (r : hrecord) =
+  acc.h_count <- acc.h_count + r.h_count;
+  acc.h_sum <- acc.h_sum +. r.h_sum;
+  if r.h_min < acc.h_min then acc.h_min <- r.h_min;
+  if r.h_max > acc.h_max then acc.h_max <- r.h_max;
+  Array.iteri (fun i n -> acc.buckets.(i) <- acc.buckets.(i) + n) r.buckets;
+  acc
 
-let percentile h q =
-  if h.h_count = 0 then Float.nan
-  else if q <= 0. then h.h_min
-  else if q >= 1. then h.h_max
+let merged_histogram name =
+  fold_shards (fun s -> s.s_histograms) name merge_into (fresh_histogram ())
+
+let observations (h : histogram) = (merged_histogram h.name).h_count
+
+let percentile_of (r : hrecord) q =
+  if r.h_count = 0 then Float.nan
+  else if q <= 0. then r.h_min
+  else if q >= 1. then r.h_max
   else begin
     let rank =
-      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int h.h_count)))
+      Stdlib.max 1 (int_of_float (Float.ceil (q *. float_of_int r.h_count)))
     in
     let rec walk i cum =
-      if i >= nbuckets then h.h_max
+      if i >= nbuckets then r.h_max
       else
-        let cum = cum + h.buckets.(i) in
-        if cum >= rank then Float.min h.h_max (Float.max h.h_min (bucket_mid i))
+        let cum = cum + r.buckets.(i) in
+        if cum >= rank then Float.min r.h_max (Float.max r.h_min (bucket_mid i))
         else walk (i + 1) cum
     in
     walk 0 0
   end
+
+let percentile (h : histogram) q = percentile_of (merged_histogram h.name) q
 
 type histo_summary = {
   h_count : int;
@@ -104,28 +221,70 @@ type value_snapshot =
   | Histogram_v of histo_summary
 
 let snapshot () =
-  let entries = ref [] in
-  Hashtbl.iter (fun name c -> entries := (name, Counter_v c.c_count) :: !entries) counters;
-  Hashtbl.iter (fun name g -> entries := (name, Gauge_v g.g_value) :: !entries) gauges;
-  Hashtbl.iter
-    (fun name (h : histogram) ->
-      entries :=
-        ( name,
-          Histogram_v
-            {
-              h_count = h.h_count;
-              h_sum = h.h_sum;
-              h_min = h.h_min;
-              h_max = h.h_max;
-              p50 = percentile h 0.5;
-              p90 = percentile h 0.9;
-              p99 = percentile h 0.99;
-            } )
-        :: !entries)
-    histograms;
-  List.sort compare !entries
+  (* Merge under one lock: collect the union of names per kind, then
+     combine shard records name by name. *)
+  Mutex.lock registry_m;
+  let all = !shards in
+  let names pick =
+    List.fold_left
+      (fun acc s -> Hashtbl.fold (fun name _ acc -> name :: acc) (pick s) acc)
+      [] all
+    |> List.sort_uniq compare
+  in
+  let sum_counter name =
+    List.fold_left
+      (fun acc s ->
+        match Hashtbl.find_opt s.s_counters name with
+        | Some r -> acc + r.c_count
+        | None -> acc)
+      0 all
+  in
+  let latest_gauge name =
+    List.fold_left
+      (fun (stamp, v) s ->
+        match Hashtbl.find_opt s.s_gauges name with
+        | Some r when r.g_stamp >= stamp -> (r.g_stamp, r.g_value)
+        | _ -> (stamp, v))
+      (-1, 0.) all
+    |> snd
+  in
+  let merge_histo name =
+    List.fold_left
+      (fun acc s ->
+        match Hashtbl.find_opt s.s_histograms name with
+        | Some r -> merge_into acc r
+        | None -> acc)
+      (fresh_histogram ()) all
+  in
+  let entries =
+    List.map (fun name -> (name, Counter_v (sum_counter name))) (names (fun s -> s.s_counters))
+    @ List.map (fun name -> (name, Gauge_v (latest_gauge name))) (names (fun s -> s.s_gauges))
+    @ List.map
+        (fun name ->
+          let r = merge_histo name in
+          ( name,
+            Histogram_v
+              {
+                h_count = r.h_count;
+                h_sum = r.h_sum;
+                h_min = r.h_min;
+                h_max = r.h_max;
+                p50 = percentile_of r 0.5;
+                p90 = percentile_of r 0.9;
+                p99 = percentile_of r 0.99;
+              } ))
+        (names (fun s -> s.s_histograms))
+  in
+  Mutex.unlock registry_m;
+  List.sort compare entries
 
 let reset () =
-  Hashtbl.reset counters;
-  Hashtbl.reset gauges;
-  Hashtbl.reset histograms
+  Mutex.lock registry_m;
+  Atomic.incr epoch;
+  List.iter
+    (fun s ->
+      Hashtbl.reset s.s_counters;
+      Hashtbl.reset s.s_gauges;
+      Hashtbl.reset s.s_histograms)
+    !shards;
+  Mutex.unlock registry_m

@@ -7,6 +7,15 @@
     under ~4.5% per readout), so one fixed 512-slot array spans
     nanoseconds to hours with no reallocation on the hot path.
 
+    {b Domain safety.}  Under the hood every domain owns a private
+    shard ([Domain.DLS]) of instrument records, so updates
+    ([incr]/[add]/[set]/[observe]) are unsynchronized domain-local
+    writes; reads ([count], [value], [percentile], {!snapshot}) merge
+    all shards — counters and histograms sum, a gauge keeps its most
+    recently set value.  Handles are just names with a per-domain
+    cache: create them anywhere and use them from any domain,
+    including pool workers.
+
     Registration and updates are always live — cheap enough that the
     on/off decision belongs to the *instrumentation sites* (see
     {!Control}), not to every [incr]. *)
@@ -55,9 +64,9 @@ type value_snapshot =
   | Histogram_v of histo_summary
 
 val snapshot : unit -> (string * value_snapshot) list
-(** All registered metrics, sorted by name (counters, gauges then
-    histograms on a name tie). *)
+(** All registered metrics merged across domain shards, sorted by name
+    (counters, gauges then histograms on a name tie). *)
 
 val reset : unit -> unit
-(** Forget every registered metric (tests and repeated in-process
-    runs). *)
+(** Forget every registered metric in every shard (tests and repeated
+    in-process runs). *)

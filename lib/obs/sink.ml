@@ -19,20 +19,27 @@ let record_to_json (r : Span.record) =
     {|{"name":"%s","depth":%d,"start_ns":%Ld,"dur_ns":%Ld,"minor_words":%.0f,"major_words":%.0f}|}
     (json_escape r.name) r.depth r.start_ns r.dur_ns r.minor_words r.major_words
 
-type t = { oc : out_channel; mutable closed : bool }
+(* The mutex makes emit/close safe against each other when spans close
+   on pool worker domains; whole-line writes under the lock keep every
+   JSONL line intact. *)
+type t = { oc : out_channel; m : Mutex.t; mutable closed : bool }
 
-let open_jsonl path = { oc = open_out path; closed = false }
+let open_jsonl path = { oc = open_out path; m = Mutex.create (); closed = false }
 
 let emit t r =
+  Mutex.lock t.m;
   if not t.closed then begin
     output_string t.oc (record_to_json r);
     output_char t.oc '\n'
-  end
+  end;
+  Mutex.unlock t.m
 
 let attach t = Span.on_record (emit t)
 
 let close t =
+  Mutex.lock t.m;
   if not t.closed then begin
     t.closed <- true;
     close_out t.oc
-  end
+  end;
+  Mutex.unlock t.m

@@ -6,7 +6,10 @@
     {v
     {"name":"e1/trial","depth":1,"start_ns":123,"dur_ns":456,
      "minor_words":7890,"major_words":0}
-    v} *)
+    v}
+
+    Writes are mutex-guarded whole lines, so spans closing on pool
+    worker domains interleave per record, never mid-line. *)
 
 type t
 

@@ -21,15 +21,34 @@ type agg = {
   mutable a_major : float;
 }
 
-(* Stack of full paths of the currently-open spans, innermost first. *)
-let stack : string list ref = ref []
+(* Each domain nests independently: the stack of currently-open spans
+   (full path + that span's own depth) is domain-local state, so trials
+   timed inside pool workers never corrupt the caller's nesting. *)
+type frame = { f_path : string; f_depth : int }
+
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+(* Aggregates and the handler list are shared across domains: one
+   mutex guards both, taken once per span close (spans bound trials,
+   not inner loops, so contention is negligible).  Handlers run inside
+   the lock, which also serializes sink writes. *)
+let m = Mutex.create ()
 let handlers : (record -> unit) list ref = ref []
 let aggregates : (string, agg) Hashtbl.t = Hashtbl.create 32
 
-let on_record h = handlers := h :: !handlers
-let clear_handlers () = handlers := []
+let on_record h =
+  Mutex.lock m;
+  handlers := h :: !handlers;
+  Mutex.unlock m
+
+let clear_handlers () =
+  Mutex.lock m;
+  handlers := [];
+  Mutex.unlock m
 
 let emit r =
+  Mutex.lock m;
   (match Hashtbl.find_opt aggregates r.name with
   | Some a ->
     a.a_count <- a.a_count + 1;
@@ -44,14 +63,19 @@ let emit r =
         a_minor = r.minor_words;
         a_major = r.major_words;
       });
-  List.iter (fun h -> h r) !handlers
+  List.iter (fun h -> h r) !handlers;
+  Mutex.unlock m
 
 let with_span name f =
   if not (Control.enabled ()) then f ()
   else begin
-    let path = match !stack with [] -> name | p :: _ -> p ^ "/" ^ name in
-    let depth = List.length !stack in
-    stack := path :: !stack;
+    let stack = Domain.DLS.get stack_key in
+    let path, depth =
+      match !stack with
+      | [] -> (name, 0)
+      | fr :: _ -> (fr.f_path ^ "/" ^ name, fr.f_depth + 1)
+    in
+    stack := { f_path = path; f_depth = depth } :: !stack;
     let g0 = Gc.quick_stat () in
     let start = Clock.now () in
     Fun.protect
@@ -71,20 +95,40 @@ let with_span name f =
       f
   end
 
+let context () =
+  match !(Domain.DLS.get stack_key) with
+  | [] -> None
+  | fr :: _ -> Some (fr.f_path, fr.f_depth)
+
+let with_context ctx f =
+  match ctx with
+  | None -> f ()
+  | Some (path, depth) ->
+    let stack = Domain.DLS.get stack_key in
+    let saved = !stack in
+    stack := [ { f_path = path; f_depth = depth } ];
+    Fun.protect ~finally:(fun () -> stack := saved) f
+
 let totals () =
-  Hashtbl.fold
-    (fun name a acc ->
-      ( name,
-        {
-          count = a.a_count;
-          total_ns = a.a_total_ns;
-          minor_words = a.a_minor;
-          major_words = a.a_major;
-        } )
-      :: acc)
-    aggregates []
-  |> List.sort compare
+  Mutex.lock m;
+  let entries =
+    Hashtbl.fold
+      (fun name a acc ->
+        ( name,
+          {
+            count = a.a_count;
+            total_ns = a.a_total_ns;
+            minor_words = a.a_minor;
+            major_words = a.a_major;
+          } )
+        :: acc)
+      aggregates []
+  in
+  Mutex.unlock m;
+  List.sort compare entries
 
 let reset () =
+  Mutex.lock m;
   Hashtbl.reset aggregates;
-  stack := []
+  Mutex.unlock m;
+  Domain.DLS.get stack_key := []

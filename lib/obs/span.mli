@@ -6,6 +6,15 @@
     ("e1/trial"), so one instrumentation site in a generic driver
     yields per-caller breakdowns for free.
 
+    {b Domain safety.}  The nesting stack is domain-local
+    ([Domain.DLS]), so spans opened concurrently in pool workers nest
+    independently; the aggregate table and the handler list are shared
+    and mutex-guarded, with handlers invoked under the lock (one
+    completed span at a time — the JSONL sink needs no locking of its
+    own for ordering).  A pool worker inherits the submitting domain's
+    innermost span via {!context}/{!with_context}, so a trial span
+    records the same "e1/n=64/trial" path at any job count.
+
     When {!Control.enabled} is off, [with_span] is [f ()] — one branch,
     no clock read, no allocation.  When on, each closing span feeds the
     in-process aggregate table (read by {!Export}) and every handler
@@ -29,7 +38,19 @@ val on_record : (record -> unit) -> unit
 
 val clear_handlers : unit -> unit
 
-(** Aggregates, accumulated whenever tracing is enabled. *)
+(** {2 Cross-domain context} *)
+
+val context : unit -> (string * int) option
+(** The calling domain's innermost open span as [(path, depth)], or
+    [None] outside any span.  Capture it before handing work to
+    another domain. *)
+
+val with_context : (string * int) option -> (unit -> 'a) -> 'a
+(** [with_context ctx f] runs [f] with [ctx] installed as the ambient
+    parent span, so spans opened by [f] extend [ctx]'s path; restores
+    the previous stack afterwards.  [with_context None f] is [f ()]. *)
+
+(** {2 Aggregates, accumulated whenever tracing is enabled} *)
 
 type totals = {
   count : int;
@@ -42,4 +63,5 @@ val totals : unit -> (string * totals) list
 (** Per-span-path aggregate over the whole run, sorted by path. *)
 
 val reset : unit -> unit
-(** Drop aggregates and any dangling nesting state (not handlers). *)
+(** Drop aggregates and the calling domain's dangling nesting state
+    (not handlers). *)

@@ -2,6 +2,12 @@ module Graph = Sgraph.Graph
 module Rng = Prng.Rng
 open Temporal
 
+(* Every estimator follows one shape: Runner.map produces a pure
+   per-trial value on the pool, then a sequential fold over the ordered
+   array rebuilds the aggregates in trial order.  Keeping the float
+   adds in that fold (never on the workers) makes the numbers
+   bit-identical to the old sequential loops at any job count. *)
+
 type diameter_stats = {
   trials : int;
   summary : Stats.Summary.t;
@@ -10,16 +16,21 @@ type diameter_stats = {
 }
 
 let temporal_diameter rng g ~a ~r ~trials =
+  let per_trial =
+    Runner.map rng ~trials (fun _ trial_rng ->
+        let net = Assignment.uniform_multi trial_rng g ~a ~r in
+        Distance.instance_diameter net)
+  in
   let summary = Stats.Summary.create () in
   let samples = ref [] in
   let disconnected = ref 0 in
-  Runner.foreach rng ~trials (fun _ trial_rng ->
-      let net = Assignment.uniform_multi trial_rng g ~a ~r in
-      match Distance.instance_diameter net with
+  Array.iter
+    (function
       | Some d ->
         Stats.Summary.add_int summary d;
         samples := float_of_int d :: !samples
-      | None -> incr disconnected);
+      | None -> incr disconnected)
+    per_trial;
   {
     trials;
     summary;
@@ -31,14 +42,19 @@ let clique_temporal_diameter rng ~n ~a ~trials =
   temporal_diameter rng (Sgraph.Gen.clique Directed n) ~a ~r:1 ~trials
 
 let flooding_time rng g ~a ~r ~trials =
+  let per_trial =
+    Runner.map rng ~trials (fun _ trial_rng ->
+        let net = Assignment.uniform_multi trial_rng g ~a ~r in
+        let source = Rng.int trial_rng (Graph.n g) in
+        Flooding.broadcast_time net source)
+  in
   let summary = Stats.Summary.create () in
   let incomplete = ref 0 in
-  Runner.foreach rng ~trials (fun _ trial_rng ->
-      let net = Assignment.uniform_multi trial_rng g ~a ~r in
-      let source = Rng.int trial_rng (Graph.n g) in
-      match Flooding.broadcast_time net source with
+  Array.iter
+    (function
       | Some t -> Stats.Summary.add_int summary t
-      | None -> incr incomplete);
+      | None -> incr incomplete)
+    per_trial;
   (summary, !incomplete)
 
 type expansion_stats = {
@@ -49,26 +65,41 @@ type expansion_stats = {
   horizon : int;
 }
 
+(* Per (instance, pair): did the expansion succeed, its arrival time if
+   so, and the foremost-flooding arrival for the same pair. *)
+type pair_outcome = {
+  po_success : bool;
+  po_arrival : int option;
+  po_flooding : int option;
+}
+
 let expansion rng ~n ~params ~instances ~pairs_per_instance =
   let g = Sgraph.Gen.clique Directed n in
+  let per_instance =
+    Runner.map rng ~trials:instances (fun _ trial_rng ->
+        let net = Assignment.normalized_uniform trial_rng g in
+        List.init pairs_per_instance (fun _ ->
+            let s = Rng.int trial_rng n in
+            let t = (s + 1 + Rng.int trial_rng (n - 1)) mod n in
+            let outcome = Expansion.run net params ~s ~t in
+            {
+              po_success = outcome.Expansion.success;
+              po_arrival = (if outcome.Expansion.success then outcome.Expansion.arrival else None);
+              po_flooding = Foremost.distance (Foremost.run net s) t;
+            }))
+  in
   let attempts = ref 0 and successes = ref 0 in
   let arrival = Stats.Summary.create () in
   let flooding_arrival = Stats.Summary.create () in
-  Runner.foreach rng ~trials:instances (fun _ trial_rng ->
-      let net = Assignment.normalized_uniform trial_rng g in
-      for _ = 1 to pairs_per_instance do
-        let s = Rng.int trial_rng n in
-        let t = (s + 1 + Rng.int trial_rng (n - 1)) mod n in
-        incr attempts;
-        let outcome = Expansion.run net params ~s ~t in
-        if outcome.success then begin
-          incr successes;
-          Option.iter (fun x -> Stats.Summary.add_int arrival x) outcome.arrival
-        end;
-        (match Foremost.distance (Foremost.run net s) t with
-        | Some d -> Stats.Summary.add_int flooding_arrival d
-        | None -> ())
-      done);
+  Array.iter
+    (List.iter (fun po ->
+         incr attempts;
+         if po.po_success then begin
+           incr successes;
+           Option.iter (fun x -> Stats.Summary.add_int arrival x) po.po_arrival
+         end;
+         Option.iter (fun d -> Stats.Summary.add_int flooding_arrival d) po.po_flooding))
+    per_instance;
   {
     attempts = !attempts;
     success_rate = float_of_int !successes /. float_of_int (Stdlib.max 1 !attempts);

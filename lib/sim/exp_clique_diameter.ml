@@ -62,15 +62,16 @@ let run ~quick ~seed =
         let trials = if quick then 4 else 5 in
         let g = Sgraph.Gen.clique Directed n in
         let summary = Summary.create () in
-        Obs.Span.with_span (Printf.sprintf "sampled/n=%d" n) (fun () ->
-            Runner.foreach rng ~trials (fun _ trial_rng ->
-                let net = Temporal.Assignment.normalized_uniform trial_rng g in
-                match
+        let per_trial =
+          Obs.Span.with_span (Printf.sprintf "sampled/n=%d" n) (fun () ->
+              Runner.map rng ~trials (fun _ trial_rng ->
+                  let net = Temporal.Assignment.normalized_uniform trial_rng g in
                   Temporal.Distance.instance_diameter_sampled trial_rng net
-                    ~sources
-                with
-                | Some d -> Summary.add_int summary d
-                | None -> ()));
+                    ~sources))
+        in
+        Array.iter
+          (function Some d -> Summary.add_int summary d | None -> ())
+          per_trial;
         let mean = Summary.mean summary in
         Table.add_row table
           [

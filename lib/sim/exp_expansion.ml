@@ -101,15 +101,19 @@ let layers_table ~quick rng =
   let fwd = Array.init depth (fun _ -> Summary.create ()) in
   let bwd = Array.init depth (fun _ -> Summary.create ()) in
   let samples = if quick then 10 else 20 in
-  for _ = 1 to samples do
-    let trial_rng = Rng.split rng in
-    let net = Assignment.normalized_uniform trial_rng g in
-    let s = Rng.int trial_rng n in
-    let t = (s + 1 + Rng.int trial_rng (n - 1)) mod n in
-    let outcome = Expansion.run net params ~s ~t in
-    Array.iteri (fun i size -> Summary.add_int fwd.(i) size) outcome.forward_layers;
-    Array.iteri (fun i size -> Summary.add_int bwd.(i) size) outcome.backward_layers
-  done;
+  let per_sample =
+    Runner.map rng ~trials:samples (fun _ trial_rng ->
+        let net = Assignment.normalized_uniform trial_rng g in
+        let s = Rng.int trial_rng n in
+        let t = (s + 1 + Rng.int trial_rng (n - 1)) mod n in
+        let outcome = Expansion.run net params ~s ~t in
+        (outcome.forward_layers, outcome.backward_layers))
+  in
+  Array.iter
+    (fun (forward, backward) ->
+      Array.iteri (fun i size -> Summary.add_int fwd.(i) size) forward;
+      Array.iteri (fun i size -> Summary.add_int bwd.(i) size) backward)
+    per_sample;
   let table =
     Table.create
       ~title:

@@ -58,14 +58,21 @@ let two_split_table ~quick rng =
   in
   List.iter
     (fun r ->
+      let per_trial =
+        Runner.map rng ~trials (fun _ trial_rng ->
+            let net = Assignment.uniform_multi trial_rng g ~a:n ~r in
+            let half = n / 2 in
+            let first = Label.any_in (Tgraph.labels net e1) ~lo:0 ~hi:half in
+            let second = Label.any_in (Tgraph.labels net e2) ~lo:half ~hi:n in
+            ( first <> None && second <> None,
+              Reachability.temporally_reachable net 1 2 ))
+      in
       let split_hits = ref 0 and journey_hits = ref 0 in
-      Runner.foreach rng ~trials (fun _ trial_rng ->
-          let net = Assignment.uniform_multi trial_rng g ~a:n ~r in
-          let half = n / 2 in
-          let first = Label.any_in (Tgraph.labels net e1) ~lo:0 ~hi:half in
-          let second = Label.any_in (Tgraph.labels net e2) ~lo:half ~hi:n in
-          if first <> None && second <> None then incr split_hits;
-          if Reachability.temporally_reachable net 1 2 then incr journey_hits);
+      Array.iter
+        (fun (split, journey) ->
+          if split then incr split_hits;
+          if journey then incr journey_hits)
+        per_trial;
       let theory =
         let miss = Float.pow 0.5 (float_of_int r) in
         (1. -. miss) ** 2.

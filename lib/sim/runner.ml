@@ -1,8 +1,40 @@
-(* When telemetry is on, every trial runs inside an Obs span named
-   "trial" — nested under the experiment's span (see Report), so the
-   trace shows e.g. "e1/trial" — and bumps the "sim.trials" counter.
-   The disabled path is the bare loop: same RNG splits, no clock reads,
-   no allocation. *)
+(* Trial execution over the process-wide domain pool.
+
+   [map] is the parallel primitive: it pre-splits one child stream per
+   trial with Rng.split_n — drawing exactly the per-iteration splits
+   the sequential loop would — hands the indexed trials to
+   Exec.Pool.map_range, and returns results in trial order.  Because
+   trial i's stream and result slot depend only on i, the gathered
+   array is byte-identical at any job count, and identical to the
+   sequential loop it replaced.  collect/summarize/count fold that
+   ordered array in the calling domain, so even float accumulation
+   (Welford in Stats.Summary) matches the sequential order exactly.
+
+   [foreach] stays sequential: its closures mutate caller state freely
+   (shared summaries, accumulator refs), which is exactly what cannot
+   be handed to worker domains.  Heavy experiments use [map].
+
+   When telemetry is on, every trial runs inside an Obs span named
+   "trial" — nested under the experiment's span even when the trial
+   executes on a pool worker (the pool forwards the caller's span
+   context) — and bumps the "sim.trials" counter.  The disabled path
+   adds no clock reads and no instrumentation allocation. *)
+
+let map rng ~trials f =
+  if trials <= 0 then [||]
+  else begin
+    let rngs = Prng.Rng.split_n rng trials in
+    let pool = Exec.Pool.global () in
+    if not (Obs.Control.enabled ()) then
+      Exec.Pool.map_range pool ~lo:0 ~hi:trials (fun i -> f i rngs.(i))
+    else begin
+      let trial_count = Obs.Metrics.counter "sim.trials" in
+      Exec.Pool.map_range pool ~lo:0 ~hi:trials (fun i ->
+          Obs.Span.with_span "trial" (fun () ->
+              Obs.Metrics.incr trial_count;
+              f i rngs.(i)))
+    end
+  end
 
 let foreach rng ~trials f =
   if not (Obs.Control.enabled ()) then
@@ -19,24 +51,14 @@ let foreach rng ~trials f =
     done
   end
 
-let collect rng ~trials f =
-  if not (Obs.Control.enabled ()) then
-    List.init trials (fun _ -> f (Prng.Rng.split rng))
-  else begin
-    let trial_count = Obs.Metrics.counter "sim.trials" in
-    List.init trials (fun _ ->
-        let trial_rng = Prng.Rng.split rng in
-        Obs.Span.with_span "trial" (fun () ->
-            Obs.Metrics.incr trial_count;
-            f trial_rng))
-  end
+let collect rng ~trials f = Array.to_list (map rng ~trials (fun _ trial_rng -> f trial_rng))
 
 let summarize rng ~trials f =
+  let values = map rng ~trials (fun _ trial_rng -> f trial_rng) in
   let summary = Stats.Summary.create () in
-  foreach rng ~trials (fun _ trial_rng -> Stats.Summary.add summary (f trial_rng));
+  Array.iter (Stats.Summary.add summary) values;
   summary
 
 let count rng ~trials f =
-  let hits = ref 0 in
-  foreach rng ~trials (fun _ trial_rng -> if f trial_rng then incr hits);
-  !hits
+  let hits = map rng ~trials (fun _ trial_rng -> f trial_rng) in
+  Array.fold_left (fun acc hit -> if hit then acc + 1 else acc) 0 hits

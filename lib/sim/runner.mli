@@ -3,20 +3,40 @@
     Each trial gets its *own* stream split off the experiment's root
     stream, so trial [i] sees identical randomness no matter what other
     trials consumed — results are stable under reordering, sub-sampling
-    and (hypothetically) parallel execution.
+    and parallel execution.
+
+    {b Parallelism and determinism.}  [map], [collect], [summarize] and
+    [count] run trials on the process-wide domain pool
+    ({!Exec.Pool.global}, sized by [--jobs] / [EPHEMERAL_JOBS]).  All
+    per-trial streams are pre-split with [Rng.split_n] — the exact
+    splits a sequential loop would draw — and results are gathered in
+    trial-index order before any reduction, so output is byte-identical
+    at every job count, including [--jobs 1].  [foreach] alone stays
+    sequential in the calling domain: its callback is free to mutate
+    shared caller state.
 
     When [Obs.Control.enabled], every trial additionally runs inside an
     [Obs.Span] named ["trial"] (nested under the enclosing experiment's
-    span) and increments the ["sim.trials"] counter; instrumentation
-    never touches the RNG stream, so traced and untraced runs produce
-    identical results. *)
+    span, even on pool workers) and increments the ["sim.trials"]
+    counter; instrumentation never touches the RNG stream, so traced
+    and untraced runs produce identical results. *)
+
+val map : Prng.Rng.t -> trials:int -> (int -> Prng.Rng.t -> 'a) -> 'a array
+(** [map rng ~trials f] evaluates [f i rng_i] for [i = 0 .. trials-1]
+    on the domain pool and returns the results in index order.  [f]
+    must not mutate shared state (beyond Obs instrumentation, which is
+    domain-safe). *)
 
 val foreach : Prng.Rng.t -> trials:int -> (int -> Prng.Rng.t -> unit) -> unit
-(** [foreach rng ~trials f] runs [f i rng_i] for [i = 0 .. trials-1]. *)
+(** [foreach rng ~trials f] runs [f i rng_i] for [i = 0 .. trials-1],
+    sequentially, in the calling domain. *)
 
 val collect : Prng.Rng.t -> trials:int -> (Prng.Rng.t -> 'a) -> 'a list
 
 val summarize : Prng.Rng.t -> trials:int -> (Prng.Rng.t -> float) -> Stats.Summary.t
+(** Trials run in parallel; the summary is folded sequentially in
+    trial order, so even float accumulation matches a sequential run
+    bit for bit. *)
 
 val count : Prng.Rng.t -> trials:int -> (Prng.Rng.t -> bool) -> int
 (** Number of trials returning [true]. *)

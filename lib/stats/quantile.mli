@@ -18,3 +18,10 @@ val iqr : float array -> float
 val quantiles : float array -> float list -> (float * float) list
 (** [quantiles xs qs] evaluates several quantiles sharing one sort;
     returns [(q, value)] pairs in the order given. *)
+
+val merge_sorted : float array -> float array -> float array
+(** [merge_sorted xs ys] with both inputs ascending: their ascending
+    union (with duplicates), in linear time.  Combines per-shard sorted
+    samples (e.g. collected by parallel trial runs) so [of_sorted] on
+    the result equals [quantile] on the concatenation — quantiles are
+    order-statistics, so merging loses nothing. *)

@@ -9,13 +9,20 @@ type estimate = {
   target : float;
 }
 
+(* Each probe pre-splits one RNG stream per trial and samples the
+   assignments on the domain pool; the count is folded in trial order,
+   so results don't depend on the job count. *)
 let successes rng g ~a ~r ~trials =
-  let count = ref 0 in
-  for _ = 1 to trials do
-    let net = Assignment.uniform_multi rng g ~a ~r in
-    if Reachability.treach net then incr count
-  done;
-  !count
+  if trials <= 0 then 0
+  else begin
+    let rngs = Prng.Rng.split_n rng trials in
+    Exec.Pool.reduce (Exec.Pool.global ()) ~lo:0 ~hi:trials
+      ~map:(fun i ->
+        let net = Assignment.uniform_multi rngs.(i) g ~a ~r in
+        Reachability.treach net)
+      ~fold:(fun acc hit -> if hit then acc + 1 else acc)
+      ~init:0
+  end
 
 let success_probability rng g ~a ~r ~trials =
   float_of_int (successes rng g ~a ~r ~trials) /. float_of_int trials

@@ -17,7 +17,9 @@ type estimate = {
 val success_probability :
   Prng.Rng.t -> Sgraph.Graph.t -> a:int -> r:int -> trials:int -> float
 (** Empirical probability that [r] uniform labels per edge satisfy
-    [Treach], over freshly sampled assignments. *)
+    [Treach], over freshly sampled assignments.  Trials pre-split one
+    RNG stream each and run on the process-wide domain pool
+    ({!Exec.Pool.global}); results are independent of the job count. *)
 
 val min_r :
   ?r_max:int ->

@@ -1,0 +1,163 @@
+(* Tests for lib/exec: the domain pool and its determinism contract. *)
+
+open Helpers
+module Pool = Exec.Pool
+module Config = Exec.Config
+
+(* Each case builds its own pool so suites can't interfere; jobs = 4
+   exercises real worker domains even on a single-core host. *)
+let with_pool jobs f =
+  let pool = Pool.create ~jobs in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let map_range_identity () =
+  with_pool 4 (fun pool ->
+      let result = Pool.map_range pool ~lo:0 ~hi:100 (fun i -> i * i) in
+      Alcotest.(check (array int))
+        "slot i holds f i"
+        (Array.init 100 (fun i -> i * i))
+        result)
+
+let map_range_jobs_agree () =
+  let expected = Array.init 257 (fun i -> (3 * i) + 1) in
+  List.iter
+    (fun jobs ->
+      with_pool jobs (fun pool ->
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d" jobs)
+            expected
+            (Pool.map_range pool ~lo:0 ~hi:257 (fun i -> (3 * i) + 1))))
+    [ 1; 2; 4 ]
+
+let map_range_offset_range () =
+  with_pool 3 (fun pool ->
+      Alcotest.(check (array int))
+        "lo..hi-1" [| 5; 6; 7 |]
+        (Pool.map_range pool ~lo:5 ~hi:8 Fun.id))
+
+let map_range_empty () =
+  with_pool 4 (fun pool ->
+      check_int "hi = lo" 0 (Array.length (Pool.map_range pool ~lo:3 ~hi:3 Fun.id));
+      check_int "hi < lo" 0 (Array.length (Pool.map_range pool ~lo:3 ~hi:1 Fun.id)))
+
+let reduce_folds_in_index_order () =
+  with_pool 4 (fun pool ->
+      (* String concatenation is order-sensitive: only a left-to-right
+         index-order fold yields "0123456789". *)
+      let s =
+        Pool.reduce pool ~lo:0 ~hi:10 ~map:string_of_int ~fold:( ^ ) ~init:""
+      in
+      Alcotest.(check string) "ordered fold" "0123456789" s)
+
+exception Boom of int
+
+let exception_propagates_and_pool_survives () =
+  with_pool 4 (fun pool ->
+      (try
+         ignore
+           (Pool.map_range pool ~lo:0 ~hi:64 (fun i ->
+                if i = 17 then raise (Boom i) else i));
+         Alcotest.fail "expected Boom"
+       with Boom i -> check_int "failing index" 17 i);
+      (* The pool must be reusable after a failed task. *)
+      Alcotest.(check (array int))
+        "pool survives" (Array.init 8 Fun.id)
+        (Pool.map_range pool ~lo:0 ~hi:8 Fun.id))
+
+let nested_calls_run_inline () =
+  with_pool 4 (fun pool ->
+      (* A map_range inside a pool task must not deadlock waiting for
+         workers that are busy running the outer task. *)
+      let result =
+        Pool.map_range pool ~lo:0 ~hi:6 (fun i ->
+            Array.fold_left ( + ) 0
+              (Pool.map_range pool ~lo:0 ~hi:(i + 1) Fun.id))
+      in
+      Alcotest.(check (array int))
+        "nested totals" [| 0; 1; 3; 6; 10; 15 |] result)
+
+let iter_range_writes_all_slots () =
+  with_pool 4 (fun pool ->
+      let hit = Array.make 50 0 in
+      Pool.iter_range pool ~lo:0 ~hi:50 (fun i -> hit.(i) <- hit.(i) + 1);
+      Alcotest.(check (array int)) "each index once" (Array.make 50 1) hit)
+
+let metrics_merge_across_domains () =
+  Obs.Control.set_enabled true;
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Metrics.reset ();
+      Obs.Control.set_enabled false)
+    (fun () ->
+      with_pool 4 (fun pool ->
+          let c = Obs.Metrics.counter "exec.test.hits" in
+          Pool.iter_range pool ~lo:0 ~hi:200 (fun _ -> Obs.Metrics.incr c);
+          (* Workers incremented their own shards; a read from the main
+             domain must see the merged total. *)
+          check_int "merged count" 200 (Obs.Metrics.count c)))
+
+let spans_keep_caller_path_on_workers () =
+  Obs.Control.set_enabled true;
+  Obs.Span.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Span.reset ();
+      Obs.Control.set_enabled false)
+    (fun () ->
+      with_pool 4 (fun pool ->
+          Obs.Span.with_span "outer" (fun () ->
+              Pool.iter_range pool ~lo:0 ~hi:40 (fun _ ->
+                  Obs.Span.with_span "inner" ignore)));
+          let totals = Obs.Span.totals () in
+          (match List.assoc_opt "outer/inner" totals with
+          | Some (t : Obs.Span.totals) ->
+            check_int "all inner spans nested under outer" 40 t.count
+          | None -> Alcotest.fail "no outer/inner span recorded");
+          check_bool "no orphan inner span (caller context kept)" false
+            (List.mem_assoc "inner" totals))
+
+let config_clamps_and_resolves () =
+  check_bool "recommended >= 1" true (Config.recommended () >= 1);
+  let before = Config.jobs () in
+  Config.set_jobs 3;
+  check_int "override wins" 3 (Config.jobs ());
+  Config.set_jobs 0;
+  check_int "clamped up to 1" 1 (Config.jobs ());
+  Config.set_jobs 10_000;
+  check_int "clamped down to max_jobs" Config.max_jobs (Config.jobs ());
+  Config.set_jobs before
+
+let global_pool_resizes () =
+  let before = Config.jobs () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_jobs before)
+    (fun () ->
+      Pool.set_jobs 2;
+      check_int "global follows set_jobs" 2 (Pool.jobs (Pool.global ()));
+      Pool.set_jobs 1;
+      check_int "resized down" 1 (Pool.jobs (Pool.global ())))
+
+let suites =
+  [
+    ( "exec.pool",
+      [
+        case "map_range identity" map_range_identity;
+        case "same result at jobs 1/2/4" map_range_jobs_agree;
+        case "map_range offset range" map_range_offset_range;
+        case "map_range empty" map_range_empty;
+        case "reduce folds in index order" reduce_folds_in_index_order;
+        case "exception propagates, pool survives"
+          exception_propagates_and_pool_survives;
+        case "nested calls run inline" nested_calls_run_inline;
+        case "iter_range covers all slots" iter_range_writes_all_slots;
+        case "metrics merge across domains" metrics_merge_across_domains;
+        case "spans keep caller path on workers"
+          spans_keep_caller_path_on_workers;
+      ] );
+    ( "exec.config",
+      [
+        case "clamping and resolution" config_clamps_and_resolves;
+        case "global pool resizes" global_pool_resizes;
+      ] );
+  ]

@@ -163,6 +163,45 @@ let rng_split_n () =
   let g = rng () in
   check_int "split_n length" 7 (Array.length (Rng.split_n g 7))
 
+(* The parallel runner's determinism rests on this: pre-splitting all
+   per-trial streams upfront gives each child exactly the stream it
+   would have under lazy sequential splitting, and draws from one child
+   never perturb another — so any execution interleaving of the
+   children reads the same numbers. *)
+let split_n_interleaving_independent =
+  qcase "split_n streams independent of draw interleaving"
+    ~print:(fun (seed, k) -> Printf.sprintf "(seed=%d, k=%d)" seed k)
+    QCheck2.Gen.(pair (int_range 0 10_000) (int_range 1 8))
+    (fun (seed, k) ->
+      let draws = 5 in
+      (* All children split upfront, each drained in turn. *)
+      let upfront =
+        let rs = Rng.split_n (Rng.create seed) k in
+        Array.map (fun r -> Array.init draws (fun _ -> Rng.bits64 r)) rs
+      in
+      (* Child i split lazily, only after children < i were drained. *)
+      let lazy_interleaved =
+        let g = Rng.create seed in
+        let out = Array.make k [||] in
+        for i = 0 to k - 1 do
+          let r = Rng.split g in
+          out.(i) <- Array.init draws (fun _ -> Rng.bits64 r)
+        done;
+        out
+      in
+      (* All children split upfront, drained round-robin. *)
+      let round_robin =
+        let rs = Rng.split_n (Rng.create seed) k in
+        let out = Array.make_matrix k draws 0L in
+        for j = 0 to draws - 1 do
+          for i = 0 to k - 1 do
+            out.(i).(j) <- Rng.bits64 rs.(i)
+          done
+        done;
+        out
+      in
+      upfront = lazy_interleaved && upfront = round_robin)
+
 let rng_copy_replays () =
   let g = rng () in
   ignore (Rng.bits64 g);
@@ -362,6 +401,7 @@ let suites =
         case "rng split independent" rng_split_independent;
         case "rng split reproducible" rng_split_reproducible;
         case "rng split_n" rng_split_n;
+        split_n_interleaving_independent;
         case "rng copy replays" rng_copy_replays;
       ] );
     ( "prng.sample",

@@ -51,6 +51,30 @@ let runner_count () =
   check_int "all true" 10 (Runner.count (rng ()) ~trials:10 (fun _ -> true));
   check_int "all false" 0 (Runner.count (rng ()) ~trials:10 (fun _ -> false))
 
+let runner_map_ordered () =
+  Alcotest.(check (array int))
+    "slot i holds trial i"
+    (Array.init 9 (fun i -> i * 2))
+    (Runner.map (rng ()) ~trials:9 (fun i _ -> i * 2))
+
+let runner_map_matches_collect () =
+  let via_map =
+    Array.to_list (Runner.map (Rng.create 5) ~trials:12 (fun _ r -> Rng.bits64 r))
+  in
+  let via_collect = Runner.collect (Rng.create 5) ~trials:12 Rng.bits64 in
+  Alcotest.(check (list int64)) "same streams, same order" via_collect via_map
+
+let with_jobs jobs f =
+  let before = Exec.Config.jobs () in
+  Exec.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Exec.Pool.set_jobs before) f
+
+let runner_map_jobs_invariant () =
+  let run () = Runner.map (Rng.create 31) ~trials:40 (fun _ r -> Rng.bits64 r) in
+  let seq = with_jobs 1 run in
+  let par = with_jobs 4 run in
+  Alcotest.(check (array int64)) "jobs 1 = jobs 4" seq par
+
 (* --------------------------------------------------------------- *)
 (* Estimators *)
 
@@ -180,6 +204,29 @@ let experiments_deterministic () =
   Alcotest.(check string) "same seed, same output" (render 3) (render 3);
   check_bool "different seed, different output" true (render 3 <> render 4)
 
+(* The PR-level determinism contract: a representative experiment's
+   rendered outcome AND its CSV export are byte-identical whether the
+   trials run on one domain or four. *)
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let experiments_parallel_determinism () =
+  let exp = Option.get (Experiments.find "e6") in
+  let run_at jobs =
+    with_jobs jobs (fun () ->
+        let outcome = exp.run ~quick:true ~seed:17 in
+        let dir = Filename.temp_file "ephemeral_jobs" "" in
+        Sys.remove dir;
+        let csvs = Sim.Report.save_csv ~dir exp outcome in
+        let csv_bytes = String.concat "\x00" (List.map read_file csvs) in
+        List.iter Sys.remove csvs;
+        Sys.rmdir dir;
+        (Sim.Outcome.render outcome, csv_bytes))
+  in
+  let render1, csv1 = run_at 1 in
+  let render4, csv4 = run_at 4 in
+  Alcotest.(check string) "rendered outcome identical at -j1/-j4" render1 render4;
+  Alcotest.(check string) "CSV bytes identical at -j1/-j4" csv1 csv4
+
 (* Qualitative shape assertions at quick scale. *)
 let e1_shape () =
   let outcome = (Option.get (Experiments.find "e1")).run ~quick:true ~seed:5 in
@@ -244,6 +291,9 @@ let suites =
         case "trial isolation" runner_trial_isolation;
         case "summarize" runner_summarize;
         case "count" runner_count;
+        case "map ordered" runner_map_ordered;
+        case "map matches collect" runner_map_matches_collect;
+        case "map invariant across job counts" runner_map_jobs_invariant;
       ] );
     ( "sim.estimators",
       [
@@ -264,6 +314,8 @@ let suites =
       @ experiment_cases
       @ [
           case "deterministic" experiments_deterministic;
+          case "parallel determinism (-j1 = -j4)"
+            experiments_parallel_determinism;
           case "e1 shape" e1_shape;
           case "e6 shape" e6_shape;
         ] );

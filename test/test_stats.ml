@@ -128,6 +128,68 @@ let quantile_monotone =
       let xs = Array.of_list l in
       Quantile.quantile xs 0.2 <= Quantile.quantile xs 0.8)
 
+let merge_sorted_known () =
+  Alcotest.(check (array (float 0.)))
+    "interleaves with duplicates" [| 1.; 1.; 2.; 3.; 3.; 5. |]
+    (Quantile.merge_sorted [| 1.; 3.; 5. |] [| 1.; 2.; 3. |]);
+  Alcotest.(check (array (float 0.)))
+    "left empty" [| 4.; 6. |]
+    (Quantile.merge_sorted [||] [| 4.; 6. |]);
+  Alcotest.(check (array (float 0.)))
+    "right empty" [| 4.; 6. |]
+    (Quantile.merge_sorted [| 4.; 6. |] [||])
+
+(* merge_sorted over per-shard sorted samples = one global sort, so
+   quantiles computed after the merge equal quantiles of the
+   concatenation — the combine rule for parallel-collected samples. *)
+let merge_sorted_matches_global_sort =
+  qcase "merge_sorted of shards = sorted concatenation"
+    ~print:(fun (a, b) ->
+      let show l = String.concat "," (List.map string_of_float l) in
+      Printf.sprintf "(%s | %s)" (show a) (show b))
+    QCheck2.Gen.(
+      pair
+        (list_size (int_range 0 25) (float_bound_inclusive 40.))
+        (list_size (int_range 0 25) (float_bound_inclusive 40.)))
+    (fun (a, b) ->
+      let sorted l =
+        let xs = Array.of_list l in
+        Array.sort Float.compare xs;
+        xs
+      in
+      let merged = Quantile.merge_sorted (sorted a) (sorted b) in
+      merged = sorted (a @ b))
+
+(* Left-fold of Summary.merge over any shard split reconstructs the
+   whole-sample summary (to float tolerance) — the reduction used when
+   per-domain partial summaries are ever combined. *)
+let summary_merge_fold_matches_direct =
+  qcase "fold of Summary.merge over shards matches direct"
+    ~print:(fun l -> String.concat "," (List.map string_of_float l))
+    QCheck2.Gen.(list_size (int_range 1 40) (float_bound_inclusive 100.))
+    (fun l ->
+      let xs = Array.of_list l in
+      let n = Array.length xs in
+      (* Split into up to 4 contiguous shards, some possibly empty. *)
+      let shard i =
+        let lo = i * n / 4 and hi = (i + 1) * n / 4 in
+        Summary.of_array (Array.sub xs lo (hi - lo))
+      in
+      let folded =
+        List.fold_left
+          (fun acc i -> Summary.merge acc (shard i))
+          (Summary.create ()) [ 0; 1; 2; 3 ]
+      in
+      let direct = Summary.of_array xs in
+      let close a b =
+        (Float.is_nan a && Float.is_nan b) || Float.abs (a -. b) < 1e-6
+      in
+      Summary.count folded = Summary.count direct
+      && close (Summary.mean folded) (Summary.mean direct)
+      && close (Summary.variance folded) (Summary.variance direct)
+      && close (Summary.min folded) (Summary.min direct)
+      && close (Summary.max folded) (Summary.max direct))
+
 (* --------------------------------------------------------------- *)
 (* Histogram *)
 
@@ -436,6 +498,7 @@ let suites =
         case "merge with empty" summary_merge_empty;
         case "stderr" summary_stderr;
         summary_matches_naive;
+        summary_merge_fold_matches_direct;
       ] );
     ( "stats.quantile",
       [
@@ -446,6 +509,8 @@ let suites =
         case "iqr" quantile_iqr;
         case "many at once" quantile_many;
         quantile_monotone;
+        case "merge_sorted known" merge_sorted_known;
+        merge_sorted_matches_global_sort;
       ] );
     ( "stats.histogram",
       [
