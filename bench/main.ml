@@ -26,6 +26,7 @@ type opts = {
   mutable no_micro : bool;
   mutable no_tables : bool;
   mutable no_speedup : bool;
+  mutable no_store : bool;
   mutable metrics : bool;
   mutable trace : string option;
   mutable jobs : int option;
@@ -38,6 +39,7 @@ let usage_lines =
     "  --quick        reduced scale (smaller sizes, shorter quotas)";
     "  --no-tables    skip part 1 (experiment tables)";
     "  --no-speedup   skip part 2 (E1 sequential-vs-parallel timing)";
+    "  --no-store     skip part 2b (E1 cold vs warm result store)";
     "  --no-micro     skip part 3 (Bechamel micro-benchmarks)";
     "  --jobs N, -j N worker domains for trial execution (default: 4";
     "                 for the speedup run, EPHEMERAL_JOBS or the";
@@ -59,6 +61,7 @@ let parse_args () =
       no_micro = false;
       no_tables = false;
       no_speedup = false;
+      no_store = false;
       metrics = false;
       trace = None;
       jobs = None;
@@ -83,6 +86,7 @@ let parse_args () =
       | "--no-micro" -> o.no_micro <- true; go (i + 1)
       | "--no-tables" -> o.no_tables <- true; go (i + 1)
       | "--no-speedup" -> o.no_speedup <- true; go (i + 1)
+      | "--no-store" -> o.no_store <- true; go (i + 1)
       | "--metrics" -> o.metrics <- true; go (i + 1)
       | "--trace" -> o.trace <- Some (value "--trace" i); go (i + 2)
       | ("--jobs" | "-j") as flag -> o.jobs <- Some (int_value flag i); go (i + 2)
@@ -154,6 +158,47 @@ let run_speedup () =
     Printf.printf "  outputs identical : %s\n"
       (if String.equal seq_render par_render then "yes" else "NO (BUG)");
     Exec.Pool.set_jobs restore;
+    print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2b: cold vs warm result store on E1 (quick scale).
+
+   Cold = compute + encode + publish; warm = read + verify + decode.
+   The ratio is what `ephemeral run --cache` buys on a repeat run, and
+   the byte check is the store's correctness claim: a hit renders
+   identically to the run it replaced. *)
+
+let run_store_bench () =
+  print_endline
+    "=================================================================";
+  print_endline " E1 --quick: cold vs warm result store";
+  print_endline
+    "=================================================================";
+  match Sim.Experiments.find "e1" with
+  | None -> print_endline "e1 not registered; skipping"
+  | Some e1 ->
+    let dir = Filename.temp_file "ephemeral-bench" ".store" in
+    Sys.remove dir;
+    let store = Store.Objects.open_ ~dir in
+    let seed = Sim.Experiments.default_seed in
+    let t0 = Unix.gettimeofday () in
+    let outcome = e1.run ~quick:true ~seed in
+    Sim.Cache.put store e1 ~seed ~quick:true outcome;
+    let cold_t = Unix.gettimeofday () -. t0 in
+    let t1 = Unix.gettimeofday () in
+    let cached = Sim.Cache.get store e1 ~seed ~quick:true in
+    let warm_t = Unix.gettimeofday () -. t1 in
+    (match cached with
+    | None -> print_endline "  warm read MISSED (BUG)"
+    | Some c ->
+      Printf.printf "  cold (run+publish) : %9.4f s\n" cold_t;
+      Printf.printf "  warm (read+decode) : %9.4f s  (%.0fx)\n" warm_t
+        (cold_t /. Float.max 1e-9 warm_t);
+      Printf.printf "  outputs identical  : %s\n"
+        (if String.equal (Sim.Outcome.render outcome) (Sim.Outcome.render c)
+         then "yes"
+         else "NO (BUG)"));
+    Store.Fsio.remove_tree dir;
     print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -236,6 +281,56 @@ let micro_tests () =
          test "reduce 1k j=4" (fun () ->
              Exec.Pool.reduce pool4 ~lo:0 ~hi:1024 ~map:(fun i -> i)
                ~fold:( + ) ~init:0);
+       ]);
+    (* Store hot paths: codec encode/decode of a realistic outcome
+       (a few numeric tables, the shape `run --cache` persists) and
+       object put/get against a throwaway on-disk store.  put is
+       idempotent for identical bytes, so the measured path after the
+       first iteration is hash + stat + index probe — the warm publish
+       `run --cache` pays on every already-cached experiment. *)
+    (let fixture_table k =
+       let t =
+         Stats.Table.create
+           ~title:(Printf.sprintf "bench table %d" k)
+           ~columns:[ "n"; "mean"; "sd"; "rate" ]
+       in
+       for i = 1 to 24 do
+         Stats.Table.add_row t
+           [
+             Stats.Table.Int (i * 16);
+             Stats.Table.Float (log (float_of_int (i * k + 1)), 4);
+             Stats.Table.Float (sqrt (float_of_int i), 4);
+             Stats.Table.Pct (1. /. float_of_int i);
+           ]
+       done;
+       t
+     in
+     let outcome =
+       {
+         Store.Codec.tables = List.init 3 fixture_table;
+         notes = [ "bench fixture"; "three tables, 24 rows each" ];
+         plots = [];
+       }
+     in
+     let encoded = Store.Codec.encode_outcome outcome in
+     let big = String.make 65536 'x' in
+     let dir = Filename.temp_file "ephemeral-bench" ".store" in
+     Sys.remove dir;
+     let bench_store = Store.Objects.open_ ~dir in
+     ignore (Store.Objects.put bench_store ~key:"bench" ~meta:[] encoded);
+     at_exit (fun () -> Store.Fsio.remove_tree dir);
+     Test.make_grouped ~name:"store-codec" ~fmt:"%s %s"
+       [
+         test
+           (Printf.sprintf "encode outcome %dB" (String.length encoded))
+           (fun () -> Store.Codec.encode_outcome outcome);
+         test "decode outcome" (fun () -> Store.Codec.decode_outcome encoded);
+         test "crc32 64KiB" (fun () -> Store.Crc32.digest big);
+         test "put (warm)" (fun () ->
+             Store.Objects.put bench_store ~key:"bench" ~meta:[] encoded);
+         test "get+verify" (fun () ->
+             Store.Objects.get bench_store ~key:"bench");
+         test "find" (fun () -> Store.Objects.find bench_store ~key:"bench");
        ]);
     (let wnet128 = Windows.of_tgraph net128 in
      Test.make_grouped ~name:"windows" ~fmt:"%s %s"
@@ -356,6 +451,7 @@ let () =
   Option.iter Exec.Pool.set_jobs opts.jobs;
   if not opts.no_tables then run_tables ();
   if not opts.no_speedup then run_speedup ();
+  if not opts.no_store then run_store_bench ();
   if not opts.no_micro then run_micro ();
   Option.iter Obs.Sink.close sink;
   if opts.metrics then Obs.Export.print_summary ()

@@ -84,6 +84,31 @@ let setup_obs ~metrics ~trace =
     if metrics then Obs.Export.print_summary ()
 
 (* ------------------------------------------------------------------ *)
+(* Store options *)
+
+let store_dir_term =
+  let doc = "Result store directory." in
+  Arg.(value & opt string Store.Objects.default_dir
+       & info [ "store" ] ~docv:"DIR" ~doc)
+
+let cache_term =
+  let doc =
+    "Serve experiment outcomes from the result store when a cached copy \
+     matches (same id, seed, scale and code fingerprint), and publish \
+     fresh outcomes into it. Cached output is byte-identical to a fresh \
+     run."
+  in
+  Arg.(value & flag & info [ "cache" ] ~doc)
+
+let resume_term =
+  let doc =
+    "Checkpoint finished trial chunks under the store directory and, on \
+     restart after an interruption, load them instead of recomputing. A \
+     resumed run is byte-identical to an uninterrupted one."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+(* ------------------------------------------------------------------ *)
 (* run / list *)
 
 let run_cmd =
@@ -99,7 +124,7 @@ let run_cmd =
     let doc = "Also write each experiment as Markdown into $(docv)." in
     Arg.(value & opt (some string) None & info [ "md" ] ~docv:"DIR" ~doc)
   in
-  let run ids quick seed csv md metrics trace jobs =
+  let run ids quick seed csv md metrics trace jobs cache store_dir resume =
     Option.iter Exec.Pool.set_jobs jobs;
     let selected =
       match ids with
@@ -124,9 +149,34 @@ let run_cmd =
       Printf.eprintf "cannot open trace file: %s\n" msg;
       1
     | teardown ->
+      let store = if cache then Some (Store.Objects.open_ ~dir:store_dir) else None in
       List.iter
         (fun exp ->
-          let outcome = Sim.Report.run_and_print ~quick ~seed exp in
+          let cached =
+            match store with
+            | Some s -> Sim.Cache.get s exp ~seed ~quick
+            | None -> None
+          in
+          let outcome =
+            match cached with
+            | Some outcome ->
+              (* Cache hit: the stored outcome renders byte-identically
+                 to a fresh run, with zero trials executed. *)
+              Sim.Report.print_outcome exp outcome;
+              outcome
+            | None ->
+              let run_key = Sim.Cache.key exp ~seed ~quick in
+              if resume then Store.Checkpoint.activate ~dir:store_dir ~run_key;
+              let outcome =
+                Fun.protect ~finally:Store.Checkpoint.deactivate (fun () ->
+                    Sim.Report.run_and_print ~quick ~seed exp)
+              in
+              (* The outcome is complete (and, with --cache, published),
+                 so its chunks have served their purpose. *)
+              if resume then Store.Checkpoint.clean ~dir:store_dir ~run_key;
+              Option.iter (fun s -> Sim.Cache.put s exp ~seed ~quick outcome) store;
+              outcome
+          in
           Option.iter
             (fun dir -> ignore (Sim.Report.save_csv ~dir exp outcome))
             csv;
@@ -140,7 +190,8 @@ let run_cmd =
   let doc = "Run reproduction experiments and print their tables." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ ids_term $ quick_term $ seed_term $ csv_term $ md_term
-          $ metrics_term $ trace_term $ jobs_term)
+          $ metrics_term $ trace_term $ jobs_term $ cache_term
+          $ store_dir_term $ resume_term)
 
 let list_cmd =
   let run () =
@@ -671,6 +722,171 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_term $ trace_term)
 
 (* ------------------------------------------------------------------ *)
+(* version *)
+
+let version_cmd =
+  let run () =
+    Printf.printf "ephemeral 1.0.0\n";
+    Printf.printf "code fingerprint : %s (%d source files)\n"
+      (Store.Key.fingerprint ())
+      (Store.Key.fingerprinted_sources ());
+    Printf.printf "store format     : codec v%d (%s)\n" Store.Codec.format_version
+      Store.Codec.magic;
+    0
+  in
+  let doc = "Show the version and the build-time code fingerprint (the \
+             fingerprint keys the result store, so it tells you why a \
+             cache missed)." in
+  Cmd.v (Cmd.info "version" ~doc) Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* store ls / show / gc *)
+
+let age_string ~now time =
+  let s = now -. time in
+  if s < 0. then "future"
+  else if s < 120. then Printf.sprintf "%.0fs" s
+  else if s < 7200. then Printf.sprintf "%.0fm" (s /. 60.)
+  else if s < 172800. then Printf.sprintf "%.1fh" (s /. 3600.)
+  else Printf.sprintf "%.1fd" (s /. 86400.)
+
+(* The live entries (newest per key), newest first — what ls and show
+   operate on. *)
+let live_entries store =
+  let seen = Hashtbl.create 64 in
+  List.fold_left
+    (fun acc (e : Store.Objects.entry) ->
+      if Hashtbl.mem seen e.key then acc
+      else begin
+        Hashtbl.add seen e.key ();
+        e :: acc
+      end)
+    []
+    (List.rev (Store.Objects.entries store))
+
+let store_ls_cmd =
+  let run dir =
+    let store = Store.Objects.open_ ~dir in
+    let fp = Store.Key.fingerprint () in
+    Printf.printf "store: %s\nfingerprint: %s (%d source files)\n" dir fp
+      (Store.Key.fingerprinted_sources ());
+    let live = live_entries store in
+    if live = [] then print_endline "(empty)"
+    else begin
+      let now = Unix.gettimeofday () in
+      Printf.printf "%-12s %-6s %-10s %-6s %8s %6s  %s\n" "key" "exp" "seed"
+        "quick" "bytes" "age" "build";
+      List.iter
+        (fun (e : Store.Objects.entry) ->
+          let field k = Option.value ~default:"-" (List.assoc_opt k e.meta) in
+          let build =
+            match List.assoc_opt "fingerprint" e.meta with
+            | Some f when f = fp -> "current"
+            | Some _ -> "stale"
+            | None -> "?"
+          in
+          Printf.printf "%-12s %-6s %-10s %-6s %8d %6s  %s\n"
+            (String.sub e.key 0 (Stdlib.min 12 (String.length e.key)))
+            (field "exp") (field "seed") (field "quick") e.size
+            (age_string ~now e.time) build)
+        live
+    end;
+    0
+  in
+  let doc = "List cached outcomes (newest per key), flagging entries \
+             written by a different build as stale." in
+  Cmd.v (Cmd.info "ls" ~doc) Term.(const run $ store_dir_term)
+
+let store_show_cmd =
+  let what_term =
+    let doc = "An experiment id (e.g. e1; combined with --seed/--quick) or \
+               a cache-key prefix from $(b,store ls)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"ID_OR_KEY" ~doc)
+  in
+  let run dir what seed quick =
+    let store = Store.Objects.open_ ~dir in
+    match Sim.Experiments.find what with
+    | Some exp -> (
+      match Sim.Cache.get store exp ~seed ~quick with
+      | Some outcome ->
+        Sim.Report.print_outcome exp outcome;
+        0
+      | None ->
+        Printf.eprintf
+          "no cached outcome for %s (seed %d, quick %b) under this build\n"
+          exp.id seed quick;
+        1)
+    | None -> (
+      let matches =
+        List.filter
+          (fun (e : Store.Objects.entry) ->
+            String.length what <= String.length e.key
+            && String.sub e.key 0 (String.length what) = what)
+          (live_entries store)
+      in
+      match matches with
+      | [] ->
+        Printf.eprintf "no experiment or cached key matches %S\n" what;
+        1
+      | _ :: _ :: _ ->
+        Printf.eprintf "key prefix %S is ambiguous (%d matches)\n" what
+          (List.length matches);
+        1
+      | [ entry ] -> (
+        match Store.Objects.get store ~key:entry.key with
+        | None ->
+          Printf.eprintf "object for %s is missing or corrupt (quarantined)\n"
+            entry.key;
+          1
+        | Some (bytes, _) -> (
+          match Store.Codec.decode_outcome bytes with
+          | Error msg ->
+            Printf.eprintf "cannot decode %s: %s\n" entry.key msg;
+            1
+          | Ok c ->
+            List.iter
+              (fun (k, v) -> Printf.printf "%s: %s\n" k v)
+              entry.meta;
+            print_newline ();
+            print_string (Sim.Outcome.render (Sim.Cache.of_codec c));
+            0)))
+  in
+  let doc = "Render a cached outcome without running anything." in
+  Cmd.v (Cmd.info "show" ~doc)
+    Term.(const run $ store_dir_term $ what_term $ seed_term $ quick_term)
+
+let store_gc_cmd =
+  let max_bytes_term =
+    let doc = "Keep at most $(docv) bytes of objects (newest first)." in
+    Arg.(value & opt (some int) None & info [ "max-bytes" ] ~docv:"N" ~doc)
+  in
+  let max_age_term =
+    let doc = "Drop entries older than $(docv) days." in
+    Arg.(value & opt (some float) None & info [ "max-age-days" ] ~docv:"D" ~doc)
+  in
+  let run dir max_bytes max_age_days =
+    let store = Store.Objects.open_ ~dir in
+    let stats =
+      Store.Gc.run ?max_bytes
+        ?max_age_s:(Option.map (fun d -> d *. 86400.) max_age_days)
+        store
+    in
+    Printf.printf
+      "examined %d, kept %d (%d B), removed %d entries / %d objects (%d B)\n"
+      stats.examined stats.kept stats.bytes_kept stats.removed_entries
+      stats.removed_objects stats.bytes_removed;
+    0
+  in
+  let doc = "Compact the store: drop superseded, oversized or overage \
+             entries and delete unreferenced objects." in
+  Cmd.v (Cmd.info "gc" ~doc)
+    Term.(const run $ store_dir_term $ max_bytes_term $ max_age_term)
+
+let store_cmd =
+  let doc = "Inspect and maintain the result store." in
+  Cmd.group (Cmd.info "store" ~doc) [ store_ls_cmd; store_show_cmd; store_gc_cmd ]
+
+(* ------------------------------------------------------------------ *)
 
 let default =
   Term.(ret (const (`Help (`Pager, None))))
@@ -688,6 +904,6 @@ let () =
       [ run_cmd; list_cmd; diameter_cmd; reach_cmd; min_r_cmd; flood_cmd;
         expansion_cmd; journey_cmd; taxonomy_cmd; centrality_cmd;
         disjoint_cmd; export_cmd; analyze_cmd; restless_cmd; walk_cmd;
-        jam_cmd ]
+        jam_cmd; store_cmd; version_cmd ]
   in
   exit (Cmd.eval' group)

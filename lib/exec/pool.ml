@@ -36,6 +36,8 @@ let jobs t = t.jobs
 let inside_task : bool ref Domain.DLS.key =
   Domain.DLS.new_key (fun () -> ref false)
 
+let in_task () = !(Domain.DLS.get inside_task)
+
 let chunks_per_domain = 4
 
 let drain t task =

@@ -33,6 +33,12 @@ val jobs : t -> int
 val shutdown : t -> unit
 (** Join all workers.  Idempotent; the pool must be idle. *)
 
+val in_task : unit -> bool
+(** Whether the calling domain is currently executing a pool task
+    (workers while draining, and callers participating in their own
+    task).  Nested parallel calls use this to fall back inline;
+    [Sim.Runner] uses it to checkpoint only top-level map calls. *)
+
 val map_range : t -> lo:int -> hi:int -> (int -> 'a) -> 'a array
 (** [map_range t ~lo ~hi f] is [[| f lo; ...; f (hi - 1) |]], with the
     calls distributed over the pool.  Empty when [hi <= lo].  If any

@@ -21,10 +21,22 @@ let record_to_json (r : Span.record) =
 
 (* The mutex makes emit/close safe against each other when spans close
    on pool worker domains; whole-line writes under the lock keep every
-   JSONL line intact. *)
-type t = { oc : out_channel; m : Mutex.t; mutable closed : bool }
+   JSONL line intact.
 
-let open_jsonl path = { oc = open_out path; m = Mutex.create (); closed = false }
+   Publication is atomic: lines stream into <path>.tmp and [close]
+   fsyncs then renames onto [path], so an interrupted run never leaves
+   a truncated trace at the advertised path — only a stale .tmp. *)
+type t = {
+  oc : out_channel;
+  tmp : string;
+  path : string;
+  m : Mutex.t;
+  mutable closed : bool;
+}
+
+let open_jsonl path =
+  let tmp = path ^ ".tmp" in
+  { oc = open_out tmp; tmp; path; m = Mutex.create (); closed = false }
 
 let emit t r =
   Mutex.lock t.m;
@@ -40,6 +52,10 @@ let close t =
   Mutex.lock t.m;
   if not t.closed then begin
     t.closed <- true;
-    close_out t.oc
+    flush t.oc;
+    (try Unix.fsync (Unix.descr_of_out_channel t.oc) with
+    | Unix.Unix_error _ -> ());
+    close_out t.oc;
+    Sys.rename t.tmp t.path
   end;
   Mutex.unlock t.m

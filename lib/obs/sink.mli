@@ -9,19 +9,25 @@
     v}
 
     Writes are mutex-guarded whole lines, so spans closing on pool
-    worker domains interleave per record, never mid-line. *)
+    worker domains interleave per record, never mid-line.
+
+    Publication is atomic: lines stream into [<path>.tmp] and {!close}
+    fsyncs then renames onto [path], so an interrupted run never
+    leaves a truncated trace at the advertised path. *)
 
 type t
 
 val open_jsonl : string -> t
-(** Open (truncate) [path] for writing. *)
+(** Open [path ^ ".tmp"] for writing; the trace appears at [path]
+    when {!close} renames it into place. *)
 
 val attach : t -> unit
 (** Subscribe the sink to {!Span.on_record}. *)
 
 val emit : t -> Span.record -> unit
 val close : t -> unit
-(** Flush and close; idempotent.  Does not unsubscribe — use
+(** Flush, fsync, close and atomically publish at the path given to
+    {!open_jsonl}; idempotent.  Does not unsubscribe — use
     {!Span.clear_handlers} when reconfiguring in-process. *)
 
 (** Serialization, exposed for tests. *)

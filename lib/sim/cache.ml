@@ -1,0 +1,54 @@
+(* Whole-experiment outcome caching on top of lib/store.
+
+   The key pins experiment id, seed, quick flag and the build-time
+   code fingerprint (Store.Key); the value is the Codec-encoded
+   outcome.  Because every experiment is byte-deterministic in those
+   inputs (the PR 2 contract), a hit is provably equal to a fresh run
+   — rendered tables, CSVs and Markdown included.
+
+   A decode failure (stale format version, bad CRC) quarantines the
+   object and reads as a miss, so corruption can cost time, never
+   correctness. *)
+
+module Objects = Store.Objects
+
+let key (exp : Experiments.t) ~seed ~quick =
+  Store.Key.derive ~exp_id:exp.id ~seed ~quick
+
+let counters () =
+  (* Register both so a --metrics summary always shows the pair. *)
+  (Obs.Metrics.counter "store.hits", Obs.Metrics.counter "store.misses")
+
+let record hit =
+  if Obs.Control.enabled () then begin
+    let hits, misses = counters () in
+    Obs.Metrics.incr (if hit then hits else misses)
+  end
+
+let to_codec (o : Outcome.t) : Store.Codec.outcome =
+  { tables = o.tables; notes = o.notes; plots = o.plots }
+
+let of_codec (c : Store.Codec.outcome) : Outcome.t =
+  { tables = c.tables; notes = c.notes; plots = c.plots }
+
+let get store exp ~seed ~quick =
+  match Objects.get store ~key:(key exp ~seed ~quick) with
+  | None ->
+    record false;
+    None
+  | Some (bytes, entry) ->
+    (match Store.Codec.decode_outcome bytes with
+    | Ok c ->
+      record true;
+      Some (of_codec c)
+    | Error _ ->
+      Objects.quarantine store entry;
+      record false;
+      None)
+
+let put store exp ~seed ~quick outcome =
+  ignore
+    (Objects.put store
+       ~key:(key exp ~seed ~quick)
+       ~meta:(Store.Key.meta ~exp_id:exp.id ~seed ~quick)
+       (Store.Codec.encode_outcome (to_codec outcome)))

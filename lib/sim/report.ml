@@ -19,36 +19,30 @@ let run_and_print ~quick ~seed (exp : Experiments.t) =
   print_outcome exp outcome;
   outcome
 
-(* mkdir -p: create every missing component, tolerating races with a
-   concurrent creator. *)
-let rec ensure_dir dir =
-  if not (Sys.file_exists dir) then begin
-    let parent = Filename.dirname dir in
-    if parent <> dir then ensure_dir parent;
-    try Sys.mkdir dir 0o755 with
-    | Sys_error _ when Sys.file_exists dir -> ()
-  end
+let ensure_dir = Store.Fsio.ensure_dir
+
+(* Reports publish atomically (tmp + fsync + rename): an interrupted
+   or crashing run never leaves a truncated CSV/Markdown file at the
+   advertised path — at worst a stale previous version. *)
 
 let save_csv ~dir (exp : Experiments.t) (outcome : Outcome.t) =
   ensure_dir dir;
   List.mapi
     (fun k table ->
       let path = Filename.concat dir (Printf.sprintf "%s_%d.csv" exp.id k) in
-      let oc = open_out path in
-      output_string oc (Stats.Table.to_csv table);
-      close_out oc;
+      Store.Fsio.write_atomic path (Stats.Table.to_csv table);
       path)
     outcome.tables
 
 let save_markdown ~dir (exp : Experiments.t) (outcome : Outcome.t) =
   ensure_dir dir;
   let path = Filename.concat dir (exp.id ^ ".md") in
-  let oc = open_out path in
-  Printf.fprintf oc "# %s: %s\n\nReproduces: %s\n\n"
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "# %s: %s\n\nReproduces: %s\n\n"
     (String.uppercase_ascii exp.id) exp.title exp.paper_ref;
   List.iter
-    (fun table -> output_string oc (Stats.Table.to_markdown table ^ "\n"))
+    (fun table -> Buffer.add_string buf (Stats.Table.to_markdown table ^ "\n"))
     outcome.tables;
-  List.iter (fun note -> Printf.fprintf oc "- %s\n" note) outcome.notes;
-  close_out oc;
+  List.iter (fun note -> Printf.bprintf buf "- %s\n" note) outcome.notes;
+  Store.Fsio.write_atomic path (Buffer.contents buf);
   path

@@ -3,37 +3,99 @@
    [map] is the parallel primitive: it pre-splits one child stream per
    trial with Rng.split_n — drawing exactly the per-iteration splits
    the sequential loop would — hands the indexed trials to
-   Exec.Pool.map_range, and returns results in trial order.  Because
-   trial i's stream and result slot depend only on i, the gathered
-   array is byte-identical at any job count, and identical to the
-   sequential loop it replaced.  collect/summarize/count fold that
-   ordered array in the calling domain, so even float accumulation
-   (Welford in Stats.Summary) matches the sequential order exactly.
+   Exec.Pool, and returns results in trial order.  Because trial i's
+   stream and result slot depend only on i, the gathered array is
+   byte-identical at any job count, and identical to the sequential
+   loop it replaced.  collect/summarize/count fold that ordered array
+   in the calling domain, so even float accumulation (Welford in
+   Stats.Summary) matches the sequential order exactly.
+
+   When a Store.Checkpoint context is active (ephemeral run --resume),
+   each top-level [map] call claims the next checkpoint slot and runs
+   through [map_resumable]: trials are processed in chunks whose
+   bounds depend only on [trials], each finished chunk is persisted,
+   and chunks already on disk are loaded instead of recomputed.
+   Loading is sound precisely because of the determinism contract
+   above — a persisted value is bit-identical to what recomputation
+   would produce.  Nested map calls (inside a pool task) never claim
+   slots, so the slot sequence is the deterministic sequence of
+   top-level calls.
 
    [foreach] stays sequential: its closures mutate caller state freely
    (shared summaries, accumulator refs), which is exactly what cannot
    be handed to worker domains.  Heavy experiments use [map].
 
-   When telemetry is on, every trial runs inside an Obs span named
-   "trial" — nested under the experiment's span even when the trial
-   executes on a pool worker (the pool forwards the caller's span
-   context) — and bumps the "sim.trials" counter.  The disabled path
-   adds no clock reads and no instrumentation allocation. *)
+   When telemetry is on, every *executed* trial runs inside an Obs
+   span named "trial" — nested under the experiment's span even when
+   the trial executes on a pool worker (the pool forwards the caller's
+   span context) — and bumps the "sim.trials" counter.  Trials loaded
+   from a checkpoint are not executed and leave both untouched (that
+   is what lets CI assert a resumed run did less work).  The disabled
+   path adds no clock reads and no instrumentation allocation. *)
 
-let map rng ~trials f =
+(* Run trials [lo, hi) into their slots of [results].  Each index
+   writes a distinct slot, so the writes are domain-safe. *)
+let exec_range pool rngs f ~lo ~hi (results : _ option array) =
+  let body =
+    if not (Obs.Control.enabled ()) then fun i -> results.(i) <- Some (f i rngs.(i))
+    else begin
+      let trial_count = Obs.Metrics.counter "sim.trials" in
+      fun i ->
+        Obs.Span.with_span "trial" (fun () ->
+            Obs.Metrics.incr trial_count;
+            results.(i) <- Some (f i rngs.(i)))
+    end
+  in
+  Exec.Pool.iter_range pool ~lo ~hi body
+
+let extract results = Array.map (function Some v -> v | None -> assert false) results
+
+let map_resumable slot rng ~trials f =
   if trials <= 0 then [||]
   else begin
     let rngs = Prng.Rng.split_n rng trials in
     let pool = Exec.Pool.global () in
-    if not (Obs.Control.enabled ()) then
-      Exec.Pool.map_range pool ~lo:0 ~hi:trials (fun i -> f i rngs.(i))
-    else begin
-      let trial_count = Obs.Metrics.counter "sim.trials" in
-      Exec.Pool.map_range pool ~lo:0 ~hi:trials (fun i ->
-          Obs.Span.with_span "trial" (fun () ->
-              Obs.Metrics.incr trial_count;
-              f i rngs.(i)))
-    end
+    let results = Array.make trials None in
+    let chunk = Store.Checkpoint.chunk_size ~trials in
+    let lo = ref 0 in
+    while !lo < trials do
+      let clo = !lo in
+      let chi = Stdlib.min trials (clo + chunk) in
+      (match Store.Checkpoint.load_chunk slot ~lo:clo ~hi:chi with
+      | Some values when Array.length values = chi - clo ->
+        Array.iteri (fun k v -> results.(clo + k) <- Some v) values
+      | Some _ | None ->
+        exec_range pool rngs f ~lo:clo ~hi:chi results;
+        Store.Checkpoint.save_chunk slot ~lo:clo ~hi:chi
+          (Array.init (chi - clo) (fun k -> Option.get results.(clo + k))));
+      lo := chi
+    done;
+    extract results
+  end
+
+let map rng ~trials f =
+  if trials <= 0 then [||]
+  else begin
+    (* Only top-level calls claim a slot: nested maps (running inside a
+       pool task) execute inline and are covered by their parent's
+       chunk, and claiming here would desynchronize the call counter
+       between job counts. *)
+    match
+      if Exec.Pool.in_task () then None else Store.Checkpoint.next_slot ~trials
+    with
+    | Some slot -> map_resumable slot rng ~trials f
+    | None ->
+      let rngs = Prng.Rng.split_n rng trials in
+      let pool = Exec.Pool.global () in
+      if not (Obs.Control.enabled ()) then
+        Exec.Pool.map_range pool ~lo:0 ~hi:trials (fun i -> f i rngs.(i))
+      else begin
+        let trial_count = Obs.Metrics.counter "sim.trials" in
+        Exec.Pool.map_range pool ~lo:0 ~hi:trials (fun i ->
+            Obs.Span.with_span "trial" (fun () ->
+                Obs.Metrics.incr trial_count;
+                f i rngs.(i)))
+      end
   end
 
 let foreach rng ~trials f =

@@ -15,10 +15,22 @@
     sequential in the calling domain: its callback is free to mutate
     shared caller state.
 
-    When [Obs.Control.enabled], every trial additionally runs inside an
-    [Obs.Span] named ["trial"] (nested under the enclosing experiment's
-    span, even on pool workers) and increments the ["sim.trials"]
-    counter; instrumentation never touches the RNG stream, so traced
+    {b Checkpointing and resume.}  When a {!Store.Checkpoint} context
+    is active ([ephemeral run --resume]), each top-level [map] call
+    claims a checkpoint slot and runs through {!map_resumable}: trials
+    execute in chunks whose bounds depend only on [trials], finished
+    chunks are persisted as they complete, and chunks already on disk
+    are loaded instead of recomputed.  Loading is sound because of the
+    determinism contract — the persisted value is bit-identical to
+    what recomputation would produce — so an interrupted-then-resumed
+    run renders byte-identically to an uninterrupted one, at any job
+    count.  Nested [map] calls (inside a pool task) never claim slots.
+
+    When [Obs.Control.enabled], every {e executed} trial additionally
+    runs inside an [Obs.Span] named ["trial"] (nested under the
+    enclosing experiment's span, even on pool workers) and increments
+    the ["sim.trials"] counter; trials loaded from a checkpoint touch
+    neither.  Instrumentation never touches the RNG stream, so traced
     and untraced runs produce identical results. *)
 
 val map : Prng.Rng.t -> trials:int -> (int -> Prng.Rng.t -> 'a) -> 'a array
@@ -26,6 +38,16 @@ val map : Prng.Rng.t -> trials:int -> (int -> Prng.Rng.t -> 'a) -> 'a array
     on the domain pool and returns the results in index order.  [f]
     must not mutate shared state (beyond Obs instrumentation, which is
     domain-safe). *)
+
+val map_resumable :
+  Store.Checkpoint.slot -> Prng.Rng.t -> trials:int -> (int -> Prng.Rng.t -> 'a) -> 'a array
+(** [map] against an explicit checkpoint slot: chunks of
+    [Store.Checkpoint.chunk_size ~trials] trials are loaded from the
+    slot when present and executed-then-saved when not.  The result is
+    identical to [map rng ~trials f]; only the work done differs.
+    [map] delegates here automatically for top-level calls under an
+    active context — call this directly only in tests or custom
+    drivers that manage slots themselves. *)
 
 val foreach : Prng.Rng.t -> trials:int -> (int -> Prng.Rng.t -> unit) -> unit
 (** [foreach rng ~trials f] runs [f i rng_i] for [i = 0 .. trials-1],

@@ -1,0 +1,132 @@
+(* Incremental trial-chunk checkpointing, layered under Sim.Runner.
+
+   Soundness rests on PR 2's determinism contract: every trial's RNG
+   stream is pre-split ([Rng.split_n]) and position-independent, so
+   trial i computes the same value whether it runs today or in a
+   resumed process tomorrow — persisting completed chunks and
+   re-loading them is indistinguishable from recomputing them.
+
+   A *context* is activated around one experiment run (keyed by the
+   same digest as its store key, which embeds the code fingerprint —
+   a rebuilt binary never loads a stale chunk).  Each top-level
+   [Runner.map] call claims the next *slot* (a deterministic call
+   counter): the interrupted and the resumed run see identical call
+   sequences, so slot k always names the same map call.
+
+   Chunk files are written atomically and framed with a magic header,
+   the chunk's bounds, a length prefix and a CRC-32; anything
+   malformed loads as [None] (and is deleted) so the chunk is simply
+   recomputed.  Values travel via [Marshal]: chunks are transient,
+   machine-local artifacts read only by the same build that wrote
+   them (the fingerprint-keyed directory guarantees it), unlike store
+   objects, which use the versioned [Codec]. *)
+
+let magic = "EPHC"
+let format_version = 1
+
+type ctx = { dir : string; calls : int ref }
+
+let current : ctx option ref = ref None
+
+let context_dir ~dir ~run_key =
+  Filename.concat (Filename.concat dir "checkpoints") run_key
+
+let activate ~dir ~run_key =
+  let d = context_dir ~dir ~run_key in
+  Fsio.ensure_dir d;
+  current := Some { dir = d; calls = ref 0 }
+
+let deactivate () = current := None
+let active () = Option.is_some !current
+
+type slot = { slot_dir : string; call : int; trials : int }
+
+let next_slot ~trials =
+  match !current with
+  | None -> None
+  | Some c ->
+    let call = !(c.calls) in
+    c.calls := call + 1;
+    Some { slot_dir = c.dir; call; trials }
+
+(* <= 16 chunks per map call: coarse enough that chunk I/O is noise,
+   fine enough that an interrupted run salvages most finished work.
+   Purely a function of [trials], so chunk bounds agree across job
+   counts and across the interrupted/resumed pair. *)
+let chunk_size ~trials = Stdlib.max 1 ((trials + 15) / 16)
+
+let chunk_path slot ~lo ~hi =
+  Filename.concat slot.slot_dir
+    (Printf.sprintf "call%d_t%d_%d_%d.ck" slot.call slot.trials lo hi)
+
+let encode_chunk ~lo ~hi payload =
+  let buf = Buffer.create (String.length payload + 32) in
+  Buffer.add_string buf magic;
+  Buffer.add_uint8 buf format_version;
+  Buffer.add_int64_le buf (Int64.of_int lo);
+  Buffer.add_int64_le buf (Int64.of_int hi);
+  Buffer.add_int32_le buf (Int32.of_int (String.length payload));
+  Buffer.add_string buf payload;
+  Buffer.add_int32_le buf (Crc32.digest (Buffer.contents buf));
+  Buffer.contents buf
+
+let header_len = 4 + 1 + 8 + 8 + 4
+
+let decode_chunk ~lo ~hi data =
+  let total = String.length data in
+  if
+    total >= header_len + 4
+    && String.sub data 0 4 = magic
+    && Char.code data.[4] = format_version
+    && Int64.to_int (String.get_int64_le data 5) = lo
+    && Int64.to_int (String.get_int64_le data 13) = hi
+    && Int32.to_int (String.get_int32_le data 21) land 0xFFFFFFFF
+       = total - header_len - 4
+    && String.get_int32_le data (total - 4)
+       = Crc32.digest_sub data ~pos:0 ~len:(total - 4)
+  then Some (String.sub data header_len (total - header_len - 4))
+  else None
+
+let instrumented name f =
+  if not (Obs.Control.enabled ()) then f ()
+  else
+    Obs.Span.with_span name (fun () ->
+        Obs.Metrics.incr (Obs.Metrics.counter ("store." ^ name));
+        f ())
+
+let save_chunk slot ~lo ~hi values =
+  match Marshal.to_string values [] with
+  | exception _ -> () (* unmarshalable payload: silently not resumable *)
+  | payload ->
+    instrumented "ckpt.save" (fun () ->
+        let framed = encode_chunk ~lo ~hi payload in
+        Fsio.write_atomic (chunk_path slot ~lo ~hi) framed;
+        if Obs.Control.enabled () then
+          Obs.Metrics.add
+            (Obs.Metrics.counter "store.bytes_written")
+            (String.length framed))
+
+let load_chunk slot ~lo ~hi =
+  let path = chunk_path slot ~lo ~hi in
+  match Fsio.read_file path with
+  | None -> None
+  | Some data ->
+    instrumented "ckpt.load" (fun () ->
+        match decode_chunk ~lo ~hi data with
+        | Some payload ->
+          (match Marshal.from_string payload 0 with
+          | values -> Some values
+          | exception _ ->
+            Fsio.remove_if_exists path;
+            None)
+        | None ->
+          (* Truncated / bit-flipped / stale chunk: recompute it. *)
+          Fsio.remove_if_exists path;
+          None)
+
+let clean ~dir ~run_key = Fsio.remove_tree (context_dir ~dir ~run_key)
+
+let pending_chunks ~dir ~run_key =
+  match Sys.readdir (context_dir ~dir ~run_key) with
+  | exception Sys_error _ -> 0
+  | files -> Array.length files

@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3, reflected polynomial [0xEDB88320]): the
+    per-record checksum of every on-disk format in this library.
+
+    Standard check value: [digest "123456789" = 0xCBF43926l]. *)
+
+val digest : string -> int32
+
+val digest_sub : string -> pos:int -> len:int -> int32
+(** Checksum of the substring [\[pos, pos+len)].
+    @raise Invalid_argument on an out-of-bounds range. *)

@@ -1,0 +1,75 @@
+(* Crash-safe filesystem primitives shared by the whole store layer:
+   every file the store publishes goes through [write_atomic], so a
+   reader never observes a half-written object, checkpoint chunk,
+   manifest, CSV or Markdown table — it sees the old content (or
+   nothing) until the rename, then the new content. *)
+
+(* mkdir -p: create every missing component, tolerating races with a
+   concurrent creator. *)
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    try Sys.mkdir dir 0o755 with
+    | Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let fsync_channel oc =
+  flush oc;
+  try Unix.fsync (Unix.descr_of_out_channel oc) with
+  | Unix.Unix_error _ -> ()
+
+(* Durability of the rename itself needs the directory entry flushed;
+   best-effort, since some filesystems refuse fsync on a directory. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+    (try Unix.fsync fd with Unix.Unix_error _ -> ());
+    Unix.close fd
+
+let write_atomic path data =
+  ensure_dir (Filename.dirname path);
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc data;
+     fsync_channel oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let append_line path line =
+  ensure_dir (Filename.dirname path);
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  (try
+     output_string oc line;
+     output_char oc '\n';
+     fsync_channel oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e)
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | data -> Some data
+  | exception Sys_error _ -> None
+
+let remove_if_exists path = try Sys.remove path with Sys_error _ -> ()
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | exception Sys_error _ -> ()
+  | false -> remove_if_exists path
+  | true ->
+    Array.iter
+      (fun name -> remove_tree (Filename.concat path name))
+      (try Sys.readdir path with Sys_error _ -> [||]);
+    (try Sys.rmdir path with Sys_error _ -> ())

@@ -1,0 +1,35 @@
+(** Crash-safe filesystem primitives for the store layer.
+
+    Everything the store publishes goes through {!write_atomic}
+    (write to [<path>.tmp], fsync, [rename]) so a crash at any point
+    leaves either the previous file or the new one — never a
+    truncated hybrid.  [Sim.Report]'s CSV/Markdown writers use the
+    same primitive. *)
+
+val ensure_dir : string -> unit
+(** Create a directory and any missing parents ([mkdir -p]). *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path data]: write [data] to [path ^ ".tmp"], fsync,
+    then atomically [rename] over [path] (creating parent directories
+    as needed).  Raises [Sys_error] on I/O failure, after removing the
+    temporary file. *)
+
+val append_line : string -> string -> unit
+(** [append_line path line]: append [line ^ "\n"] in [O_APPEND] mode
+    and fsync.  Used for the JSONL manifest; a crash mid-append leaves
+    at most one malformed final line, which readers skip. *)
+
+val read_file : string -> string option
+(** Whole-file read; [None] if the file cannot be opened. *)
+
+val remove_if_exists : string -> unit
+
+val remove_tree : string -> unit
+(** Recursive best-effort delete of a file or directory. *)
+
+val fsync_channel : out_channel -> unit
+(** Flush then fsync (best-effort) an output channel. *)
+
+val fsync_dir : string -> unit
+(** Best-effort fsync of a directory entry (after a rename). *)

@@ -1,0 +1,87 @@
+(* Size/age-bounded garbage collection.
+
+   Policy, applied to the manifest's *live* entries (the newest entry
+   per key; superseded entries are garbage by definition):
+
+     1. drop entries older than [max_age_s];
+     2. walking the survivors newest-first, keep entries while the
+        cumulative object size stays within [max_bytes];
+     3. delete every on-disk object no kept entry references (content
+        addressing means two keys can share an object — it survives
+        while either does), empty the quarantine, and atomically
+        rewrite the manifest with only the kept entries.
+
+   With neither bound given, gc still compacts superseded manifest
+   entries and clears the quarantine. *)
+
+type stats = {
+  examined : int;
+  kept : int;
+  removed_entries : int;
+  removed_objects : int;
+  bytes_kept : int;
+  bytes_removed : int;
+}
+
+let run ?max_bytes ?max_age_s ?now store =
+  let now = match now with Some t -> t | None -> Unix.gettimeofday () in
+  let all = Objects.entries store in
+  let examined = List.length all in
+  (* Newest entry per key; [all] is chronological, so later wins. *)
+  let live = Hashtbl.create 64 in
+  List.iter (fun (e : Objects.entry) -> Hashtbl.replace live e.key e) all;
+  let live_entries =
+    List.filter
+      (fun (e : Objects.entry) ->
+        match Hashtbl.find_opt live e.key with
+        | Some live_e -> live_e == e
+        | None -> false)
+      all
+  in
+  let young =
+    match max_age_s with
+    | None -> live_entries
+    | Some age ->
+      List.filter (fun (e : Objects.entry) -> now -. e.time <= age) live_entries
+  in
+  let kept =
+    match max_bytes with
+    | None -> young
+    | Some budget ->
+      (* Newest first, cumulative size within budget. *)
+      let newest_first = List.rev young in
+      let total = ref 0 in
+      let kept_rev =
+        List.filter
+          (fun (e : Objects.entry) ->
+            if !total + e.size <= budget then begin
+              total := !total + e.size;
+              true
+            end
+            else false)
+          newest_first
+      in
+      List.rev kept_rev
+  in
+  let referenced = Hashtbl.create 64 in
+  List.iter (fun (e : Objects.entry) -> Hashtbl.replace referenced e.digest ()) kept;
+  let removed_objects = ref 0 in
+  List.iter
+    (fun digest ->
+      if not (Hashtbl.mem referenced digest) then begin
+        Objects.delete_object store ~digest;
+        incr removed_objects
+      end)
+    (Objects.object_digests_on_disk store);
+  Fsio.remove_tree (Objects.quarantine_dir store);
+  Objects.rewrite_manifest store kept;
+  let sum es = List.fold_left (fun acc (e : Objects.entry) -> acc + e.size) 0 es in
+  let bytes_kept = sum kept in
+  {
+    examined;
+    kept = List.length kept;
+    removed_entries = examined - List.length kept;
+    removed_objects = !removed_objects;
+    bytes_kept;
+    bytes_removed = sum all - bytes_kept;
+  }

@@ -1,0 +1,19 @@
+(** Size/age-bounded garbage collection over an object store.
+
+    Keeps the newest entry per key, drops entries older than
+    [max_age_s], then keeps newest-first while cumulative object size
+    fits [max_bytes]; unreferenced objects are deleted, the quarantine
+    emptied, and the manifest atomically compacted.  Run via
+    [ephemeral store gc]. *)
+
+type stats = {
+  examined : int;  (** manifest entries before the sweep *)
+  kept : int;
+  removed_entries : int;
+  removed_objects : int;  (** object files deleted from disk *)
+  bytes_kept : int;
+  bytes_removed : int;  (** manifest-accounted bytes dropped *)
+}
+
+val run : ?max_bytes:int -> ?max_age_s:float -> ?now:float -> Objects.t -> stats
+(** [now] overrides the wall clock (tests). *)

@@ -1,0 +1,24 @@
+(** Cache keys: what addresses an experiment outcome in the store.
+
+    [derive] digests the experiment id, seed, quick flag (trial counts
+    and sweep sizes are pure functions of it) and the build-time code
+    fingerprint — so any input or code change invalidates cleanly (a
+    miss, then repopulation), and equal keys provably name equal
+    outcomes under the determinism contract of [Sim.Runner]. *)
+
+val derive : exp_id:string -> seed:int -> quick:bool -> string
+(** Hex digest; stable across processes and machines for the same
+    build. *)
+
+val fingerprint : unit -> string
+(** The code fingerprint baked in at build time: a digest of every
+    [.ml] source under [lib/] and [bin/] (plus the Obs clock C stub).
+    Surfaced by [ephemeral version] and [ephemeral store ls] so users
+    can tell why a cache missed. *)
+
+val fingerprinted_sources : unit -> int
+(** How many source files the fingerprint covers. *)
+
+val meta : exp_id:string -> seed:int -> quick:bool -> (string * string) list
+(** Human-readable key components, recorded in the manifest for
+    [store ls]. *)
