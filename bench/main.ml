@@ -11,7 +11,12 @@
               dune exec bench/main.exe -- --quick (reduced scale)
               dune exec bench/main.exe -- --no-micro / --no-tables / --no-speedup
               dune exec bench/main.exe -- --jobs 4
-              dune exec bench/main.exe -- --metrics --trace out.jsonl    *)
+              dune exec bench/main.exe -- --metrics --trace out.jsonl
+
+   Part 2c is the fault soak: E1 under an armed injection plan with
+   retries, byte-compared against the fault-free render — the
+   determinism-under-faults contract, timed so the retry overhead is
+   visible. *)
 
 module Rng = Prng.Rng
 open Temporal
@@ -27,6 +32,7 @@ type opts = {
   mutable no_tables : bool;
   mutable no_speedup : bool;
   mutable no_store : bool;
+  mutable no_faults : bool;
   mutable metrics : bool;
   mutable trace : string option;
   mutable jobs : int option;
@@ -40,6 +46,7 @@ let usage_lines =
     "  --no-tables    skip part 1 (experiment tables)";
     "  --no-speedup   skip part 2 (E1 sequential-vs-parallel timing)";
     "  --no-store     skip part 2b (E1 cold vs warm result store)";
+    "  --no-faults    skip part 2c (E1 fault soak: injected faults + retries)";
     "  --no-micro     skip part 3 (Bechamel micro-benchmarks)";
     "  --jobs N, -j N worker domains for trial execution (default: 4";
     "                 for the speedup run, EPHEMERAL_JOBS or the";
@@ -62,6 +69,7 @@ let parse_args () =
       no_tables = false;
       no_speedup = false;
       no_store = false;
+      no_faults = false;
       metrics = false;
       trace = None;
       jobs = None;
@@ -87,6 +95,7 @@ let parse_args () =
       | "--no-tables" -> o.no_tables <- true; go (i + 1)
       | "--no-speedup" -> o.no_speedup <- true; go (i + 1)
       | "--no-store" -> o.no_store <- true; go (i + 1)
+      | "--no-faults" -> o.no_faults <- true; go (i + 1)
       | "--metrics" -> o.metrics <- true; go (i + 1)
       | "--trace" -> o.trace <- Some (value "--trace" i); go (i + 2)
       | ("--jobs" | "-j") as flag -> o.jobs <- Some (int_value flag i); go (i + 2)
@@ -199,6 +208,61 @@ let run_store_bench () =
          then "yes"
          else "NO (BUG)"));
     Store.Fsio.remove_tree dir;
+    print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2c: fault soak on E1 (quick scale).
+
+   Runs E1 fault-free, then again with an armed injection plan
+   (retryable trial faults, delays, poisoned workers) under supervised
+   retries, and byte-compares the renders.  This is the robustness
+   contract measured: retries replay each trial from a copy of its
+   pristine pre-split stream, so injected faults must cost wall time
+   only, never a single differing byte. *)
+
+let run_fault_soak () =
+  print_endline
+    "=================================================================";
+  print_endline " E1 --quick: fault soak (injected faults + retries vs clean)";
+  print_endline
+    "=================================================================";
+  match Sim.Experiments.find "e1" with
+  | None -> print_endline "e1 not registered; skipping"
+  | Some e1 ->
+    let time_run () =
+      let t0 = Unix.gettimeofday () in
+      let outcome = e1.run ~quick:true ~seed:Sim.Experiments.default_seed in
+      let dt = Unix.gettimeofday () -. t0 in
+      (Sim.Outcome.render outcome, dt)
+    in
+    let clean_render, clean_t = time_run () in
+    let spec = "seed=42,trial=0.1,delay=0.05,delay-ms=1,poison=0.3" in
+    let plan =
+      match Fault.Spec.parse spec with
+      | Ok plan -> plan
+      | Error msg -> failwith ("bench fault spec: " ^ msg)
+    in
+    Fault.Inject.arm plan;
+    Sim.Supervise.configure
+      {
+        Sim.Supervise.max_retries = 5;
+        trial_timeout = None;
+        run_deadline = None;
+        keep_going = false;
+      };
+    let fault_render, fault_t = time_run () in
+    Fault.Inject.disarm ();
+    Sim.Supervise.configure Sim.Supervise.default;
+    let count name = Obs.Metrics.count (Obs.Metrics.counter name) in
+    Printf.printf "  plan               : %s\n" spec;
+    Printf.printf "  clean run          : %7.3f s\n" clean_t;
+    Printf.printf "  faulted run        : %7.3f s  (%.2fx)\n" fault_t
+      (fault_t /. Float.max 1e-9 clean_t);
+    Printf.printf "  faults injected    : %d\n" (count "faults.injected");
+    Printf.printf "  trials retried     : %d\n" (count "trials.retried");
+    Printf.printf "  workers poisoned   : %d\n" (count "pool.workers_poisoned");
+    Printf.printf "  outputs identical  : %s\n"
+      (if String.equal clean_render fault_render then "yes" else "NO (BUG)");
     print_newline ()
 
 (* ------------------------------------------------------------------ *)
@@ -452,6 +516,7 @@ let () =
   if not opts.no_tables then run_tables ();
   if not opts.no_speedup then run_speedup ();
   if not opts.no_store then run_store_bench ();
+  if not opts.no_faults then run_fault_soak ();
   if not opts.no_micro then run_micro ();
   Option.iter Obs.Sink.close sink;
   if opts.metrics then Obs.Export.print_summary ()

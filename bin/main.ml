@@ -68,13 +68,18 @@ let trace_term =
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
 (* Returns the teardown to run after the instrumented work: closes the
-   trace sink and prints the summary, in that order. *)
+   trace sink and prints the summary, in that order.  The sink close
+   is also registered as a shutdown hook, so SIGINT/SIGTERM publish
+   the partial trace (close renames the tmp file into place and is
+   idempotent — whichever of the hook and the teardown runs first
+   wins). *)
 let setup_obs ~metrics ~trace =
   let sink =
     Option.map
       (fun path ->
         let sink = Obs.Sink.open_jsonl path in
         Obs.Sink.attach sink;
+        Fault.Shutdown.on_shutdown (fun () -> Obs.Sink.close sink);
         sink)
       trace
   in
@@ -82,6 +87,62 @@ let setup_obs ~metrics ~trace =
   fun () ->
     Option.iter Obs.Sink.close sink;
     if metrics then Obs.Export.print_summary ()
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection and supervision options *)
+
+let fault_spec_term =
+  let doc =
+    "Arm a deterministic fault plan: comma-separated key=value over seed, \
+     trial, fatal, delay, delay-ms, io, torn, poison (e.g. \
+     $(b,seed=7,trial=0.05,io=0.05,torn=0.3)). Faults derive from the plan \
+     seed alone, so a plan injects identically at any --jobs."
+  in
+  Arg.(value & opt (some string) None & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+
+let max_retries_term =
+  let doc =
+    "Retry a failed trial up to $(docv) times; each attempt replays the \
+     trial's own RNG stream, so output stays byte-identical to a fault-free \
+     run."
+  in
+  Arg.(value & opt int 0 & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let trial_timeout_term =
+  let doc =
+    "Discard and retry any trial attempt that takes longer than $(docv) \
+     seconds (checked after the attempt; OCaml code cannot be preempted)."
+  in
+  Arg.(value & opt (some float) None & info [ "trial-timeout" ] ~docv:"SECS" ~doc)
+
+let run_deadline_term =
+  let doc =
+    "After $(docv) seconds of run time, stop starting trial attempts; \
+     remaining trials fail (with $(b,--keep-going): are dropped)."
+  in
+  Arg.(value & opt (some float) None & info [ "run-deadline" ] ~docv:"SECS" ~doc)
+
+let keep_going_term =
+  let doc =
+    "Degrade instead of aborting when a trial exhausts its retries: finish \
+     on the surviving trials, widen bootstrap CIs, flag every table and \
+     CSV as degraded, and still exit 0."
+  in
+  Arg.(value & flag & info [ "keep-going" ] ~doc)
+
+(* Parse/arm the plan and install the supervision config.  [Error]
+   means a malformed spec: report and exit non-zero before any work. *)
+let setup_faults ~fault_spec ~max_retries ~trial_timeout ~run_deadline ~keep_going
+    =
+  match Option.map Fault.Spec.parse fault_spec with
+  | Some (Error msg) -> Error (Printf.sprintf "bad --fault-spec: %s" msg)
+  | (None | Some (Ok _)) as parsed ->
+    (match parsed with
+    | Some (Ok plan) -> Fault.Inject.arm plan
+    | _ -> Fault.Inject.disarm ());
+    Sim.Supervise.configure
+      { Sim.Supervise.max_retries; trial_timeout; run_deadline; keep_going };
+    Ok ()
 
 (* ------------------------------------------------------------------ *)
 (* Store options *)
@@ -124,8 +185,10 @@ let run_cmd =
     let doc = "Also write each experiment as Markdown into $(docv)." in
     Arg.(value & opt (some string) None & info [ "md" ] ~docv:"DIR" ~doc)
   in
-  let run ids quick seed csv md metrics trace jobs cache store_dir resume =
+  let run ids quick seed csv md metrics trace jobs cache store_dir resume
+      fault_spec max_retries trial_timeout run_deadline keep_going =
     Option.iter Exec.Pool.set_jobs jobs;
+    Fault.Shutdown.install ();
     let selected =
       match ids with
       | [] -> Ok Sim.Experiments.all
@@ -144,54 +207,215 @@ let run_cmd =
       prerr_endline msg;
       1
     | Ok experiments ->
+    match
+      setup_faults ~fault_spec ~max_retries ~trial_timeout ~run_deadline
+        ~keep_going
+    with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok () ->
     match setup_obs ~metrics ~trace with
     | exception Sys_error msg ->
       Printf.eprintf "cannot open trace file: %s\n" msg;
       1
     | teardown ->
       let store = if cache then Some (Store.Objects.open_ ~dir:store_dir) else None in
-      List.iter
-        (fun exp ->
-          let cached =
-            match store with
-            | Some s -> Sim.Cache.get s exp ~seed ~quick
-            | None -> None
-          in
-          let outcome =
-            match cached with
-            | Some outcome ->
-              (* Cache hit: the stored outcome renders byte-identically
-                 to a fresh run, with zero trials executed. *)
-              Sim.Report.print_outcome exp outcome;
-              outcome
-            | None ->
-              let run_key = Sim.Cache.key exp ~seed ~quick in
-              if resume then Store.Checkpoint.activate ~dir:store_dir ~run_key;
-              let outcome =
-                Fun.protect ~finally:Store.Checkpoint.deactivate (fun () ->
-                    Sim.Report.run_and_print ~quick ~seed exp)
-              in
-              (* The outcome is complete (and, with --cache, published),
-                 so its chunks have served their purpose. *)
-              if resume then Store.Checkpoint.clean ~dir:store_dir ~run_key;
-              Option.iter (fun s -> Sim.Cache.put s exp ~seed ~quick outcome) store;
-              outcome
-          in
-          Option.iter
-            (fun dir -> ignore (Sim.Report.save_csv ~dir exp outcome))
-            csv;
-          Option.iter
-            (fun dir -> ignore (Sim.Report.save_markdown ~dir exp outcome))
-            md)
-        experiments;
+      let run_one exp =
+        let cached =
+          match store with
+          | Some s -> Sim.Cache.get s exp ~seed ~quick
+          | None -> None
+        in
+        let outcome =
+          match cached with
+          | Some outcome ->
+            (* Cache hit: the stored outcome renders byte-identically
+               to a fresh run, with zero trials executed. *)
+            Sim.Report.print_outcome exp outcome;
+            outcome
+          | None ->
+            let run_key = Sim.Cache.key exp ~seed ~quick in
+            if resume then Store.Checkpoint.activate ~dir:store_dir ~run_key;
+            let outcome =
+              Fun.protect ~finally:Store.Checkpoint.deactivate (fun () ->
+                  Sim.Report.run_and_print ~quick ~seed exp)
+            in
+            (* The outcome is complete (and, with --cache, published),
+               so its chunks have served their purpose. *)
+            if resume then Store.Checkpoint.clean ~dir:store_dir ~run_key;
+            (* A degraded outcome holds partial results: never publish
+               it — a later hit could not be told from a clean run. *)
+            if not (Sim.Supervise.degraded ()) then
+              Option.iter
+                (fun s -> Sim.Cache.put s exp ~seed ~quick outcome)
+                store;
+            outcome
+        in
+        Option.iter (fun dir -> ignore (Sim.Report.save_csv ~dir exp outcome)) csv;
+        Option.iter
+          (fun dir -> ignore (Sim.Report.save_markdown ~dir exp outcome))
+          md
+      in
+      let status =
+        (* Without --keep-going, a trial that exhausts its retries (or
+           hits the run deadline) aborts the whole command, non-zero. *)
+        try
+          List.iter run_one experiments;
+          0
+        with Sim.Supervise.Trial_failed f ->
+          Printf.eprintf
+            "error: trial %d failed after %d attempt%s: %s\n\
+             (use --max-retries to retry transient faults, --keep-going to \
+             finish on partial results)\n"
+            f.trial f.attempts
+            (if f.attempts = 1 then "" else "s")
+            f.message;
+          1
+      in
       teardown ();
-      0
+      status
   in
   let doc = "Run reproduction experiments and print their tables." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ ids_term $ quick_term $ seed_term $ csv_term $ md_term
           $ metrics_term $ trace_term $ jobs_term $ cache_term
-          $ store_dir_term $ resume_term)
+          $ store_dir_term $ resume_term $ fault_spec_term $ max_retries_term
+          $ trial_timeout_term $ run_deadline_term $ keep_going_term)
+
+(* ------------------------------------------------------------------ *)
+(* chaos: soak an experiment under seed-varied fault plans *)
+
+let chaos_cmd =
+  let id_term =
+    let doc = "Experiment id to soak." in
+    Arg.(value & pos 0 string "e1" & info [] ~docv:"ID" ~doc)
+  in
+  let rounds_term =
+    let doc = "Fault-injected rounds to run (each with a distinct plan seed)." in
+    Arg.(value & opt int 5 & info [ "rounds" ] ~docv:"N" ~doc)
+  in
+  let chaos_spec_term =
+    let doc =
+      "Base fault plan; each round bumps its seed. Plans with fatal=0 must \
+       reproduce the fault-free bytes under retries; fatal faults require \
+       $(b,--keep-going) and must surface as degraded tables."
+    in
+    Arg.(value
+         & opt string "trial=0.05,delay=0.02,delay-ms=1,io=0.05,torn=0.3,poison=0.2"
+         & info [ "fault-spec" ] ~docv:"SPEC" ~doc)
+  in
+  let chaos_retries_term =
+    let doc = "Retry budget per trial during the soak." in
+    Arg.(value & opt int 5 & info [ "max-retries" ] ~docv:"N" ~doc)
+  in
+  let contains haystack needle =
+    let nl = String.length needle and hl = String.length haystack in
+    let rec scan i =
+      i + nl <= hl && (String.sub haystack i nl = needle || scan (i + 1))
+    in
+    nl = 0 || scan 0
+  in
+  let run id quick seed jobs rounds spec retries keep_going =
+    Option.iter Exec.Pool.set_jobs jobs;
+    Fault.Shutdown.install ();
+    match Sim.Experiments.find id with
+    | None ->
+      Printf.eprintf "unknown experiment id %S\n" id;
+      1
+    | Some exp -> (
+      match Fault.Spec.parse spec with
+      | Error msg ->
+        Printf.eprintf "bad --fault-spec: %s\n" msg;
+        1
+      | Ok base ->
+        (* Fault-free reference bytes, supervision fully off. *)
+        Fault.Inject.disarm ();
+        Sim.Supervise.configure Sim.Supervise.default;
+        let baseline = Sim.Outcome.render (exp.run ~quick ~seed) in
+        let identical = ref 0
+        and degraded_rounds = ref 0
+        and aborted = ref 0
+        and bad = ref [] in
+        for round = 1 to rounds do
+          let plan = { base with Fault.Plan.seed = Int64.add base.seed (Int64.of_int round) } in
+          Fault.Inject.arm plan;
+          Sim.Supervise.configure
+            { Sim.Supervise.default with max_retries = retries; keep_going };
+          (match exp.run ~quick ~seed with
+          | outcome ->
+            let rendered =
+              Sim.Outcome.render (Sim.Report.annotate_degraded outcome)
+            in
+            if not (Sim.Supervise.degraded ()) then begin
+              if rendered = baseline then incr identical
+              else
+                bad :=
+                  Printf.sprintf
+                    "round %d (plan %s): output differs from the fault-free \
+                     run despite all trials succeeding"
+                    round (Fault.Spec.to_string plan)
+                  :: !bad
+            end
+            else begin
+              (* Partial results are acceptable only when asked for,
+                 and must be visibly flagged. *)
+              incr degraded_rounds;
+              if not keep_going then
+                bad :=
+                  Printf.sprintf
+                    "round %d (plan %s): degraded without --keep-going" round
+                    (Fault.Spec.to_string plan)
+                  :: !bad
+              else if not (contains rendered "degraded") then
+                bad :=
+                  Printf.sprintf
+                    "round %d (plan %s): partial results not flagged degraded"
+                    round (Fault.Spec.to_string plan)
+                  :: !bad
+            end
+          | exception Sim.Supervise.Trial_failed f ->
+            incr aborted;
+            if base.Fault.Plan.fatal = 0. then
+              bad :=
+                Printf.sprintf
+                  "round %d (plan %s): aborted on trial %d (%s) though every \
+                   injected fault was retryable"
+                  round (Fault.Spec.to_string plan) f.trial f.message
+                :: !bad)
+        done;
+        Fault.Inject.disarm ();
+        Sim.Supervise.configure Sim.Supervise.default;
+        let count name = Obs.Metrics.count (Obs.Metrics.counter name) in
+        Printf.printf
+          "chaos %s: %d round%s — %d byte-identical, %d degraded, %d aborted\n"
+          exp.id rounds
+          (if rounds = 1 then "" else "s")
+          !identical !degraded_rounds !aborted;
+        Printf.printf
+          "  faults injected %d (trial %d, delay %d, io %d, poison %d)\n"
+          (count "faults.injected") (count "faults.trial") (count "faults.delay")
+          (count "faults.io") (count "faults.poison");
+        Printf.printf "  trials retried %d, failed %d; store io retries %d\n"
+          (count "trials.retried") (count "trials.failed")
+          (count "store.io_retries");
+        List.iter (fun msg -> Printf.printf "  FAIL %s\n" msg) (List.rev !bad);
+        if !bad = [] then begin
+          print_endline "chaos soak passed";
+          0
+        end
+        else 1)
+  in
+  let doc =
+    "Soak an experiment under deterministic fault injection: repeated runs \
+     under seed-varied plans must stay byte-identical to the fault-free run \
+     (retryable faults) or finish flagged degraded (--keep-going with fatal \
+     faults). Non-zero exit on any unflagged divergence."
+  in
+  Cmd.v (Cmd.info "chaos" ~doc)
+    Term.(const run $ id_term $ quick_term $ seed_term $ jobs_term
+          $ rounds_term $ chaos_spec_term $ chaos_retries_term
+          $ keep_going_term)
 
 let list_cmd =
   let run () =
@@ -901,7 +1125,7 @@ let () =
   in
   let group =
     Cmd.group ~default info
-      [ run_cmd; list_cmd; diameter_cmd; reach_cmd; min_r_cmd; flood_cmd;
+      [ run_cmd; chaos_cmd; list_cmd; diameter_cmd; reach_cmd; min_r_cmd; flood_cmd;
         expansion_cmd; journey_cmd; taxonomy_cmd; centrality_cmd;
         disjoint_cmd; export_cmd; analyze_cmd; restless_cmd; walk_cmd;
         jam_cmd; store_cmd; version_cmd ]

@@ -5,13 +5,23 @@ let max_jobs = 64
 let clamp n = if n < 1 then 1 else if n > max_jobs then max_jobs else n
 let recommended () = clamp (Domain.recommended_domain_count ())
 
+let parse s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> Ok (clamp n)
+  | Some n -> Error (Printf.sprintf "non-positive job count %d" n)
+  | None -> Error (Printf.sprintf "not an integer: %S" s)
+
 let env_jobs () =
   match Sys.getenv_opt "EPHEMERAL_JOBS" with
   | None -> None
   | Some s -> (
-    match int_of_string_opt (String.trim s) with
-    | Some n when n >= 1 -> Some (clamp n)
-    | Some _ | None -> None)
+    match parse s with
+    | Ok n -> Some n
+    | Error reason ->
+      Obs.Log.warn_once "exec.env_jobs"
+        "ignoring EPHEMERAL_JOBS (%s); using the recommended domain count"
+        reason;
+      None)
 
 let override : int option Atomic.t = Atomic.make None
 let set_jobs n = Atomic.set override (Some (clamp n))

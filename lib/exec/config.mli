@@ -7,12 +7,19 @@
     + [Domain.recommended_domain_count ()].
 
     Values are clamped to [\[1, max_jobs\]]; a malformed or non-positive
-    environment value is ignored rather than fatal, so a bad shell
-    profile can never break a run. *)
+    environment value (e.g. [abc], [0], [-3]) falls back to the
+    recommended count with a single stderr warning rather than raising
+    or spawning a zero-domain pool, so a bad shell profile can never
+    break a run. *)
 
 val max_jobs : int
 (** Upper clamp on the job count (well under the runtime's domain
     limit). *)
+
+val parse : string -> (int, string) result
+(** Parse a job count as the [EPHEMERAL_JOBS] resolution does:
+    [Ok n] clamped to [\[1, max_jobs\]] for a positive integer,
+    [Error reason] for anything malformed or non-positive. *)
 
 val recommended : unit -> int
 (** [Domain.recommended_domain_count], clamped. *)

@@ -68,7 +68,7 @@ let drain t task =
       claim ());
   inside := was_inside
 
-let rec worker_loop t seen =
+let rec worker_loop t ~worker seen =
   Mutex.lock t.m;
   while t.gen = seen && not t.stop do
     Condition.wait t.work t.m
@@ -80,8 +80,26 @@ let rec worker_loop t seen =
        waker gets here; there is then nothing left to claim. *)
     let task = t.task in
     Mutex.unlock t.m;
-    Option.iter (drain t) task;
-    worker_loop t gen
+    (match task with
+    | None -> ()
+    | Some task ->
+      if Fault.Inject.poison_worker ~worker ~generation:gen then
+        (* A poisoned worker sits this task out.  Correctness is
+           unaffected — the caller always drains — it just runs on
+           fewer domains. *)
+        Obs.Metrics.incr (Obs.Metrics.counter "pool.workers_poisoned")
+      else
+        (* [drain] already routes run_chunk exceptions into
+           [task.failed]; anything escaping here is pool machinery
+           breaking.  Contain it so the domain survives for future
+           tasks instead of dying silently mid-queue. *)
+        try drain t task with
+        | e ->
+          Obs.Metrics.incr (Obs.Metrics.counter "pool.worker_exceptions");
+          Obs.Log.warn_once "pool.worker"
+            "pool worker %d crashed outside task isolation: %s" worker
+            (Printexc.to_string e));
+    worker_loop t ~worker gen
   end
 
 let create ~jobs =
@@ -98,7 +116,8 @@ let create ~jobs =
       workers = [||];
     }
   in
-  t.workers <- Array.init (jobs - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t 0));
+  t.workers <-
+    Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t ~worker:i 0));
   t
 
 let shutdown t =
@@ -108,7 +127,9 @@ let shutdown t =
   t.workers <- [||];
   Condition.broadcast t.work;
   Mutex.unlock t.m;
-  Array.iter Domain.join workers
+  (* A worker that died to an unexpected exception must not wedge
+     shutdown for the rest. *)
+  Array.iter (fun d -> try Domain.join d with _ -> ()) workers
 
 let run t task =
   Mutex.lock t.m;

@@ -20,7 +20,19 @@
     they would under sequential execution.
 
     Calls from inside a pool task (nested parallelism) degrade to
-    sequential execution in the calling domain rather than deadlock. *)
+    sequential execution in the calling domain rather than deadlock.
+
+    {b Fault isolation.}  A task exception is captured per chunk and
+    re-raised in the caller; the queue itself never wedges — remaining
+    chunks are retired unrun and workers return to their parking loop.
+    Under an armed {!Fault.Plan}, a worker may be {e poisoned} for a
+    task ([Fault.Inject.poison_worker]): it skips that task entirely
+    (counted in ["pool.workers_poisoned"]).  Correctness is unaffected
+    because the caller always participates in draining; the task just
+    runs on fewer domains.  An exception escaping the pool machinery
+    itself is contained (["pool.worker_exceptions"], warn-once) so the
+    domain survives for future tasks, and {!shutdown} joins dead
+    workers without raising. *)
 
 type t
 

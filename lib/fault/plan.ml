@@ -1,0 +1,45 @@
+(* A fault plan is a pure value: a seed plus per-site rates.  Every
+   injection decision is a [roll] — a hash of (plan seed, site name,
+   two site-chosen integers) mapped to [0, 1) — so whether site s
+   injects at trial i, attempt k is a function of the plan alone,
+   independent of execution order, job count, or wall clock.  That is
+   what lets a chaos run assert byte-identical output at any --jobs:
+   the *fault pattern* itself is reproducible. *)
+
+type t = {
+  seed : int64;
+  trial : float;  (* P(injected exception per trial attempt) *)
+  fatal : float;  (* P(an injected trial exception is unretryable) *)
+  delay : float;  (* P(injected delay before a trial attempt) *)
+  delay_ms : float;  (* length of an injected delay *)
+  io : float;  (* P(transient IO failure per store write attempt) *)
+  torn : float;  (* P(a failing write leaves a torn partial file) *)
+  poison : float;  (* P(a pool worker refuses a given task) *)
+}
+
+let default =
+  {
+    seed = 0L;
+    trial = 0.;
+    fatal = 0.;
+    delay = 0.;
+    delay_ms = 1.;
+    io = 0.;
+    torn = 0.;
+    poison = 0.;
+  }
+
+let active t =
+  t.trial > 0. || t.delay > 0. || t.io > 0. || t.poison > 0.
+
+(* splitmix64's finalizer is a good 64-bit mixer; chain the site hash
+   and both coordinates through it so adjacent trials / attempts land
+   on unrelated rolls.  [Hashtbl.hash] on the site string is stable
+   within a build, which is all a plan needs. *)
+let roll t ~site ~a ~b =
+  let mix h x = Prng.Splitmix64.next (Prng.Splitmix64.of_int64 (Int64.logxor h x)) in
+  let h = mix t.seed (Int64.of_int (Hashtbl.hash site)) in
+  let h = mix h (Int64.of_int a) in
+  let h = mix h (Int64.of_int b) in
+  (* Top 53 bits -> [0, 1), the standard uniform-double construction. *)
+  Int64.to_float (Int64.shift_right_logical h 11) *. 0x1p-53

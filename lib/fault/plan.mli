@@ -1,0 +1,29 @@
+(** Deterministic fault plans.
+
+    A plan is a seed plus per-site injection rates.  Every decision
+    derives from {!roll} — a pure hash of the plan seed, the site name
+    and two site-chosen coordinates (typically trial index and attempt
+    number) — so the fault pattern is a function of the plan alone:
+    independent of execution order, job count and wall clock, and
+    reproducible run to run.  Rates of [0.] (the {!default}) disable a
+    site entirely. *)
+
+type t = {
+  seed : int64;  (** Root of every roll. *)
+  trial : float;  (** P(injected exception per trial attempt). *)
+  fatal : float;  (** P(an injected trial exception is unretryable). *)
+  delay : float;  (** P(injected delay before a trial attempt). *)
+  delay_ms : float;  (** Length of an injected delay, milliseconds. *)
+  io : float;  (** P(transient IO failure per store write attempt). *)
+  torn : float;  (** P(a failing write leaves a torn partial file). *)
+  poison : float;  (** P(a pool worker refuses a given task). *)
+}
+
+val default : t
+(** Seed 0, every rate 0: injects nothing. *)
+
+val active : t -> bool
+(** Whether any injection rate is positive. *)
+
+val roll : t -> site:string -> a:int -> b:int -> float
+(** Uniform in [\[0, 1)], a pure function of (seed, site, a, b). *)

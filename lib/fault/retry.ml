@@ -1,0 +1,18 @@
+(* Bounded retry with capped exponential backoff, for transient IO.
+   Policy knobs are explicit at the call site; the backoff never
+   exceeds [max_delay_s], so even a persistently failing path fails
+   fast (a handful of milliseconds) rather than hanging a run. *)
+
+let with_backoff ?(attempts = 4) ?(base_delay_s = 0.001) ?(max_delay_s = 0.05)
+    ~retryable ~on_retry f =
+  if attempts < 1 then invalid_arg "Retry.with_backoff: attempts must be >= 1";
+  let rec go k =
+    match f k with
+    | v -> v
+    | exception e when k + 1 < attempts && retryable e ->
+      on_retry k e;
+      let d = Float.min max_delay_s (base_delay_s *. (2. ** float_of_int k)) in
+      if d > 0. then Unix.sleepf d;
+      go (k + 1)
+  in
+  go 0

@@ -1,0 +1,18 @@
+(** Bounded retry with capped exponential backoff. *)
+
+val with_backoff :
+  ?attempts:int ->
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  retryable:(exn -> bool) ->
+  on_retry:(int -> exn -> unit) ->
+  (int -> 'a) ->
+  'a
+(** [with_backoff ~retryable ~on_retry f] runs [f 0]; if it raises an
+    exception [e] with [retryable e], calls [on_retry k e], sleeps
+    [min max_delay_s (base_delay_s * 2^k)] and runs [f (k + 1)], up to
+    [attempts] attempts total (default 4, base 1 ms, cap 50 ms).  The
+    attempt index is passed to [f] so injection sites can re-roll per
+    attempt.  The final failure (or any unretryable exception) is
+    re-raised.
+    @raise Invalid_argument if [attempts < 1]. *)

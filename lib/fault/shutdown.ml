@@ -1,0 +1,44 @@
+(* Graceful SIGINT/SIGTERM: run registered cleanup hooks (flush the
+   trace sink; checkpoints are already durable, published chunk by
+   chunk), then exit with the conventional 128+signal status.  [exit]
+   still runs at_exit handlers, so the domain pool joins its workers
+   as on a normal exit.
+
+   Hooks run LIFO and at most once per process, whether triggered by a
+   signal or explicitly ([run_hooks] from tests). *)
+
+let m = Mutex.create ()
+let hooks : (unit -> unit) list ref = ref []
+let ran = ref false
+
+let on_shutdown f =
+  Mutex.lock m;
+  hooks := f :: !hooks;
+  Mutex.unlock m
+
+let run_hooks () =
+  Mutex.lock m;
+  let to_run = if !ran then [] else !hooks in
+  ran := true;
+  hooks := [];
+  Mutex.unlock m;
+  List.iter (fun f -> try f () with _ -> ()) to_run
+
+let reset () =
+  Mutex.lock m;
+  hooks := [];
+  ran := false;
+  Mutex.unlock m
+
+let exit_status signal = if signal = Sys.sigint then 130 else 143
+
+let install () =
+  let handle signal =
+    Sys.set_signal signal
+      (Sys.Signal_handle
+         (fun s ->
+           run_hooks ();
+           exit (exit_status s)))
+  in
+  handle Sys.sigint;
+  handle Sys.sigterm

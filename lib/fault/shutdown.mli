@@ -1,0 +1,22 @@
+(** Graceful termination on SIGINT/SIGTERM.
+
+    {!install} replaces both handlers with one that runs every
+    registered hook (LIFO, exceptions swallowed, at most once per
+    process) and then [exit]s with the conventional [128 + signal]
+    status — so [at_exit] cleanups (the domain pool) still run.  The
+    CLI registers the trace-sink close here, which publishes the
+    JSONL file atomically; checkpoint chunks need no hook because each
+    is durable the moment it is written. *)
+
+val install : unit -> unit
+(** Install the SIGINT and SIGTERM handlers. *)
+
+val on_shutdown : (unit -> unit) -> unit
+(** Register a cleanup hook.  Hooks run LIFO. *)
+
+val run_hooks : unit -> unit
+(** Run the hooks now (idempotent; later signals find nothing left).
+    Exposed for tests and for explicit early teardown. *)
+
+val reset : unit -> unit
+(** Drop all hooks and re-enable running (tests). *)

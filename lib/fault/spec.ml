@@ -1,0 +1,74 @@
+(* --fault-spec parser: a comma-separated key=value list, e.g.
+
+     seed=7,trial=0.05,fatal=0.1,io=0.05,torn=0.3,poison=0.1,delay=0.01,delay-ms=2
+
+   Every key is optional (missing keys keep Plan.default); unknown
+   keys, unparsable values and out-of-range rates are errors, not
+   silently ignored — a typo'd chaos spec that injects nothing would
+   make a soak test vacuous. *)
+
+let keys =
+  "seed, trial, fatal, delay, delay-ms, io, torn, poison"
+
+let parse_field plan key value =
+  let prob what set =
+    match float_of_string_opt value with
+    | Some p when p >= 0. && p <= 1. -> Ok (set p)
+    | Some _ -> Error (Printf.sprintf "%s=%s: rate must be in [0, 1]" what value)
+    | None -> Error (Printf.sprintf "%s=%s: not a number" what value)
+  in
+  match key with
+  | "seed" -> (
+    match Int64.of_string_opt value with
+    | Some s -> Ok { plan with Plan.seed = s }
+    | None -> Error (Printf.sprintf "seed=%s: not an integer" value))
+  | "trial" -> prob key (fun p -> { plan with Plan.trial = p })
+  | "fatal" -> prob key (fun p -> { plan with Plan.fatal = p })
+  | "delay" -> prob key (fun p -> { plan with Plan.delay = p })
+  | "delay-ms" -> (
+    match float_of_string_opt value with
+    | Some ms when ms >= 0. -> Ok { plan with Plan.delay_ms = ms }
+    | Some _ | None ->
+      Error (Printf.sprintf "delay-ms=%s: must be a non-negative number" value))
+  | "io" -> prob key (fun p -> { plan with Plan.io = p })
+  | "torn" -> prob key (fun p -> { plan with Plan.torn = p })
+  | "poison" -> prob key (fun p -> { plan with Plan.poison = p })
+  | _ -> Error (Printf.sprintf "unknown key %S (known: %s)" key keys)
+
+let parse s =
+  let fields =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun f -> f <> "")
+  in
+  List.fold_left
+    (fun acc field ->
+      match acc with
+      | Error _ as e -> e
+      | Ok plan -> (
+        match String.index_opt field '=' with
+        | None -> Error (Printf.sprintf "%S: expected key=value" field)
+        | Some i ->
+          parse_field plan
+            (String.sub field 0 i)
+            (String.sub field (i + 1) (String.length field - i - 1))))
+    (Ok Plan.default) fields
+
+let to_string (p : Plan.t) =
+  String.concat ","
+    (List.filter_map
+       (fun x -> x)
+       [
+         (if p.seed <> 0L then Some (Printf.sprintf "seed=%Ld" p.seed) else None);
+         (if p.trial > 0. then Some (Printf.sprintf "trial=%g" p.trial) else None);
+         (if p.fatal > 0. then Some (Printf.sprintf "fatal=%g" p.fatal) else None);
+         (if p.delay > 0. then Some (Printf.sprintf "delay=%g" p.delay) else None);
+         (if p.delay > 0. && p.delay_ms <> Plan.default.delay_ms then
+            Some (Printf.sprintf "delay-ms=%g" p.delay_ms)
+          else None);
+         (if p.io > 0. then Some (Printf.sprintf "io=%g" p.io) else None);
+         (if p.io > 0. && p.torn > 0. then Some (Printf.sprintf "torn=%g" p.torn)
+          else None);
+         (if p.poison > 0. then Some (Printf.sprintf "poison=%g" p.poison)
+          else None);
+       ])

@@ -1,0 +1,16 @@
+(** Textual fault-plan specs, the [--fault-spec] format.
+
+    A spec is a comma-separated [key=value] list over the keys [seed],
+    [trial], [fatal], [delay], [delay-ms], [io], [torn], [poison] —
+    each optional, defaulting to {!Plan.default} (inject nothing).
+    Rates must lie in [\[0, 1]]; [delay-ms] is a non-negative float;
+    [seed] is a 64-bit integer.  Unknown keys and malformed values are
+    errors: a typo'd spec that silently injected nothing would make a
+    chaos run vacuous. *)
+
+val parse : string -> (Plan.t, string) result
+
+val to_string : Plan.t -> string
+(** Canonical spec for a plan: only the fields that differ from
+    {!Plan.default}, so [parse (to_string p)] round-trips any plan
+    reachable from [parse] (the empty string means "inject nothing"). *)

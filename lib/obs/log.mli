@@ -1,0 +1,16 @@
+(** Operator-facing warnings on stderr.
+
+    Tables and traces go to stdout / the sink; warnings about degraded
+    behaviour go here.  [warn_once] deduplicates by key so a warning
+    fired from a per-trial or per-write path appears exactly once per
+    process, however many times the path runs. *)
+
+val warn : ('a, unit, string, unit) format4 -> 'a
+(** [warn fmt ...]: one "warning: ..." line on stderr, flushed. *)
+
+val warn_once : string -> ('a, unit, string, unit) format4 -> 'a
+(** [warn_once key fmt ...]: like [warn], but only the first call per
+    [key] (per process) prints.  Domain-safe. *)
+
+val reset : unit -> unit
+(** Forget which keys have fired (tests). *)

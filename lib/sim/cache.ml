@@ -47,8 +47,16 @@ let get store exp ~seed ~quick =
       None)
 
 let put store exp ~seed ~quick outcome =
-  ignore
-    (Objects.put store
-       ~key:(key exp ~seed ~quick)
-       ~meta:(Store.Key.meta ~exp_id:exp.id ~seed ~quick)
-       (Store.Codec.encode_outcome (to_codec outcome)))
+  (* Publishing is an optimization: once the store has degraded
+     (persistent IO failure earlier in the run) skip it entirely, and
+     a persistent failure here degrades rather than failing the run —
+     the outcome has already been computed and printed. *)
+  if not (Store.Fsio.degraded ()) then
+    match
+      Objects.put store
+        ~key:(key exp ~seed ~quick)
+        ~meta:(Store.Key.meta ~exp_id:exp.id ~seed ~quick)
+        (Store.Codec.encode_outcome (to_codec outcome))
+    with
+    | (_ : Objects.entry) -> ()
+    | exception Sys_error msg -> Store.Fsio.degrade ~what:("cache publish: " ^ msg)

@@ -28,7 +28,11 @@ let run ~quick ~seed =
       let mean = Summary.mean stats.summary in
       let ln_n = log (float_of_int n) in
       let ci =
-        Stats.Bootstrap.mean_interval (Prng.Rng.split rng) stats.samples
+        (* ci_widen is 1.0 on a clean run (bit-identical CI); under
+           --keep-going with dropped trials it owns up to the thinner
+           sample. *)
+        Stats.Bootstrap.mean_interval ~widen:(Supervise.ci_widen ())
+          (Prng.Rng.split rng) stats.samples
       in
       points := (float_of_int n, mean) :: !points;
       last_samples := stats.samples;

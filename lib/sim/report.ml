@@ -8,7 +8,32 @@ let print_outcome exp outcome =
   print_string (Outcome.render outcome);
   print_newline ()
 
+(* A --keep-going run that dropped trials must say so everywhere the
+   outcome is seen: every table gets the degraded marker (ASCII, CSV
+   and Markdown renders all carry it) and the notes lead with an
+   explicit DEGRADED line naming the damage. *)
+let annotate_degraded (outcome : Outcome.t) =
+  match Supervise.failures () with
+  | [] -> outcome
+  | fails ->
+    List.iter Stats.Table.set_degraded outcome.tables;
+    let first = List.hd fails in
+    let note =
+      Printf.sprintf
+        "DEGRADED: %d trial%s failed after bounded retries and were excluded; \
+         bootstrap CIs widened by %.2fx; first: trial %d after %d attempt%s (%s)"
+        (List.length fails)
+        (if List.length fails = 1 then "" else "s")
+        (Supervise.ci_widen ()) first.trial first.attempts
+        (if first.attempts = 1 then "" else "s")
+        first.message
+    in
+    { outcome with notes = note :: outcome.notes }
+
 let run_and_print ~quick ~seed (exp : Experiments.t) =
+  (* Each experiment owns its degradation record: failures reported on
+     e3's tables must be e3's, not leftovers from e1. *)
+  Supervise.reset_run ();
   let outcome =
     if not (Obs.Control.enabled ()) then exp.run ~quick ~seed
     else begin
@@ -16,6 +41,7 @@ let run_and_print ~quick ~seed (exp : Experiments.t) =
       Obs.Span.with_span exp.id (fun () -> exp.run ~quick ~seed)
     end
   in
+  let outcome = annotate_degraded outcome in
   print_outcome exp outcome;
   outcome
 

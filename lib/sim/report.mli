@@ -8,7 +8,18 @@ val run_and_print : quick:bool -> seed:int -> Experiments.t -> Outcome.t
 (** Run, print, and also return the outcome (so callers can persist
     it).  When [Obs.Control.enabled], the run is wrapped in an
     [Obs.Span] named after the experiment id and counted in
-    ["sim.experiments"]. *)
+    ["sim.experiments"].  Resets the {!Supervise} per-run record
+    first; if the run then drops trials under [--keep-going], every
+    table is marked degraded ({!Stats.Table.set_degraded}) and a
+    leading DEGRADED note is added — callers should not cache such an
+    outcome. *)
+
+val annotate_degraded : Outcome.t -> Outcome.t
+(** Apply the degradation record of the current {!Supervise} run to an
+    outcome: no-op when the run was clean; otherwise marks every table
+    degraded and prepends a DEGRADED note.  [run_and_print] applies
+    this automatically; exposed for drivers (the chaos soak) that run
+    experiments without printing. *)
 
 val ensure_dir : string -> unit
 (** Create a directory and any missing parents ([mkdir -p]). *)

@@ -10,6 +10,17 @@
    in the calling domain, so even float accumulation (Welford in
    Stats.Summary) matches the sequential order exactly.
 
+   When supervision is active (a non-default Supervise config or an
+   armed Fault plan), each trial runs through [Supervise.run_trial]:
+   result-typed, retried within bounds, every attempt on a copy of the
+   trial's pristine stream.  The gather then either extracts values
+   (all Ok — bit-identical to the unsupervised array), raises
+   Supervise.Trial_failed, or — under keep-going — drops the failed
+   slots, records the failures for Report/ci_widen, and returns the
+   partial array in trial order.  The unsupervised path stays lean:
+   no stream copies, no retry machinery, just an [Ok] wrapper per
+   slot.
+
    When a Store.Checkpoint context is active (ephemeral run --resume),
    each top-level [map] call claims the next checkpoint slot and runs
    through [map_resumable]: trials are processed in chunks whose
@@ -17,13 +28,15 @@
    and chunks already on disk are loaded instead of recomputed.
    Loading is sound precisely because of the determinism contract
    above — a persisted value is bit-identical to what recomputation
-   would produce.  Nested map calls (inside a pool task) never claim
-   slots, so the slot sequence is the deterministic sequence of
-   top-level calls.
+   would produce.  Chunks containing failed trials are never saved
+   (only clean values may be replayed into a later run); nested map
+   calls (inside a pool task) never claim slots, so the slot sequence
+   is the deterministic sequence of top-level calls.
 
-   [foreach] stays sequential: its closures mutate caller state freely
-   (shared summaries, accumulator refs), which is exactly what cannot
-   be handed to worker domains.  Heavy experiments use [map].
+   [foreach] stays sequential and unsupervised: its closures mutate
+   caller state freely (shared summaries, accumulator refs), so a
+   retry after a partial mutation would be unsound.  Heavy experiments
+   use [map].
 
    When telemetry is on, every *executed* trial runs inside an Obs
    span named "trial" — nested under the experiment's span even when
@@ -35,24 +48,57 @@
 
 (* Run trials [lo, hi) into their slots of [results].  Each index
    writes a distinct slot, so the writes are domain-safe. *)
-let exec_range pool rngs f ~lo ~hi (results : _ option array) =
+let exec_range pool rngs f ~lo ~hi (results : (_, Supervise.failure) result option array)
+    =
+  let supervised = Supervise.active () in
+  let run i =
+    if supervised then Supervise.run_trial ~trial:i rngs.(i) (f i)
+    else Ok (f i rngs.(i))
+  in
   let body =
-    if not (Obs.Control.enabled ()) then fun i -> results.(i) <- Some (f i rngs.(i))
+    if not (Obs.Control.enabled ()) then fun i -> results.(i) <- Some (run i)
     else begin
       let trial_count = Obs.Metrics.counter "sim.trials" in
       fun i ->
         Obs.Span.with_span "trial" (fun () ->
             Obs.Metrics.incr trial_count;
-            results.(i) <- Some (f i rngs.(i)))
+            results.(i) <- Some (run i))
     end
   in
   Exec.Pool.iter_range pool ~lo ~hi body
 
-let extract results = Array.map (function Some v -> v | None -> assert false) results
+(* Gather: all-Ok extracts in place; failures either abort (first
+   failure in trial order, so the error is deterministic too) or, with
+   keep-going, drop their slots and are recorded for the report. *)
+let gather (results : ('a, Supervise.failure) result option array) =
+  let fails = ref [] in
+  Array.iter
+    (function
+      | Some (Ok _) -> ()
+      | Some (Error f) -> fails := f :: !fails
+      | None -> assert false)
+    results;
+  match List.rev !fails with
+  | [] -> Array.map (function Some (Ok v) -> v | _ -> assert false) results
+  | first :: _ as fails ->
+    Supervise.note_failures fails;
+    if (Supervise.current ()).keep_going then
+      Array.to_seq results
+      |> Seq.filter_map (function Some (Ok v) -> Some v | _ -> None)
+      |> Array.of_seq
+    else raise (Supervise.Trial_failed first)
+
+let chunk_clean results ~lo ~hi =
+  let clean = ref true in
+  for i = lo to hi - 1 do
+    match results.(i) with Some (Ok _) -> () | _ -> clean := false
+  done;
+  !clean
 
 let map_resumable slot rng ~trials f =
   if trials <= 0 then [||]
   else begin
+    if Supervise.active () then Supervise.note_planned trials;
     let rngs = Prng.Rng.split_n rng trials in
     let pool = Exec.Pool.global () in
     let results = Array.make trials None in
@@ -63,14 +109,20 @@ let map_resumable slot rng ~trials f =
       let chi = Stdlib.min trials (clo + chunk) in
       (match Store.Checkpoint.load_chunk slot ~lo:clo ~hi:chi with
       | Some values when Array.length values = chi - clo ->
-        Array.iteri (fun k v -> results.(clo + k) <- Some v) values
+        Array.iteri (fun k v -> results.(clo + k) <- Some (Ok v)) values
       | Some _ | None ->
         exec_range pool rngs f ~lo:clo ~hi:chi results;
-        Store.Checkpoint.save_chunk slot ~lo:clo ~hi:chi
-          (Array.init (chi - clo) (fun k -> Option.get results.(clo + k))));
+        (* Persist only clean chunks: a saved chunk is replayed as
+           values into later runs, so failures must never enter it. *)
+        if chunk_clean results ~lo:clo ~hi:chi then
+          Store.Checkpoint.save_chunk slot ~lo:clo ~hi:chi
+            (Array.init (chi - clo) (fun k ->
+                 match results.(clo + k) with
+                 | Some (Ok v) -> v
+                 | _ -> assert false)));
       lo := chi
     done;
-    extract results
+    gather results
   end
 
 let map rng ~trials f =
@@ -85,17 +137,12 @@ let map rng ~trials f =
     with
     | Some slot -> map_resumable slot rng ~trials f
     | None ->
+      if Supervise.active () then Supervise.note_planned trials;
       let rngs = Prng.Rng.split_n rng trials in
       let pool = Exec.Pool.global () in
-      if not (Obs.Control.enabled ()) then
-        Exec.Pool.map_range pool ~lo:0 ~hi:trials (fun i -> f i rngs.(i))
-      else begin
-        let trial_count = Obs.Metrics.counter "sim.trials" in
-        Exec.Pool.map_range pool ~lo:0 ~hi:trials (fun i ->
-            Obs.Span.with_span "trial" (fun () ->
-                Obs.Metrics.incr trial_count;
-                f i rngs.(i)))
-      end
+      let results = Array.make trials None in
+      exec_range pool rngs f ~lo:0 ~hi:trials results;
+      gather results
   end
 
 let foreach rng ~trials f =

@@ -26,6 +26,20 @@
     run renders byte-identically to an uninterrupted one, at any job
     count.  Nested [map] calls (inside a pool task) never claim slots.
 
+    {b Supervision.}  When {!Supervise.active} (a non-default config
+    or an armed {!Fault.Plan}), every trial runs through
+    [Supervise.run_trial]: bounded retries, per-attempt timeout,
+    per-run deadline — each attempt against a fresh [Rng.copy] of the
+    trial's pre-split stream, so a retried run stays byte-identical at
+    any job count.  A trial that exhausts retries either aborts the
+    map with {!Supervise.Trial_failed} (raised in the calling domain,
+    for the first failed trial in index order) or, under
+    [keep_going], is dropped: the map returns the surviving values in
+    trial order and records the failures for [Report] to flag.  Under
+    a checkpoint context, only chunks with every trial [Ok] are
+    persisted — a saved chunk is replayed as plain values later, so
+    failures never enter one.
+
     When [Obs.Control.enabled], every {e executed} trial additionally
     runs inside an [Obs.Span] named ["trial"] (nested under the
     enclosing experiment's span, even on pool workers) and increments
@@ -51,7 +65,9 @@ val map_resumable :
 
 val foreach : Prng.Rng.t -> trials:int -> (int -> Prng.Rng.t -> unit) -> unit
 (** [foreach rng ~trials f] runs [f i rng_i] for [i = 0 .. trials-1],
-    sequentially, in the calling domain. *)
+    sequentially, in the calling domain.  Unsupervised: its closures
+    may mutate caller state, so a retry after a partial mutation would
+    be unsound — fault plans target [map]-based experiments. *)
 
 val collect : Prng.Rng.t -> trials:int -> (Prng.Rng.t -> 'a) -> 'a list
 

@@ -1,0 +1,80 @@
+(** Supervised trial execution: retries, deadlines, degradation.
+
+    With supervision {!active} (a non-default {!config} or an armed
+    {!Fault.Plan}), {!Runner} routes every trial through {!run_trial}:
+    the trial becomes [result]-typed, failed attempts are retried up
+    to [max_retries] times, and every attempt runs against a
+    [Prng.Rng.copy] of the trial's pristine pre-split stream — so a
+    trial that succeeds on attempt [k] computes bit-identically to one
+    that succeeds immediately, and a faulted run with retries renders
+    byte-identically to the fault-free run at any [--jobs].
+
+    {b Deadlines} are cooperative (OCaml code cannot be preempted).
+    The per-attempt [trial_timeout] is checked after the attempt
+    completes; an overrunning attempt is discarded and retried (under
+    an armed delay plan the retry can genuinely clear it).  The
+    per-run [run_deadline] (measured from {!configure}) is checked
+    before each attempt: once it passes, remaining trials fail fast
+    with a non-retryable error.
+
+    {b Degradation.}  When a trial exhausts its retries, [Runner]
+    either raises {!Trial_failed} (default: the run aborts, the CLI
+    exits non-zero) or, under [keep_going], drops the failed trials,
+    records them here, and lets the experiment finish on the partial
+    sample — tables are then flagged degraded and bootstrap CIs
+    widened by {!ci_widen}.
+
+    Retries and terminal failures are counted in ["trials.retried"]
+    and ["trials.failed"] (always live, like the fault counters). *)
+
+type failure = { trial : int; attempts : int; message : string }
+
+type config = {
+  max_retries : int;  (** Extra attempts after the first, per trial. *)
+  trial_timeout : float option;  (** Seconds per attempt. *)
+  run_deadline : float option;  (** Seconds from {!configure}. *)
+  keep_going : bool;  (** Degrade instead of aborting. *)
+}
+
+val default : config
+(** No retries, no deadlines, abort on failure — and, with no fault
+    plan armed, supervision entirely out of the trial path. *)
+
+exception Trial_failed of failure
+(** Raised (by [Runner]'s gather, in the calling domain) when a trial
+    exhausts retries and [keep_going] is off. *)
+
+exception Trial_timeout of { trial : int; seconds : float }
+
+exception Run_deadline_exceeded
+
+val configure : config -> unit
+(** Install [c] process-wide, stamp the run deadline, and reset the
+    per-run degradation record. *)
+
+val current : unit -> config
+val active : unit -> bool
+
+val reset_run : unit -> unit
+(** Clear the per-run degradation record (between experiments). *)
+
+val run_trial :
+  trial:int -> Prng.Rng.t -> (Prng.Rng.t -> 'a) -> ('a, failure) result
+(** One supervised trial under the current config.  [rng0] is the
+    trial's pristine pre-split stream; each attempt gets a fresh copy
+    of it.  Injection (an armed plan's [before_trial]) runs per
+    attempt.  Never raises: the terminal failure is returned. *)
+
+(** {2 Run-level degradation record}
+
+    Filled in by [Runner]'s gather; read by [Report] to annotate
+    outcomes and by experiments to widen CIs. *)
+
+val note_planned : int -> unit
+val note_failures : failure list -> unit
+val failures : unit -> failure list
+val degraded : unit -> bool
+
+val ci_widen : unit -> float
+(** [sqrt (planned / completed)] — how much dropping failed trials
+    loosened a mean's confidence interval.  [1.0] on a clean run. *)

@@ -5,13 +5,21 @@ type t = {
   columns : string list;
   width : int;
   mutable rev_rows : cell list list;
+  mutable degraded : bool;
 }
 
 let create ~title ~columns =
-  { title; columns; width = List.length columns; rev_rows = [] }
+  { title; columns; width = List.length columns; rev_rows = []; degraded = false }
 
 let title t = t.title
 let columns t = t.columns
+let degraded t = t.degraded
+let set_degraded t = t.degraded <- true
+
+(* The marker every renderer appends: partial results must be visible
+   in the terminal, the CSV and the Markdown alike, not only in the
+   run's notes. *)
+let degraded_marker = "degraded: partial results (failed trials excluded)"
 
 let add_row t row =
   if List.length row <> t.width then
@@ -77,6 +85,7 @@ let to_ascii t =
   emit_row header;
   emit_row (List.map (fun w -> String.make w '-') widths);
   List.iter emit_row body;
+  if t.degraded then Buffer.add_string buf ("[" ^ degraded_marker ^ "]\n");
   Buffer.contents buf
 
 let csv_escape s =
@@ -92,6 +101,7 @@ let to_csv t =
   in
   emit_row t.columns;
   List.iter (fun row -> emit_row (List.map cell_to_string row)) (rows t);
+  if t.degraded then Buffer.add_string buf ("# " ^ degraded_marker ^ "\n");
   Buffer.contents buf
 
 let to_markdown t =
@@ -103,4 +113,5 @@ let to_markdown t =
   emit_row t.columns;
   emit_row (List.map (fun _ -> "---") t.columns);
   List.iter (fun row -> emit_row (List.map cell_to_string row)) (rows t);
+  if t.degraded then Buffer.add_string buf ("\n*" ^ degraded_marker ^ "*\n");
   Buffer.contents buf

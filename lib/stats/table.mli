@@ -21,6 +21,13 @@ val add_row : t -> cell list -> unit
 val rows : t -> cell list list
 (** Rows in insertion order. *)
 
+val degraded : t -> bool
+val set_degraded : t -> unit
+(** Mark the table as holding partial results (a [--keep-going] run
+    that dropped failed trials).  Every renderer then appends an
+    explicit marker: a bracketed line in ASCII, a [#]-comment line in
+    CSV, an emphasized line in Markdown. *)
+
 val cell_to_string : cell -> string
 
 val column_floats : t -> string -> float list

@@ -95,16 +95,24 @@ let instrumented name f =
         f ())
 
 let save_chunk slot ~lo ~hi values =
-  match Marshal.to_string values [] with
-  | exception _ -> () (* unmarshalable payload: silently not resumable *)
-  | payload ->
-    instrumented "ckpt.save" (fun () ->
-        let framed = encode_chunk ~lo ~hi payload in
-        Fsio.write_atomic (chunk_path slot ~lo ~hi) framed;
-        if Obs.Control.enabled () then
-          Obs.Metrics.add
-            (Obs.Metrics.counter "store.bytes_written")
-            (String.length framed))
+  if Fsio.degraded () then () (* persisting is an optimization; skip *)
+  else
+    match Marshal.to_string values [] with
+    | exception _ -> () (* unmarshalable payload: silently not resumable *)
+    | payload ->
+      instrumented "ckpt.save" (fun () ->
+          let framed = encode_chunk ~lo ~hi payload in
+          match Fsio.write_atomic (chunk_path slot ~lo ~hi) framed with
+          | () ->
+            if Obs.Control.enabled () then
+              Obs.Metrics.add
+                (Obs.Metrics.counter "store.bytes_written")
+                (String.length framed)
+          | exception Sys_error _ ->
+            (* Checkpointing must never fail the run it is trying to
+               protect: a persistent write failure just means this run
+               is not resumable from here on. *)
+            Fsio.degrade ~what:"checkpoint chunk")
 
 let load_chunk slot ~lo ~hi =
   let path = chunk_path slot ~lo ~hi in

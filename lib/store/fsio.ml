@@ -2,7 +2,16 @@
    every file the store publishes goes through [write_atomic], so a
    reader never observes a half-written object, checkpoint chunk,
    manifest, CSV or Markdown table — it sees the old content (or
-   nothing) until the rename, then the new content. *)
+   nothing) until the rename, then the new content.
+
+   Both write paths retry transient failures a bounded number of times
+   with capped backoff (counted in "store.io_retries") before
+   re-raising; [Fault.Inject.io_write] is consulted per attempt so a
+   chaos plan can exercise exactly this machinery, torn partial files
+   included.  Callers for whom persistence is an optimization (cache
+   publishes, checkpoint chunks) consult [degraded] / call [degrade]
+   to switch the store off for the rest of the run after a persistent
+   failure, rather than failing the computation. *)
 
 (* mkdir -p: create every missing component, tolerating races with a
    concurrent creator. *)
@@ -28,9 +37,53 @@ let fsync_dir dir =
     (try Unix.fsync fd with Unix.Unix_error _ -> ());
     Unix.close fd
 
-let write_atomic path data =
+(* ------------------------------------------------------------------ *)
+(* Degraded mode: after a persistent write failure, callers that treat
+   the store as an optimization stop touching it for the rest of the
+   run.  One process-wide latch; flipping it warns once. *)
+
+let degraded_flag = Atomic.make false
+
+let degraded () = Atomic.get degraded_flag
+
+let degrade ~what =
+  if not (Atomic.exchange degraded_flag true) then begin
+    Obs.Metrics.incr (Obs.Metrics.counter "store.degraded");
+    Obs.Log.warn_once "store.degraded"
+      "store degraded to cache-off after a persistent IO failure (%s); \
+       results from here on are computed but not persisted"
+      what
+  end
+
+let reset_degraded () = Atomic.set degraded_flag false
+
+(* ------------------------------------------------------------------ *)
+(* Retry plumbing shared by both write paths. *)
+
+let io_retryable = function
+  | Sys_error _ | Unix.Unix_error _ -> true
+  | _ -> false
+
+let io_retried _k _e = Obs.Metrics.incr (Obs.Metrics.counter "store.io_retries")
+
+(* Consult the fault plane for this write attempt; a torn decision
+   leaves the partial bytes a crash would have left before raising. *)
+let inject_write ~path ~attempt ~on_torn =
+  match Fault.Inject.io_write ~path ~attempt with
+  | Fault.Inject.Io_ok -> ()
+  | Fault.Inject.Io_error { message; torn } ->
+    if torn then (try on_torn () with Sys_error _ -> ());
+    raise (Sys_error (path ^ ": " ^ message))
+
+let write_atomic_once path data ~attempt =
   ensure_dir (Filename.dirname path);
   let tmp = path ^ ".tmp" in
+  inject_write ~path ~attempt ~on_torn:(fun () ->
+      (* A torn publish dies after writing part of the tmp file; the
+         next attempt (or run) simply overwrites it. *)
+      let oc = open_out_bin tmp in
+      output_string oc (String.sub data 0 (String.length data / 2));
+      close_out_noerr oc);
   let oc = open_out_bin tmp in
   (try
      output_string oc data;
@@ -43,19 +96,44 @@ let write_atomic path data =
   Sys.rename tmp path;
   fsync_dir (Filename.dirname path)
 
-let append_line path line =
+let write_atomic path data =
+  Fault.Retry.with_backoff ~retryable:io_retryable ~on_retry:io_retried
+    (fun attempt -> write_atomic_once path data ~attempt)
+
+let append_line_once path line ~attempt =
   ensure_dir (Filename.dirname path);
+  inject_write ~path ~attempt ~on_torn:(fun () ->
+      (* A torn append dies mid-line: half the bytes, no newline.  The
+         manifest loader skips (and counts) the malformed line. *)
+      let oc =
+        open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+          path
+      in
+      output_string oc (String.sub line 0 (String.length line / 2));
+      close_out_noerr oc);
+  let created = not (Sys.file_exists path) in
   let oc =
     open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 path
   in
   (try
+     (* A retry may follow a torn attempt; the newline terminates any
+        partial line so the good line stays parseable (readers skip
+        the resulting blank or malformed fragment). *)
+     if attempt > 0 then output_char oc '\n';
      output_string oc line;
      output_char oc '\n';
      fsync_channel oc;
      close_out oc
    with e ->
      close_out_noerr oc;
-     raise e)
+     raise e);
+  (* First append creates the file: flush the directory entry too, as
+     write_atomic does after its rename. *)
+  if created then fsync_dir (Filename.dirname path)
+
+let append_line path line =
+  Fault.Retry.with_backoff ~retryable:io_retryable ~on_retry:io_retried
+    (fun attempt -> append_line_once path line ~attempt)
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with

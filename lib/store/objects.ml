@@ -208,7 +208,11 @@ let load_manifest t =
     |> List.iter (fun line ->
            if line <> "" then
              match entry_of_line line with
-             | None -> () (* malformed (e.g. crash-truncated) line: skip *)
+             | None ->
+               (* Malformed (e.g. crash-truncated) line: skip it, but
+                  leave an audit trail — a torn line is expected after
+                  a crash or an injected torn write, never in bulk. *)
+               Obs.Metrics.incr (Obs.Metrics.counter "store.manifest_torn")
              | Some e ->
                t.entries <- e :: t.entries;
                Hashtbl.replace t.tbl e.key e);

@@ -1,0 +1,508 @@
+(* Tests for the fault-injection plane (lib/fault) and the supervised
+   execution it exercises: plan determinism, spec parsing, bounded
+   retries, shutdown hooks, supervised trials, store IO hardening and
+   pool poisoning.
+
+   Process-wide state discipline: every case that arms a plan or
+   configures supervision goes through [with_faults], whose [finally]
+   disarms, restores the default supervision config and clears the
+   store degradation latch — so the other suites in this binary keep
+   running fault-free. *)
+
+open Helpers
+module Rng = Prng.Rng
+module Plan = Fault.Plan
+module Spec = Fault.Spec
+module Inject = Fault.Inject
+module Retry = Fault.Retry
+module Shutdown = Fault.Shutdown
+module Supervise = Sim.Supervise
+module Runner = Sim.Runner
+module Fsio = Store.Fsio
+module Objects = Store.Objects
+
+let check_string = Alcotest.(check string)
+
+let counter name = Obs.Metrics.count (Obs.Metrics.counter name)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "ephemeral-fault-test" "" in
+  Sys.remove dir;
+  Fsio.ensure_dir dir;
+  Fun.protect ~finally:(fun () -> Fsio.remove_tree dir) (fun () -> f dir)
+
+let with_faults plan cfg f =
+  Fun.protect
+    ~finally:(fun () ->
+      Inject.disarm ();
+      Supervise.configure Supervise.default;
+      Fsio.reset_degraded ())
+    (fun () ->
+      Inject.arm plan;
+      Supervise.configure cfg;
+      f ())
+
+let with_jobs jobs f =
+  let before = Exec.Config.jobs () in
+  Exec.Pool.set_jobs jobs;
+  Fun.protect ~finally:(fun () -> Exec.Pool.set_jobs before) f
+
+(* ------------------------------------------------------------------ *)
+(* Plan: the roll is a pure function of (seed, site, a, b) *)
+
+let plan_cases =
+  [
+    case "roll is pure and in [0,1)" (fun () ->
+        let p = { Plan.default with seed = 42L; trial = 0.5 } in
+        for a = 0 to 20 do
+          for b = 0 to 3 do
+            let x = Plan.roll p ~site:"trial.exn" ~a ~b in
+            check_bool "in range" true (x >= 0. && x < 1.);
+            check_float "pure" x (Plan.roll p ~site:"trial.exn" ~a ~b)
+          done
+        done);
+    case "roll separates sites, coordinates and seeds" (fun () ->
+        let p = { Plan.default with seed = 42L } in
+        let r ?(p = p) site a b = Plan.roll p ~site ~a ~b in
+        let base = r "trial.exn" 3 0 in
+        check_bool "site matters" true (base <> r "io.write" 3 0);
+        check_bool "a matters" true (base <> r "trial.exn" 4 0);
+        check_bool "b matters" true (base <> r "trial.exn" 3 1);
+        check_bool "seed matters" true
+          (base <> r ~p:{ p with seed = 43L } "trial.exn" 3 0));
+    case "roll looks uniform enough to act as a rate" (fun () ->
+        (* 1000 rolls at rate 0.3 should inject reasonably close to
+           300 times; a broken mix (all-zero, all-one) fails loudly. *)
+        let p = { Plan.default with seed = 7L } in
+        let hits = ref 0 in
+        for a = 0 to 999 do
+          if Plan.roll p ~site:"trial.exn" ~a ~b:0 < 0.3 then incr hits
+        done;
+        check_bool "rate plausible" true (!hits > 200 && !hits < 400));
+    case "active only when some rate is positive" (fun () ->
+        check_bool "default inactive" false (Plan.active Plan.default);
+        check_bool "seed alone inactive" false
+          (Plan.active { Plan.default with seed = 9L });
+        check_bool "one rate activates" true
+          (Plan.active { Plan.default with io = 0.01 }));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Spec: --fault-spec parsing *)
+
+let plan_gen =
+  (* Rates as sixteenths: exactly representable, so the to_string/parse
+     round-trip is equality, not approximation. *)
+  QCheck2.Gen.(
+    let rate = map (fun i -> float_of_int i /. 16.) (int_range 0 16) in
+    map
+      (fun ((seed, trial, fatal), (delay, delay_ms, io, torn, poison)) ->
+        {
+          Plan.seed = Int64.of_int seed;
+          trial;
+          fatal;
+          delay;
+          delay_ms = float_of_int delay_ms;
+          io;
+          torn;
+          poison;
+        })
+      (pair
+         (triple (int_range 0 10_000) rate rate)
+         (tup5 rate (int_range 0 5) rate rate rate)))
+
+let spec_cases =
+  [
+    case "empty spec is the default plan" (fun () ->
+        check_bool "default" true (Spec.parse "" = Ok Plan.default));
+    case "parse reads every key" (fun () ->
+        match
+          Spec.parse
+            "seed=9,trial=0.25,fatal=0.5,delay=0.125,delay-ms=2,io=0.75,torn=1,poison=0.0625"
+        with
+        | Error msg -> Alcotest.fail msg
+        | Ok p ->
+          check_bool "seed" true (p.seed = 9L);
+          check_float "trial" 0.25 p.trial;
+          check_float "fatal" 0.5 p.fatal;
+          check_float "delay" 0.125 p.delay;
+          check_float "delay_ms" 2. p.delay_ms;
+          check_float "io" 0.75 p.io;
+          check_float "torn" 1. p.torn;
+          check_float "poison" 0.0625 p.poison);
+    case "malformed specs are errors, not silence" (fun () ->
+        let rejected s =
+          match Spec.parse s with Ok _ -> false | Error _ -> true
+        in
+        check_bool "unknown key" true (rejected "bogus=1");
+        check_bool "rate above 1" true (rejected "trial=1.5");
+        check_bool "negative rate" true (rejected "io=-0.1");
+        check_bool "non-numeric" true (rejected "trial=lots");
+        check_bool "missing value" true (rejected "trial");
+        check_bool "bad seed" true (rejected "seed=abc"));
+    qcase ~count:100 "to_string/parse round-trips any plan" plan_gen
+      (fun p ->
+        (* The canonical spec drops inert fields (delay-ms without a
+           delay rate, torn without an io rate), so the round-trip
+           target is the behaviourally-equal normal form. *)
+        let normal =
+          {
+            p with
+            Plan.delay_ms =
+              (if p.delay > 0. then p.delay_ms else Plan.default.delay_ms);
+            torn = (if p.io > 0. then p.torn else 0.);
+          }
+        in
+        Spec.parse (Spec.to_string p) = Ok normal);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Exec.Config: EPHEMERAL_JOBS resolution (the satellite) *)
+
+let config_cases =
+  [
+    case "well-formed job counts parse and clamp" (fun () ->
+        check_bool "plain" true (Exec.Config.parse "8" = Ok 8);
+        check_bool "trimmed" true (Exec.Config.parse " 4 " = Ok 4);
+        check_bool "clamped to max_jobs" true
+          (Exec.Config.parse "100" = Ok Exec.Config.max_jobs));
+    case "malformed job counts are errors" (fun () ->
+        let rejected s =
+          match Exec.Config.parse s with Ok _ -> false | Error _ -> true
+        in
+        check_bool "abc" true (rejected "abc");
+        check_bool "zero" true (rejected "0");
+        check_bool "negative" true (rejected "-3");
+        check_bool "empty" true (rejected ""));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Retry: bounded backoff *)
+
+let fast = (1e-6, 1e-6) (* base, cap: keep the suite quick *)
+
+let retry_cases =
+  [
+    case "transient failures clear within the budget" (fun () ->
+        let base_delay_s, max_delay_s = fast in
+        let retries = ref [] in
+        let v =
+          Retry.with_backoff ~attempts:4 ~base_delay_s ~max_delay_s
+            ~retryable:(fun _ -> true)
+            ~on_retry:(fun k _ -> retries := k :: !retries)
+            (fun attempt -> if attempt < 2 then raise Exit else attempt)
+        in
+        check_int "succeeded on attempt 2" 2 v;
+        Alcotest.(check (list int)) "one on_retry per failure" [ 1; 0 ]
+          !retries);
+    case "unretryable exceptions propagate immediately" (fun () ->
+        let base_delay_s, max_delay_s = fast in
+        let calls = ref 0 in
+        (try
+           Retry.with_backoff ~attempts:4 ~base_delay_s ~max_delay_s
+             ~retryable:(function Exit -> true | _ -> false)
+             ~on_retry:(fun _ _ -> ())
+             (fun _ ->
+               incr calls;
+               raise Not_found)
+         with Not_found -> ());
+        check_int "single attempt" 1 !calls);
+    case "exhaustion re-raises the final failure" (fun () ->
+        let base_delay_s, max_delay_s = fast in
+        let calls = ref 0 in
+        (try
+           Retry.with_backoff ~attempts:3 ~base_delay_s ~max_delay_s
+             ~retryable:(fun _ -> true)
+             ~on_retry:(fun _ _ -> ())
+             (fun _ ->
+               incr calls;
+               raise Exit)
+         with Exit -> ());
+        check_int "all attempts spent" 3 !calls);
+    case "attempts below one are a caller bug" (fun () ->
+        Alcotest.check_raises "invalid"
+          (Invalid_argument "Retry.with_backoff: attempts must be >= 1")
+          (fun () ->
+            ignore
+              (Retry.with_backoff ~attempts:0 ~retryable:(fun _ -> true)
+                 ~on_retry:(fun _ _ -> ())
+                 (fun _ -> ()))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Shutdown: hook ordering and idempotence *)
+
+let shutdown_cases =
+  [
+    case "hooks run LIFO, once, with exceptions swallowed" (fun () ->
+        Fun.protect ~finally:Shutdown.reset (fun () ->
+            Shutdown.reset ();
+            let order = ref [] in
+            Shutdown.on_shutdown (fun () -> order := "first" :: !order);
+            Shutdown.on_shutdown (fun () -> failwith "hook bug");
+            Shutdown.on_shutdown (fun () -> order := "last" :: !order);
+            Shutdown.run_hooks ();
+            Alcotest.(check (list string))
+              "LIFO, raising hook skipped" [ "first"; "last" ]
+              !order;
+            Shutdown.run_hooks ();
+            Alcotest.(check (list string)) "second run is a no-op"
+              [ "first"; "last" ] !order));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Supervise: retries replay a pristine stream *)
+
+let supervise_cases =
+  [
+    case "disarmed hooks are no-ops" (fun () ->
+        Inject.disarm ();
+        Inject.before_trial ~trial:0 ~attempt:0;
+        check_bool "io ok" true
+          (Inject.io_write ~path:"p" ~attempt:0 = Inject.Io_ok);
+        check_bool "no poison" false
+          (Inject.poison_worker ~worker:0 ~generation:0));
+    case "arming an inactive plan disarms" (fun () ->
+        Inject.arm { Plan.default with seed = 3L };
+        check_bool "not armed" false (Inject.armed ()));
+    case "a retried trial computes the byte-identical value" (fun () ->
+        (* trial=0.9: almost every attempt is faulted, so success takes
+           several retries — and must still equal the fault-free draw
+           from a copy of the same pristine stream. *)
+        with_faults
+          { Plan.default with seed = 11L; trial = 0.9 }
+          { Supervise.default with max_retries = 200 }
+          (fun () ->
+            let rng0 = Rng.create 77 in
+            let expected = Rng.bits64 (Rng.copy rng0) in
+            match Supervise.run_trial ~trial:0 rng0 Rng.bits64 with
+            | Ok v -> Alcotest.(check int64) "identical" expected v
+            | Error f -> Alcotest.fail f.message));
+    case "retry exhaustion returns the failure" (fun () ->
+        with_faults
+          { Plan.default with seed = 1L; trial = 1. }
+          { Supervise.default with max_retries = 2 }
+          (fun () ->
+            match Supervise.run_trial ~trial:5 (Rng.create 1) Rng.bits64 with
+            | Ok _ -> Alcotest.fail "injection at rate 1 cannot succeed"
+            | Error f ->
+              check_int "trial recorded" 5 f.trial;
+              check_int "initial + 2 retries" 3 f.attempts));
+    case "run deadline fails remaining trials fast" (fun () ->
+        with_faults Plan.default
+          { Supervise.default with run_deadline = Some 0. }
+          (fun () ->
+            match Supervise.run_trial ~trial:0 (Rng.create 1) Rng.bits64 with
+            | Ok _ -> Alcotest.fail "deadline of 0 must already have passed"
+            | Error f -> check_int "no retries burned" 1 f.attempts));
+    qcase ~count:20
+      "retryable faults never change Runner.map output at any job count"
+      QCheck2.Gen.(pair (int_range 1 10_000) (int_range 0 6))
+      (fun (seed, rate16) ->
+        let trials = 20 in
+        let run () =
+          Runner.map (Rng.create seed) ~trials (fun _ r -> Rng.bits64 r)
+        in
+        let baseline = with_jobs 1 run in
+        let plan =
+          {
+            Plan.default with
+            seed = Int64.of_int seed;
+            trial = float_of_int rate16 /. 16.;
+            poison = 0.25;
+          }
+        in
+        (* Rate <= 0.375 and 48 retries: the chance any trial exhausts
+           its budget is below 2^-67 — retry exhaustion can never be
+           the reason this property fails. *)
+        let faulted jobs =
+          with_faults plan
+            { Supervise.default with max_retries = 48 }
+            (fun () -> with_jobs jobs run)
+        in
+        faulted 1 = baseline && faulted 4 = baseline);
+    case "keep-going drops failed trials and records degradation" (fun () ->
+        with_faults
+          { Plan.default with seed = 5L; trial = 0.4; fatal = 1. }
+          { Supervise.default with keep_going = true }
+          (fun () ->
+            let out =
+              with_jobs 2 (fun () ->
+                  Runner.map (Rng.create 3) ~trials:30 (fun _ r -> Rng.bits64 r))
+            in
+            let failed = List.length (Supervise.failures ()) in
+            check_bool "some trials failed" true (failed > 0);
+            check_int "survivors = planned - failed" (30 - failed)
+              (Array.length out);
+            check_bool "run degraded" true (Supervise.degraded ());
+            check_bool "CI widened" true (Supervise.ci_widen () > 1.)));
+    case "without keep-going the first failing trial aborts the run" (fun () ->
+        let plan = { Plan.default with seed = 5L; trial = 0.4; fatal = 1. } in
+        (* The injection pattern is a pure roll, so the test can predict
+           which trial fails first. *)
+        let rec first_faulted i =
+          if Plan.roll plan ~site:"trial.exn" ~a:i ~b:0 < plan.trial then i
+          else first_faulted (i + 1)
+        in
+        with_faults plan Supervise.default (fun () ->
+            match
+              with_jobs 2 (fun () ->
+                  Runner.map (Rng.create 3) ~trials:30 (fun _ r -> Rng.bits64 r))
+            with
+            | _ -> Alcotest.fail "expected Trial_failed"
+            | exception Supervise.Trial_failed f ->
+              check_int "earliest failing trial" (first_faulted 0) f.trial));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Store: IO faults, retries, torn writes, the degradation latch *)
+
+let store_cases =
+  [
+    case "write_atomic survives a transient IO fault, with retries counted"
+      (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "value" in
+            (* Rolls are pure, so probe seeds until this path gets a
+               plan that fails attempt 0 but clears within the retry
+               budget — the test then knows the exact outcome. *)
+            let transient seed =
+              let p = { Plan.default with seed = Int64.of_int seed; io = 0.5 } in
+              let fails attempt =
+                Plan.roll p ~site:"io.write" ~a:(Hashtbl.hash path) ~b:attempt
+                < p.io
+              in
+              if fails 0 && not (fails 1) then Some p else None
+            in
+            let rec find seed =
+              match transient seed with
+              | Some p -> p
+              | None -> find (seed + 1)
+            in
+            let plan = find 0 in
+            with_faults plan Supervise.default (fun () ->
+                let before = counter "store.io_retries" in
+                Fsio.write_atomic path "payload";
+                check_bool "retried at least once" true
+                  (counter "store.io_retries" > before);
+                check_bool "content intact" true
+                  (Fsio.read_file path = Some "payload"))));
+    case "torn transient write still yields the full file" (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "value" in
+            let rec find seed =
+              let p =
+                {
+                  Plan.default with
+                  seed = Int64.of_int seed;
+                  io = 0.5;
+                  torn = 1.;
+                }
+              in
+              let fails attempt =
+                Plan.roll p ~site:"io.write" ~a:(Hashtbl.hash path) ~b:attempt
+                < p.io
+              in
+              if fails 0 && not (fails 1) then p else find (seed + 1)
+            in
+            with_faults (find 0) Supervise.default (fun () ->
+                Fsio.write_atomic path "full content";
+                check_bool "no torn survivor" true
+                  (Fsio.read_file path = Some "full content"))));
+    case "persistent IO failure exhausts the retry budget" (fun () ->
+        with_tmp_dir (fun dir ->
+            let path = Filename.concat dir "value" in
+            with_faults
+              { Plan.default with seed = 2L; io = 1. }
+              Supervise.default
+              (fun () ->
+                (match Fsio.write_atomic path "doomed" with
+                | () -> Alcotest.fail "rate-1 IO faults cannot succeed"
+                | exception Sys_error _ -> ());
+                check_bool "no partial file" true (Fsio.read_file path = None))));
+    case "degradation latch turns Cache.put into a no-op" (fun () ->
+        with_tmp_dir (fun dir ->
+            Fun.protect ~finally:Fsio.reset_degraded (fun () ->
+                let store = Objects.open_ ~dir in
+                let e1 = Option.get (Sim.Experiments.find "e1") in
+                let outcome =
+                  Sim.Outcome.make
+                    [
+                      Stats.Table.create ~title:"t" ~columns:[ "c" ];
+                    ]
+                in
+                Fsio.degrade ~what:"test latch";
+                check_bool "latched" true (Fsio.degraded ());
+                Sim.Cache.put store e1 ~seed:1 ~quick:true outcome;
+                check_int "nothing published" 0
+                  (List.length (Objects.entries store));
+                Fsio.reset_degraded ();
+                Sim.Cache.put store e1 ~seed:1 ~quick:true outcome;
+                check_int "publishing again" 1
+                  (List.length (Objects.entries store)))));
+    case "torn manifest lines are skipped and counted" (fun () ->
+        with_tmp_dir (fun dir ->
+            let s = Objects.open_ ~dir in
+            ignore (Objects.put s ~key:"good" ~meta:[] "bytes");
+            let oc =
+              open_out_gen
+                [ Open_append; Open_binary ]
+                0o644 (Objects.manifest_path s)
+            in
+            output_string oc "{\"key\":\"torn";
+            close_out oc;
+            let before = counter "store.manifest_torn" in
+            let s' = Objects.open_ ~dir in
+            check_int "good entry survives" 1 (List.length (Objects.entries s'));
+            check_int "torn line counted" (before + 1)
+              (counter "store.manifest_torn")));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Pool: poisoned workers cannot wedge or corrupt a task *)
+
+let pool_cases =
+  [
+    case "fully poisoned workers: the caller still drains every index"
+      (fun () ->
+        with_faults
+          { Plan.default with seed = 4L; poison = 1. }
+          Supervise.default
+          (fun () ->
+            let pool = Exec.Pool.create ~jobs:4 in
+            Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool)
+              (fun () ->
+                let out =
+                  Exec.Pool.map_range pool ~lo:0 ~hi:200 (fun i -> i * 3)
+                in
+                Alcotest.(check (array int))
+                  "complete and ordered"
+                  (Array.init 200 (fun i -> i * 3))
+                  out)));
+    case "task exceptions surface to the caller without wedging the pool"
+      (fun () ->
+        let pool = Exec.Pool.create ~jobs:2 in
+        Fun.protect ~finally:(fun () -> Exec.Pool.shutdown pool)
+          (fun () ->
+            (try
+               ignore
+                 (Exec.Pool.map_range pool ~lo:0 ~hi:50 (fun i ->
+                      if i = 13 then failwith "task bug" else i))
+             with Failure _ -> ());
+            (* The pool must still be usable after a failed task. *)
+            let out = Exec.Pool.map_range pool ~lo:0 ~hi:10 (fun i -> i) in
+            Alcotest.(check (array int))
+              "pool alive" (Array.init 10 Fun.id) out));
+  ]
+
+let suites =
+  [
+    ("fault.plan", plan_cases);
+    ("fault.spec", spec_cases);
+    ("fault.config", config_cases);
+    ("fault.retry", retry_cases);
+    ("fault.shutdown", shutdown_cases);
+    ("fault.supervise", supervise_cases);
+    ("fault.store", store_cases);
+    ("fault.pool", pool_cases);
+  ]
