@@ -1,0 +1,144 @@
+(* Seed-era implementations of the E1 clique trial pipeline, kept as a
+   living baseline for the before/after kernel bench (and the
+   old-vs-new equivalence test).  These replicate, structure for
+   structure, the pre-flat-kernel code paths:
+
+   - [Graph]: boxed tuple adjacency ((edge id, endpoint) array array),
+     edges built from a cons list exactly as the old [Gen.clique] did;
+   - [Tgraph]: time-edge stream sorted with the closure-comparator
+     index permutation (plus its four permutation copies) and the
+     per-vertex boxed crossing caches the old constructor always paid
+     for;
+   - [Foremost]/[instance_diameter]: per-source arrival/pred allocation
+     with the stream walked through a closure, no early exit.
+
+   Only what the E1 pipeline touches is replicated — a directed clique
+   under a single uniform label per edge — so the module stays small
+   while measuring the honest end-to-end trial cost. *)
+
+module Rng = Prng.Rng
+
+type graph = {
+  n : int;
+  edges : (int * int) array;
+  out_adj : (int * int) array array;  (* per vertex: (edge id, target) *)
+}
+
+let clique n =
+  if n < 1 then invalid_arg "Legacy_kernel.clique: need n >= 1";
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      if u <> v then edges := (u, v) :: !edges
+    done
+  done;
+  let edges = Array.of_list !edges in
+  let out_count = Array.make n 0 in
+  Array.iter (fun (u, _) -> out_count.(u) <- out_count.(u) + 1) edges;
+  let out_adj = Array.init n (fun v -> Array.make out_count.(v) (0, 0)) in
+  let out_fill = Array.make n 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      out_adj.(u).(out_fill.(u)) <- (e, v);
+      out_fill.(u) <- out_fill.(u) + 1)
+    edges;
+  { n; edges; out_adj }
+
+type tgraph = {
+  graph : graph;
+  te_src : int array;
+  te_dst : int array;
+  te_label : int array;
+  te_edge : int array;
+  out_cache : (int * int * int array) array array;
+}
+
+(* Old Assignment.uniform_single: one boxed singleton label array per
+   edge, drawn in edge-id order. *)
+let uniform_single rng g ~a =
+  Array.init (Array.length g.edges) (fun _ -> [| 1 + Rng.int rng a |])
+
+(* Old Tgraph.create, directed single-label case: emit per edge, sort
+   an index permutation by label with a comparator closure, permute all
+   four stream arrays, then build the boxed crossing caches. *)
+let tgraph_create g labels =
+  let total = Array.length g.edges in
+  let te_src = Array.make total 0 in
+  let te_dst = Array.make total 0 in
+  let te_label = Array.make total 0 in
+  let te_edge = Array.make total 0 in
+  let fill = ref 0 in
+  Array.iteri
+    (fun e (u, v) ->
+      Array.iter
+        (fun label ->
+          te_src.(!fill) <- u;
+          te_dst.(!fill) <- v;
+          te_label.(!fill) <- label;
+          te_edge.(!fill) <- e;
+          incr fill)
+        labels.(e))
+    g.edges;
+  let order = Array.init total (fun i -> i) in
+  Array.sort (fun i j -> compare te_label.(i) te_label.(j)) order;
+  let permute a = Array.map (fun i -> a.(i)) order in
+  let te_src = permute te_src
+  and te_dst = permute te_dst
+  and te_label = permute te_label
+  and te_edge = permute te_edge in
+  let out_cache =
+    Array.init g.n (fun v ->
+        Array.map (fun (e, target) -> (e, target, labels.(e))) g.out_adj.(v))
+  in
+  { graph = g; te_src; te_dst; te_label; te_edge; out_cache }
+
+let iter_time_edges t f =
+  for i = 0 to Array.length t.te_label - 1 do
+    f ~src:t.te_src.(i) ~dst:t.te_dst.(i) ~label:t.te_label.(i)
+      ~edge:t.te_edge.(i)
+  done
+
+(* Old Foremost.run: fresh arrival/pred arrays per source, full-stream
+   closure sweep. *)
+let foremost_arrivals net s =
+  let n = net.graph.n in
+  let arrival = Array.make n max_int in
+  let pred = Array.make n (-1) in
+  arrival.(s) <- 0;
+  let stream_pos = ref (-1) in
+  iter_time_edges net (fun ~src ~dst ~label ~edge:_ ->
+      incr stream_pos;
+      if arrival.(src) < label && label < arrival.(dst) then begin
+        arrival.(dst) <- label;
+        pred.(dst) <- !stream_pos
+      end);
+  ignore (Sys.opaque_identity pred);
+  arrival
+
+let eccentricity net s =
+  let arrival = foremost_arrivals net s in
+  let worst = ref 0 and complete = ref true in
+  Array.iteri
+    (fun v a ->
+      if v <> s then
+        if a = max_int then complete := false
+        else if a > !worst then worst := a)
+    arrival;
+  if !complete then Some !worst else None
+
+let instance_diameter net =
+  let rec scan worst = function
+    | [] -> Some worst
+    | s :: rest -> (
+      match eccentricity net s with
+      | None -> None
+      | Some e -> scan (Stdlib.max worst e) rest)
+  in
+  scan 0 (List.init net.graph.n Fun.id)
+
+(* One full E1 trial at the seed's cost model: draw a normalized
+   uniform assignment (a = n), build the temporal network, take the
+   all-pairs temporal diameter. *)
+let trial rng g =
+  let net = tgraph_create g (uniform_single rng g ~a:g.n) in
+  instance_diameter net

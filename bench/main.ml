@@ -33,6 +33,7 @@ type opts = {
   mutable no_speedup : bool;
   mutable no_store : bool;
   mutable no_faults : bool;
+  mutable no_kernel : bool;
   mutable metrics : bool;
   mutable trace : string option;
   mutable jobs : int option;
@@ -47,6 +48,8 @@ let usage_lines =
     "  --no-speedup   skip part 2 (E1 sequential-vs-parallel timing)";
     "  --no-store     skip part 2b (E1 cold vs warm result store)";
     "  --no-faults    skip part 2c (E1 fault soak: injected faults + retries)";
+    "  --no-kernel    skip part 2d (flat kernel vs seed baseline, writes";
+    "                 BENCH_clique.json)";
     "  --no-micro     skip part 3 (Bechamel micro-benchmarks)";
     "  --jobs N, -j N worker domains for trial execution (default: 4";
     "                 for the speedup run, EPHEMERAL_JOBS or the";
@@ -70,6 +73,7 @@ let parse_args () =
       no_speedup = false;
       no_store = false;
       no_faults = false;
+      no_kernel = false;
       metrics = false;
       trace = None;
       jobs = None;
@@ -96,6 +100,7 @@ let parse_args () =
       | "--no-speedup" -> o.no_speedup <- true; go (i + 1)
       | "--no-store" -> o.no_store <- true; go (i + 1)
       | "--no-faults" -> o.no_faults <- true; go (i + 1)
+      | "--no-kernel" -> o.no_kernel <- true; go (i + 1)
       | "--metrics" -> o.metrics <- true; go (i + 1)
       | "--trace" -> o.trace <- Some (value "--trace" i); go (i + 2)
       | ("--jobs" | "-j") as flag -> o.jobs <- Some (int_value flag i); go (i + 2)
@@ -264,6 +269,94 @@ let run_fault_soak () =
     Printf.printf "  outputs identical  : %s\n"
       (if String.equal clean_render fault_render then "yes" else "NO (BUG)");
     print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Part 2d: flat kernel vs seed baseline on the E1 clique pipeline.
+
+   One trial = draw a normalized uniform assignment on the directed
+   clique, build the temporal network, compute the all-pairs temporal
+   diameter.  The legacy leg replays the seed implementations
+   (Legacy_kernel: cons-list generator, boxed tuple adjacency,
+   comparator-sorted stream with permutation copies, per-source
+   allocating sweeps); the flat leg is the live library (trusted-array
+   generator, counting sort, CSR crossings, per-domain workspaces).
+   Both legs draw from identically seeded RNGs, so the diameters must
+   agree trial for trial — a built-in equivalence oracle.
+
+   Results land in BENCH_clique.json (machine-readable: ns/op, bytes
+   allocated per op, speedup) for the CI perf-smoke job. *)
+
+let kernel_n = 512
+let kernel_trials () = if quick then 3 else 10
+
+let measure ~trials f =
+  let bytes0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let last = ref None in
+  for _ = 1 to trials do
+    last := f ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let bytes = Gc.allocated_bytes () -. bytes0 in
+  ( !last,
+    dt /. float_of_int trials *. 1e9,
+    bytes /. float_of_int trials )
+
+let run_kernel_bench () =
+  print_endline
+    "=================================================================";
+  Printf.printf
+    " E1 kernel: flat core vs seed baseline (clique n=%d, %d trials)\n"
+    kernel_n (kernel_trials ());
+  print_endline
+    "=================================================================";
+  let trials = kernel_trials () in
+  let seed = 97 in
+  let legacy_g = Legacy_kernel.clique kernel_n in
+  let flat_g = Sgraph.Gen.clique Directed kernel_n in
+  (* Warm-up: fault in code paths and size the workspace. *)
+  ignore (Legacy_kernel.trial (Rng.create seed) legacy_g);
+  ignore
+    (Distance.instance_diameter
+       (Assignment.normalized_uniform (Rng.create seed) flat_g));
+  let legacy_rng = Rng.create seed and flat_rng = Rng.create seed in
+  let legacy_out, legacy_ns, legacy_bytes =
+    measure ~trials (fun () -> Legacy_kernel.trial legacy_rng legacy_g)
+  in
+  let flat_out, flat_ns, flat_bytes =
+    measure ~trials (fun () ->
+        Distance.instance_diameter
+          (Assignment.normalized_uniform flat_rng flat_g))
+  in
+  let agree = legacy_out = flat_out in
+  let speedup = legacy_ns /. Float.max 1. flat_ns in
+  Printf.printf "  legacy (seed)  : %12.0f ns/trial  %12.0f bytes/trial\n"
+    legacy_ns legacy_bytes;
+  Printf.printf "  flat kernel    : %12.0f ns/trial  %12.0f bytes/trial\n"
+    flat_ns flat_bytes;
+  Printf.printf "  speedup        : %5.2fx   alloc ratio: %5.2fx\n" speedup
+    (legacy_bytes /. Float.max 1. flat_bytes);
+  Printf.printf "  diameters agree: %s\n" (if agree then "yes" else "NO (BUG)");
+  let path = "BENCH_clique.json" in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"bench\": \"e1_clique_pipeline\",\n\
+    \  \"n\": %d,\n\
+    \  \"trials\": %d,\n\
+    \  \"quick\": %b,\n\
+    \  \"legacy\": { \"ns_per_trial\": %.0f, \"bytes_per_trial\": %.0f },\n\
+    \  \"flat\": { \"ns_per_trial\": %.0f, \"bytes_per_trial\": %.0f },\n\
+    \  \"speedup\": %.2f,\n\
+    \  \"alloc_ratio\": %.2f,\n\
+    \  \"outputs_agree\": %b\n\
+     }\n"
+    kernel_n trials quick legacy_ns legacy_bytes flat_ns flat_bytes speedup
+    (legacy_bytes /. Float.max 1. flat_bytes)
+    agree;
+  close_out oc;
+  Printf.printf "  wrote %s\n" path;
+  print_newline ()
 
 (* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks *)
@@ -517,6 +610,7 @@ let () =
   if not opts.no_speedup then run_speedup ();
   if not opts.no_store then run_store_bench ();
   if not opts.no_faults then run_fault_soak ();
+  if not opts.no_kernel then run_kernel_bench ();
   if not opts.no_micro then run_micro ();
   Option.iter Obs.Sink.close sink;
   if opts.metrics then Obs.Export.print_summary ()

@@ -1,17 +1,48 @@
+(* Dense generators emit straight into preallocated endpoint arrays and
+   hand them to the trusted [Graph.of_arrays] constructor: no O(n²)
+   cons-list, no Hashtbl re-validation of edges that are distinct by
+   construction.  The historical list-based path pushed edges and let
+   [Array.of_list] reverse them, so edge id 0 was the *last* pair
+   emitted; [reversed] reproduces that id order exactly — label
+   assignments draw per edge id, so the order is part of the output
+   contract. *)
+let reversed a =
+  let m = Array.length a in
+  for i = 0 to (m / 2) - 1 do
+    let tmp = a.(i) in
+    a.(i) <- a.(m - 1 - i);
+    a.(m - 1 - i) <- tmp
+  done;
+  a
+
+let of_emitter kind ~n ~m emit =
+  let src = Array.make m 0 and dst = Array.make m 0 in
+  let fill = ref 0 in
+  emit (fun u v ->
+      src.(!fill) <- u;
+      dst.(!fill) <- v;
+      incr fill);
+  assert (!fill = m);
+  Graph.of_arrays kind ~n (reversed src) (reversed dst)
+
 let clique kind n =
   if n < 1 then invalid_arg "Gen.clique: need n >= 1";
-  let edges = ref [] in
-  for u = 0 to n - 1 do
-    for v = 0 to n - 1 do
-      let keep =
-        match kind with
-        | Graph.Directed -> u <> v
-        | Graph.Undirected -> u < v
-      in
-      if keep then edges := (u, v) :: !edges
-    done
-  done;
-  Graph.create kind ~n !edges
+  let m =
+    match kind with
+    | Graph.Directed -> n * (n - 1)
+    | Graph.Undirected -> n * (n - 1) / 2
+  in
+  of_emitter kind ~n ~m (fun push ->
+      for u = 0 to n - 1 do
+        for v = 0 to n - 1 do
+          let keep =
+            match kind with
+            | Graph.Directed -> u <> v
+            | Graph.Undirected -> u < v
+          in
+          if keep then push u v
+        done
+      done)
 
 let star n =
   if n < 2 then invalid_arg "Gen.star: need n >= 2";
@@ -28,37 +59,35 @@ let cycle n =
 
 let complete_bipartite a b =
   if a < 1 || b < 1 then invalid_arg "Gen.complete_bipartite: empty side";
-  let edges = ref [] in
-  for u = 0 to a - 1 do
-    for v = a to a + b - 1 do
-      edges := (u, v) :: !edges
-    done
-  done;
-  Graph.create Undirected ~n:(a + b) !edges
+  of_emitter Undirected ~n:(a + b) ~m:(a * b) (fun push ->
+      for u = 0 to a - 1 do
+        for v = a to a + b - 1 do
+          push u v
+        done
+      done)
 
 let grid rows cols =
   if rows < 1 || cols < 1 then invalid_arg "Gen.grid: empty grid";
   let id r c = (r * cols) + c in
-  let edges = ref [] in
-  for r = 0 to rows - 1 do
-    for c = 0 to cols - 1 do
-      if c + 1 < cols then edges := (id r c, id r (c + 1)) :: !edges;
-      if r + 1 < rows then edges := (id r c, id (r + 1) c) :: !edges
-    done
-  done;
-  Graph.create Undirected ~n:(rows * cols) !edges
+  let m = (rows * (cols - 1)) + (cols * (rows - 1)) in
+  of_emitter Undirected ~n:(rows * cols) ~m (fun push ->
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          if c + 1 < cols then push (id r c) (id r (c + 1));
+          if r + 1 < rows then push (id r c) (id (r + 1) c)
+        done
+      done)
 
 let hypercube d =
   if d < 1 then invalid_arg "Gen.hypercube: need d >= 1";
   let n = 1 lsl d in
-  let edges = ref [] in
-  for v = 0 to n - 1 do
-    for bit = 0 to d - 1 do
-      let w = v lxor (1 lsl bit) in
-      if v < w then edges := (v, w) :: !edges
-    done
-  done;
-  Graph.create Undirected ~n !edges
+  of_emitter Undirected ~n ~m:(n * d / 2) (fun push ->
+      for v = 0 to n - 1 do
+        for bit = 0 to d - 1 do
+          let w = v lxor (1 lsl bit) in
+          if v < w then push v w
+        done
+      done)
 
 let binary_tree n =
   if n < 1 then invalid_arg "Gen.binary_tree: need n >= 1";

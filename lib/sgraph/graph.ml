@@ -1,20 +1,115 @@
 type kind = Directed | Undirected
 
+(* Flat CSR layout: arcs out of [v] occupy rows [out_off.(v)] to
+   [out_off.(v+1) - 1] of the parallel [out_edge]/[out_vert] arrays (and
+   symmetrically for incoming arcs).  Everything is an unboxed int
+   array: no tuples, no per-vertex array headers, and adjacency scans
+   touch two cache-friendly flat ranges instead of chasing pointers.
+   For undirected graphs the in- and out-CSR are the same arc sequence,
+   so they share storage. *)
 type t = {
   kind : kind;
   n : int;
-  edges : (int * int) array;
-  out_adj : (int * int) array array;  (* per vertex: (edge id, target) *)
-  in_adj : (int * int) array array;  (* per vertex: (edge id, source) *)
+  e_src : int array;  (* edge id -> source (min endpoint if undirected) *)
+  e_dst : int array;
+  out_off : int array;  (* length n + 1 *)
+  out_edge : int array;  (* arc row -> edge id *)
+  out_vert : int array;  (* arc row -> target vertex *)
+  in_off : int array;
+  in_edge : int array;
+  in_vert : int array;  (* arc row -> source vertex *)
 }
 
 let kind t = t.kind
 let is_directed t = t.kind = Directed
 let n t = t.n
-let m t = Array.length t.edges
+let m t = Array.length t.e_src
 
 let arc_count t =
   match t.kind with Directed -> m t | Undirected -> 2 * m t
+
+(* Build the CSR indexes from validated endpoint arrays.  Arcs are
+   appended in edge-id order, an undirected edge contributing u->v then
+   v->u — the per-vertex arc order every deterministic consumer (walker
+   sampling, journey tie-breaks) relies on. *)
+let build kind n e_src e_dst =
+  let m = Array.length e_src in
+  let out_count = Array.make (n + 1) 0 in
+  let in_count = if kind = Undirected then out_count else Array.make (n + 1) 0 in
+  for e = 0 to m - 1 do
+    let u = e_src.(e) and v = e_dst.(e) in
+    out_count.(u) <- out_count.(u) + 1;
+    in_count.(v) <- in_count.(v) + 1
+  done;
+  let offsets count =
+    let off = Array.make (n + 1) 0 in
+    let sum = ref 0 in
+    for v = 0 to n - 1 do
+      off.(v) <- !sum;
+      sum := !sum + count.(v)
+    done;
+    off.(n) <- !sum;
+    (off, !sum)
+  in
+  let out_off, out_total = offsets out_count in
+  let fill = Array.copy out_off in
+  let out_edge = Array.make out_total 0 in
+  let out_vert = Array.make out_total 0 in
+  (match kind with
+  | Undirected ->
+    (* Shared arc table: out rows of w are exactly the in rows of w
+       (same edge, opposite endpoint), in the same append order. *)
+    for e = 0 to m - 1 do
+      let u = e_src.(e) and v = e_dst.(e) in
+      let pu = fill.(u) in
+      out_edge.(pu) <- e;
+      out_vert.(pu) <- v;
+      fill.(u) <- pu + 1;
+      let pv = fill.(v) in
+      out_edge.(pv) <- e;
+      out_vert.(pv) <- u;
+      fill.(v) <- pv + 1
+    done;
+    {
+      kind; n; e_src; e_dst;
+      out_off; out_edge; out_vert;
+      in_off = out_off; in_edge = out_edge; in_vert = out_vert;
+    }
+  | Directed ->
+    let in_off, in_total = offsets in_count in
+    let in_fill = Array.copy in_off in
+    let in_edge = Array.make in_total 0 in
+    let in_vert = Array.make in_total 0 in
+    for e = 0 to m - 1 do
+      let u = e_src.(e) and v = e_dst.(e) in
+      let pu = fill.(u) in
+      out_edge.(pu) <- e;
+      out_vert.(pu) <- v;
+      fill.(u) <- pu + 1;
+      let pv = in_fill.(v) in
+      in_edge.(pv) <- e;
+      in_vert.(pv) <- u;
+      in_fill.(v) <- pv + 1
+    done;
+    { kind; n; e_src; e_dst; out_off; out_edge; out_vert; in_off; in_edge; in_vert })
+
+let of_arrays kind ~n e_src e_dst =
+  if n < 0 then invalid_arg "Graph.of_arrays: negative vertex count";
+  let m = Array.length e_src in
+  if Array.length e_dst <> m then
+    invalid_arg "Graph.of_arrays: endpoint arrays differ in length";
+  for e = 0 to m - 1 do
+    let u = e_src.(e) and v = e_dst.(e) in
+    if u < 0 || u >= n || v < 0 || v >= n then
+      invalid_arg
+        (Printf.sprintf "Graph.of_arrays: endpoint out of range (%d,%d)" u v);
+    if u = v then invalid_arg "Graph.of_arrays: self-loop";
+    if kind = Undirected && u > v then begin
+      e_src.(e) <- v;
+      e_dst.(e) <- u
+    end
+  done;
+  build kind n e_src e_dst
 
 let create kind ~n edges =
   if n < 0 then invalid_arg "Graph.create: negative vertex count";
@@ -34,54 +129,57 @@ let create kind ~n edges =
         invalid_arg "Graph.create: duplicate edge"
       else Hashtbl.add seen edge ())
     edges;
-  let out_count = Array.make n 0 and in_count = Array.make n 0 in
-  Array.iter
-    (fun (u, v) ->
-      out_count.(u) <- out_count.(u) + 1;
-      in_count.(v) <- in_count.(v) + 1;
-      if kind = Undirected then begin
-        out_count.(v) <- out_count.(v) + 1;
-        in_count.(u) <- in_count.(u) + 1
-      end)
-    edges;
-  let out_adj = Array.init n (fun v -> Array.make out_count.(v) (0, 0)) in
-  let in_adj = Array.init n (fun v -> Array.make in_count.(v) (0, 0)) in
-  let out_fill = Array.make n 0 and in_fill = Array.make n 0 in
-  Array.iteri
-    (fun e (u, v) ->
-      let add_arc src dst =
-        out_adj.(src).(out_fill.(src)) <- (e, dst);
-        out_fill.(src) <- out_fill.(src) + 1;
-        in_adj.(dst).(in_fill.(dst)) <- (e, src);
-        in_fill.(dst) <- in_fill.(dst) + 1
-      in
-      add_arc u v;
-      if kind = Undirected then add_arc v u)
-    edges;
-  { kind; n; edges; out_adj; in_adj }
+  build kind n (Array.map fst edges) (Array.map snd edges)
 
 let edge_endpoints t e =
   if e < 0 || e >= m t then invalid_arg "Graph.edge_endpoints: bad edge id";
-  t.edges.(e)
+  (t.e_src.(e), t.e_dst.(e))
 
-let edges t = Array.copy t.edges
-let iter_edges t f = Array.iteri (fun e (u, v) -> f e u v) t.edges
-let out_arcs t v = t.out_adj.(v)
-let in_arcs t v = t.in_adj.(v)
-let out_neighbors t v = Array.map snd t.out_adj.(v)
-let in_neighbors t v = Array.map snd t.in_adj.(v)
-let out_degree t v = Array.length t.out_adj.(v)
-let in_degree t v = Array.length t.in_adj.(v)
+let edges t = Array.init (m t) (fun e -> (t.e_src.(e), t.e_dst.(e)))
+
+let iter_edges t f =
+  for e = 0 to m t - 1 do
+    f e t.e_src.(e) t.e_dst.(e)
+  done
+
+let out_arcs t v =
+  let lo = t.out_off.(v) in
+  Array.init (t.out_off.(v + 1) - lo) (fun i ->
+      (t.out_edge.(lo + i), t.out_vert.(lo + i)))
+
+let in_arcs t v =
+  let lo = t.in_off.(v) in
+  Array.init (t.in_off.(v + 1) - lo) (fun i ->
+      (t.in_edge.(lo + i), t.in_vert.(lo + i)))
+
+let iter_out t v f =
+  for i = t.out_off.(v) to t.out_off.(v + 1) - 1 do
+    f (Array.unsafe_get t.out_edge i) (Array.unsafe_get t.out_vert i)
+  done
+
+let iter_in t v f =
+  for i = t.in_off.(v) to t.in_off.(v + 1) - 1 do
+    f (Array.unsafe_get t.in_edge i) (Array.unsafe_get t.in_vert i)
+  done
+
+let out_neighbors t v =
+  let lo = t.out_off.(v) in
+  Array.init (t.out_off.(v + 1) - lo) (fun i -> t.out_vert.(lo + i))
+
+let in_neighbors t v =
+  let lo = t.in_off.(v) in
+  Array.init (t.in_off.(v + 1) - lo) (fun i -> t.in_vert.(lo + i))
+
+let out_degree t v = t.out_off.(v + 1) - t.out_off.(v)
+let in_degree t v = t.in_off.(v + 1) - t.in_off.(v)
 
 let find_edge t u v =
-  let arcs = t.out_adj.(u) in
   let rec scan i =
-    if i >= Array.length arcs then None
-    else
-      let e, target = arcs.(i) in
-      if target = v then Some e else scan (i + 1)
+    if i >= t.out_off.(u + 1) then None
+    else if t.out_vert.(i) = v then Some t.out_edge.(i)
+    else scan (i + 1)
   in
-  scan 0
+  scan t.out_off.(u)
 
 let mem_edge t u v = find_edge t u v <> None
 
@@ -91,9 +189,14 @@ let reverse t =
   | Directed ->
     {
       t with
-      edges = Array.map (fun (u, v) -> (v, u)) t.edges;
-      out_adj = t.in_adj;
-      in_adj = t.out_adj;
+      e_src = t.e_dst;
+      e_dst = t.e_src;
+      out_off = t.in_off;
+      out_edge = t.in_edge;
+      out_vert = t.in_vert;
+      in_off = t.out_off;
+      in_edge = t.out_edge;
+      in_vert = t.out_vert;
     }
 
 let pp ppf t =

@@ -6,7 +6,12 @@
     that id.  An undirected edge is crossable in both directions under the
     same labels; a directed edge only from its source to its target
     (paper §2).  Self-loops and parallel edges are rejected: neither
-    occurs in any construction of the paper. *)
+    occurs in any construction of the paper.
+
+    Adjacency is stored in CSR form (per-vertex offsets into flat int
+    arrays), so the non-allocating {!iter_out}/{!iter_in} scans are the
+    fast path; the tuple-array accessors {!out_arcs}/{!in_arcs} build a
+    fresh boxed copy per call and are kept for convenience and tests. *)
 
 type kind = Directed | Undirected
 
@@ -17,6 +22,16 @@ val create : kind -> n:int -> (int * int) list -> t
     [Undirected], edge pairs are normalised to [(min, max)].
     @raise Invalid_argument on out-of-range endpoints, self-loops, or
     duplicate edges (including [(u,v)] vs [(v,u)] when undirected). *)
+
+val of_arrays : kind -> n:int -> int array -> int array -> t
+(** [of_arrays kind ~n src dst] is the trusted constructor for
+    generator-produced edge sets: edge id [e] runs from [src.(e)] to
+    [dst.(e)].  Endpoints are range- and self-loop-checked (O(m)), and
+    undirected pairs are normalised in place, but {e duplicates are not
+    detected} — the caller vouches for distinctness.  Takes ownership
+    of both arrays; do not reuse them.
+    @raise Invalid_argument on out-of-range endpoints, self-loops, or
+    mismatched array lengths. *)
 
 val kind : t -> kind
 val is_directed : t -> bool
@@ -47,11 +62,20 @@ val out_neighbors : t -> int -> int array
 val in_neighbors : t -> int -> int array
 
 val out_arcs : t -> int -> (int * int) array
-(** [(edge id, target)] pairs for each traversable arc out of the vertex
-    (do not mutate). *)
+(** [(edge id, target)] pairs for each traversable arc out of the vertex.
+    Allocates a fresh array per call — use {!iter_out} on hot paths. *)
 
 val in_arcs : t -> int -> (int * int) array
-(** [(edge id, source)] pairs for each traversable arc into the vertex. *)
+(** [(edge id, source)] pairs for each traversable arc into the vertex.
+    Allocates a fresh array per call — use {!iter_in} on hot paths. *)
+
+val iter_out : t -> int -> (int -> int -> unit) -> unit
+(** [iter_out g v f] calls [f edge target] for each traversable arc out
+    of [v], in edge-id append order, without allocating. *)
+
+val iter_in : t -> int -> (int -> int -> unit) -> unit
+(** [iter_in g v f] calls [f edge source] for each traversable arc into
+    [v], without allocating. *)
 
 val out_degree : t -> int -> int
 val in_degree : t -> int -> int

@@ -1,29 +1,56 @@
 let unreachable = max_int
 
-let bfs_with g s ~neighbors =
+(* Core BFS over the CSR adjacency: [dist] and [queue] must each hold at
+   least [n] entries; only [dist.(0 .. n-1)] is meaningful afterwards.
+   [parent] is optional so the distance-only callers skip the second
+   write.  The flat int queue replaces [Stdlib.Queue] — each vertex is
+   enqueued at most once, so [n] slots suffice and nothing allocates. *)
+let bfs_core g s ~reverse ~dist ~queue ~parent =
   let n = Graph.n g in
   if s < 0 || s >= n then invalid_arg "Traverse.bfs: source out of range";
-  let dist = Array.make n unreachable in
-  let parent = Array.make n (-1) in
-  let queue = Queue.create () in
+  Array.fill dist 0 n unreachable;
+  (match parent with Some p -> Array.fill p 0 n (-1) | None -> ());
   dist.(s) <- 0;
-  Queue.add s queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.take queue in
-    Array.iter
-      (fun v ->
-        if dist.(v) = unreachable then begin
-          dist.(v) <- dist.(u) + 1;
-          parent.(v) <- u;
-          Queue.add v queue
-        end)
-      (neighbors u)
-  done;
+  queue.(0) <- s;
+  let head = ref 0 and tail = ref 1 in
+  let visit u v =
+    if dist.(v) = unreachable then begin
+      dist.(v) <- dist.(u) + 1;
+      (match parent with Some p -> p.(v) <- u | None -> ());
+      queue.(!tail) <- v;
+      incr tail
+    end
+  in
+  while !head < !tail do
+    let u = queue.(!head) in
+    incr head;
+    if reverse then Graph.iter_in g u (fun _ v -> visit u v)
+    else Graph.iter_out g u (fun _ v -> visit u v)
+  done
+
+let bfs_into g s ~dist ~queue = bfs_core g s ~reverse:false ~dist ~queue ~parent:None
+
+let bfs g s =
+  let n = Graph.n g in
+  let dist = Array.make (Stdlib.max 1 n) unreachable in
+  let queue = Array.make (Stdlib.max 1 n) 0 in
+  bfs_into g s ~dist ~queue;
+  dist
+
+let bfs_tree g s =
+  let n = Graph.n g in
+  let dist = Array.make (Stdlib.max 1 n) unreachable in
+  let parent = Array.make (Stdlib.max 1 n) (-1) in
+  let queue = Array.make (Stdlib.max 1 n) 0 in
+  bfs_core g s ~reverse:false ~dist ~queue ~parent:(Some parent);
   (dist, parent)
 
-let bfs_tree g s = bfs_with g s ~neighbors:(Graph.out_neighbors g)
-let bfs g s = fst (bfs_tree g s)
-let bfs_reverse g s = fst (bfs_with g s ~neighbors:(Graph.in_neighbors g))
+let bfs_reverse g s =
+  let n = Graph.n g in
+  let dist = Array.make (Stdlib.max 1 n) unreachable in
+  let queue = Array.make (Stdlib.max 1 n) 0 in
+  bfs_core g s ~reverse:true ~dist ~queue ~parent:None;
+  dist
 
 let dfs_order g root =
   let n = Graph.n g in

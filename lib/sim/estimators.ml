@@ -22,19 +22,23 @@ let temporal_diameter rng g ~a ~r ~trials =
         Distance.instance_diameter net)
   in
   let summary = Stats.Summary.create () in
-  let samples = ref [] in
+  (* Preallocate at the trial count and trim once: no cons cell and no
+     List.rev pass per sample. *)
+  let samples = Array.make trials 0. in
+  let filled = ref 0 in
   let disconnected = ref 0 in
   Array.iter
     (function
       | Some d ->
         Stats.Summary.add_int summary d;
-        samples := float_of_int d :: !samples
+        samples.(!filled) <- float_of_int d;
+        incr filled
       | None -> incr disconnected)
     per_trial;
   {
     trials;
     summary;
-    samples = Array.of_list (List.rev !samples);
+    samples = (if !filled = trials then samples else Array.sub samples 0 !filled);
     disconnected = !disconnected;
   }
 

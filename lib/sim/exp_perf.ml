@@ -54,11 +54,13 @@ let run ~quick ~seed =
   let notes =
     [
       "ns/time-edge should stay roughly flat: the foremost sweep is O(M) \
-       after Tgraph.create's one-off sort, so doubling n quadruples M and \
-       the sweep time together";
-      "all-pairs TD = n sweeps, so it scales as n*M = O(n^3) on the \
-       clique; construction (sort + adjacency caches) dominates single \
-       queries, which is why the API sorts once and reuses the stream";
+       over the flat stream built once by Tgraph.create's O(M + a) \
+       counting sort, so doubling n quadruples M and the sweep time \
+       together";
+      "all-pairs TD = n sweeps over per-domain workspace arrays, so it \
+       scales as n*M = O(n^3) on the clique; construction (counting sort \
+       + CSR crossings) dominates single queries, which is why the API \
+       builds the stream once and reuses it";
       "unlike every other table, these numbers are timings (median wall \
        time on the monotonic clock): shapes are stable, absolute values \
        move with the machine";

@@ -2,8 +2,13 @@ module Graph = Sgraph.Graph
 
 let of_fun g ~a f = Tgraph.create g ~lifetime:a (Array.init (Graph.m g) f)
 
+(* Flat fast path: one RNG draw per edge straight into an int array —
+   same Array.init draw order as the of_fun route, but no Label.t boxing
+   (the normalized U-RTN clique would otherwise allocate m singleton
+   arrays per trial). *)
 let uniform_single rng g ~a =
-  of_fun g ~a (fun _ -> Label.singleton (1 + Prng.Rng.int rng a))
+  Tgraph.of_flat_arcs g ~lifetime:a
+    (Array.init (Graph.m g) (fun _ -> 1 + Prng.Rng.int rng a))
 
 let normalized_uniform rng g = uniform_single rng g ~a:(Graph.n g)
 

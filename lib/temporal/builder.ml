@@ -24,7 +24,10 @@ let add_edge t u v labels =
     labels;
   let key = canonical t u v in
   match Hashtbl.find_opt t.edges key with
-  | Some existing -> existing := labels @ !existing
+  (* O(|labels|) accumulation: order is irrelevant — Label.of_list
+     normalises at build time — so rev_append beats rebuilding the
+     existing list. *)
+  | Some existing -> existing := List.rev_append labels !existing
   | None -> Hashtbl.add t.edges key (ref labels)
 
 let add_label t u v l = add_edge t u v [ l ]

@@ -1,10 +1,12 @@
-let harmonic_from_arrivals ~skip arrivals =
+(* The borrowed workspace array may be longer than n; loops below bound
+   themselves by n explicitly. *)
+let harmonic_from_arrivals ~n ~skip arrivals =
   let total = ref 0. in
-  Array.iteri
-    (fun v a ->
-      if v <> skip && a > 0 && a < max_int then
-        total := !total +. (1. /. float_of_int a))
-    arrivals;
+  for v = 0 to n - 1 do
+    let a = arrivals.(v) in
+    if v <> skip && a > 0 && a < max_int then
+      total := !total +. (1. /. float_of_int a)
+  done;
   !total
 
 let normalise net totals =
@@ -16,20 +18,18 @@ let out_closeness net =
   let n = Tgraph.n net in
   normalise net
     (Array.init n (fun u ->
-         let res = Foremost.run net u in
-         harmonic_from_arrivals ~skip:u (Foremost.arrival_array res)))
+         harmonic_from_arrivals ~n ~skip:u (Foremost.arrivals_borrowed net u)))
 
 let in_closeness net =
   let n = Tgraph.n net in
   let totals = Array.make n 0. in
   for u = 0 to n - 1 do
-    let res = Foremost.run net u in
-    let arrivals = Foremost.arrival_array res in
-    Array.iteri
-      (fun v a ->
-        if v <> u && a > 0 && a < max_int then
-          totals.(v) <- totals.(v) +. (1. /. float_of_int a))
-      arrivals
+    let arrivals = Foremost.arrivals_borrowed net u in
+    for v = 0 to n - 1 do
+      let a = arrivals.(v) in
+      if v <> u && a > 0 && a < max_int then
+        totals.(v) <- totals.(v) +. (1. /. float_of_int a)
+    done
   done;
   normalise net totals
 
@@ -46,8 +46,14 @@ let best_broadcaster net =
   (!best, times.(!best))
 
 let reach_counts net =
-  Array.init (Tgraph.n net) (fun u ->
-      Foremost.reachable_count (Foremost.run net u))
+  let n = Tgraph.n net in
+  Array.init n (fun u ->
+      let arrivals = Foremost.arrivals_borrowed net u in
+      let count = ref 0 in
+      for v = 0 to n - 1 do
+        if arrivals.(v) < max_int then incr count
+      done;
+      !count)
 
 let rank scores =
   let order = Array.init (Array.length scores) Fun.id in

@@ -38,22 +38,15 @@ let max_edge_disjoint net ~s ~t =
 let internal_masks net ~s ~t =
   let masks = ref [] in
   let rec explore v time visited mask =
-    Array.iter
-      (fun (_, target, labels) ->
-        match Label.first_after labels time with
-        | None -> ()
-        | Some _ ->
-          List.iter
-            (fun label ->
-              if label > time then begin
-                if target = t then masks := mask :: !masks
-                else if visited land (1 lsl target) = 0 then
-                  explore target label
-                    (visited lor (1 lsl target))
-                    (mask lor (1 lsl target))
-              end)
-            (Label.to_list labels))
-      (Tgraph.crossings_out net v)
+    Tgraph.iter_crossings_out net v (fun e target ->
+        Tgraph.iter_edge_labels net e (fun label ->
+            if label > time then begin
+              if target = t then masks := mask :: !masks
+              else if visited land (1 lsl target) = 0 then
+                explore target label
+                  (visited lor (1 lsl target))
+                  (mask lor (1 lsl target))
+            end))
   in
   explore s 0 (1 lsl s) 0;
   (* Keep only minimal masks: a superset mask never helps packing or

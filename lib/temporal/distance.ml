@@ -2,20 +2,45 @@ let distance net u v =
   let res = Foremost.run net u in
   Foremost.distance res v
 
-let eccentricity net s = Foremost.max_distance (Foremost.run net s)
+(* Eccentricity over borrowed workspace arrivals: max over v <> s, None
+   if any vertex is unreached.  Zero allocation per source. *)
+let ecc_borrowed net s =
+  let n = Tgraph.n net in
+  let arrival = Foremost.arrivals_borrowed net s in
+  let worst = ref 0 and complete = ref true in
+  for v = 0 to n - 1 do
+    if v <> s then begin
+      let a = arrival.(v) in
+      if a = max_int then complete := false
+      else if a > !worst then worst := a
+    end
+  done;
+  if !complete then Some !worst else None
+
+let eccentricity net s = ecc_borrowed net s
 
 let worst_over_sources net sources =
   let rec scan worst = function
     | [] -> Some worst
     | s :: rest -> (
-      match eccentricity net s with
+      match ecc_borrowed net s with
       | None -> None
       | Some e -> scan (Stdlib.max worst e) rest)
   in
   scan 0 sources
 
 let instance_diameter net =
-  worst_over_sources net (List.init (Tgraph.n net) Fun.id)
+  (* Inline loop rather than materialising the source list: the bench's
+     hot path (build + all-pairs eccentricity per trial). *)
+  let n = Tgraph.n net in
+  let rec scan worst s =
+    if s >= n then Some worst
+    else
+      match ecc_borrowed net s with
+      | None -> None
+      | Some e -> scan (Stdlib.max worst e) (s + 1)
+  in
+  scan 0 0
 
 let instance_diameter_sampled rng net ~sources =
   let n = Tgraph.n net in
@@ -24,9 +49,10 @@ let instance_diameter_sampled rng net ~sources =
   worst_over_sources net (Array.to_list picks)
 
 let all_pairs net =
-  Array.init (Tgraph.n net) (fun u ->
-      let res = Foremost.run net u in
-      let row = Foremost.arrival_array res in
+  let n = Tgraph.n net in
+  Array.init n (fun u ->
+      let arrival = Foremost.arrivals_borrowed net u in
+      let row = Array.sub arrival 0 n in
       row.(u) <- 0;
       row)
 
@@ -34,14 +60,12 @@ let average net =
   let n = Tgraph.n net in
   let total = ref 0 and pairs = ref 0 in
   for u = 0 to n - 1 do
-    let res = Foremost.run net u in
+    let arrival = Foremost.arrivals_borrowed net u in
     for v = 0 to n - 1 do
-      if v <> u then
-        match Foremost.distance res v with
-        | Some d ->
-          total := !total + d;
-          incr pairs
-        | None -> ()
+      if v <> u && arrival.(v) < max_int then begin
+        total := !total + arrival.(v);
+        incr pairs
+      end
     done
   done;
   if !pairs = 0 then Float.nan else float_of_int !total /. float_of_int !pairs

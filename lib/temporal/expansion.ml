@@ -53,25 +53,26 @@ let run net params ~s ~t =
     }
   else begin
     (* Forward expansion out of s.  fwd_layer.(v) = layer index (1-based)
-       or 0; fwd_via.(v) = (predecessor, label) that brought v in. *)
+       or 0; fwd_via_vert/label.(v) = predecessor arc that brought v in. *)
     let fwd_layer = Array.make n 0 in
-    let fwd_via = Array.make n (-1, -1) in
+    let fwd_via_vert = Array.make n (-1) in
+    let fwd_via_label = Array.make n (-1) in
     let forward_layers = Array.make depth 0 in
     let expand_forward i frontier =
       let lo, hi = delta params i in
       let next = ref [] in
       List.iter
         (fun w ->
-          Array.iter
-            (fun (_, v, ls) ->
-              if v <> s && fwd_layer.(v) = 0 then
-                match Label.any_in ls ~lo ~hi with
-                | Some label ->
+          Tgraph.iter_crossings_out net w (fun e v ->
+              if v <> s && fwd_layer.(v) = 0 then begin
+                let label = Tgraph.edge_next_label_in net e ~lo ~hi in
+                if label < max_int then begin
                   fwd_layer.(v) <- i;
-                  fwd_via.(v) <- (w, label);
+                  fwd_via_vert.(v) <- w;
+                  fwd_via_label.(v) <- label;
                   next := v :: !next
-                | None -> ())
-            (Tgraph.crossings_out net w))
+                end
+              end))
         frontier;
       forward_layers.(i - 1) <- List.length !next;
       !next
@@ -82,26 +83,27 @@ let run net params ~s ~t =
     in
     let fwd_last = grow_forward 1 [ s ] in
     (* Backward expansion out of t: bwd_layer.(v) = layer index; a vertex
-       v in layer i reaches t starting with the arc bwd_via.(v) =
-       (successor, label) whose label is in Δ'_i. *)
+       v in layer i reaches t starting with the arc to bwd_via_vert.(v)
+       at bwd_via_label.(v), whose label is in Δ'_i. *)
     let bwd_layer = Array.make n 0 in
-    let bwd_via = Array.make n (-1, -1) in
+    let bwd_via_vert = Array.make n (-1) in
+    let bwd_via_label = Array.make n (-1) in
     let backward_layers = Array.make depth 0 in
     let expand_backward i frontier =
       let lo, hi = delta' params i in
       let next = ref [] in
       List.iter
         (fun w ->
-          Array.iter
-            (fun (_, v, ls) ->
-              if v <> t && bwd_layer.(v) = 0 then
-                match Label.any_in ls ~lo ~hi with
-                | Some label ->
+          Tgraph.iter_crossings_in net w (fun e v ->
+              if v <> t && bwd_layer.(v) = 0 then begin
+                let label = Tgraph.edge_next_label_in net e ~lo ~hi in
+                if label < max_int then begin
                   bwd_layer.(v) <- i;
-                  bwd_via.(v) <- (w, label);
+                  bwd_via_vert.(v) <- w;
+                  bwd_via_label.(v) <- label;
                   next := v :: !next
-                | None -> ())
-            (Tgraph.crossings_in net w))
+                end
+              end))
         frontier;
       backward_layers.(i - 1) <- List.length !next;
       !next
@@ -118,13 +120,13 @@ let run net params ~s ~t =
     List.iter
       (fun u ->
         if !matching = None then
-          Array.iter
-            (fun (_, v, ls) ->
-              if !matching = None && bwd_layer.(v) = depth then
-                match Label.any_in ls ~lo:lo_star ~hi:hi_star with
-                | Some label -> matching := Some (u, v, label)
-                | None -> ())
-            (Tgraph.crossings_out net u))
+          Tgraph.iter_crossings_out net u (fun e v ->
+              if !matching = None && bwd_layer.(v) = depth then begin
+                let label =
+                  Tgraph.edge_next_label_in net e ~lo:lo_star ~hi:hi_star
+                in
+                if label < max_int then matching := Some (u, v, label)
+              end))
       fwd_last;
     match !matching with
     | None ->
@@ -139,13 +141,13 @@ let run net params ~s ~t =
       let rec forward_path v acc =
         if v = s then acc
         else
-          let w, label = fwd_via.(v) in
+          let w = fwd_via_vert.(v) and label = fwd_via_label.(v) in
           forward_path w ({ Journey.src = w; dst = v; label } :: acc)
       in
       let rec backward_path v acc =
         if v = t then List.rev acc
         else
-          let w, label = bwd_via.(v) in
+          let w = bwd_via_vert.(v) and label = bwd_via_label.(v) in
           backward_path w ({ Journey.src = v; dst = w; label } :: acc)
       in
       let journey =

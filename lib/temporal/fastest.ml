@@ -17,16 +17,14 @@ let run net s =
      first label is >= l; subtracting l therefore never under-estimates,
      and the run at the optimal journey's own departure attains it. *)
   let departures =
-    Array.fold_left
-      (fun acc (_, _, labels) ->
-        List.fold_left (fun acc l -> l :: acc) acc (Label.to_list labels))
-      [] (Tgraph.crossings_out net s)
-    |> List.sort_uniq compare
+    let acc = ref [] in
+    Tgraph.iter_crossings_out net s (fun e _ ->
+        Tgraph.iter_edge_labels net e (fun l -> acc := l :: !acc));
+    List.sort_uniq compare !acc
   in
   List.iter
     (fun depart ->
-      let res = Foremost.run ~start_time:depart net s in
-      let arrival = Foremost.arrival_array res in
+      let arrival = Foremost.arrivals_borrowed ~start_time:depart net s in
       for v = 0 to n - 1 do
         if v <> s && arrival.(v) < max_int then begin
           let transit = arrival.(v) - depart in

@@ -38,7 +38,19 @@ let run ?(start_time = 1) net s =
     transmissions = !transmissions;
   }
 
-let broadcast_time net s = (run net s).completion_time
+(* Flooding's informed times obey the same relaxation as foremost
+   arrivals, so completion time is just the max over the borrowed
+   arrival array — no result record, no transmission counting. *)
+let broadcast_time net s =
+  let n = Tgraph.n net in
+  if s < 0 || s >= n then invalid_arg "Flooding.run: source out of range";
+  let arrival = Foremost.arrivals_borrowed net s in
+  let completion = ref 0 and all = ref true in
+  for v = 0 to n - 1 do
+    let t = arrival.(v) in
+    if t = max_int then all := false else if t > !completion then completion := t
+  done;
+  if !all then Some !completion else None
 
 let run_budgeted ?(start_time = 1) ~k net s =
   if k < 0 then invalid_arg "Flooding.run_budgeted: k must be >= 0";

@@ -5,21 +5,76 @@ type result = {
   pred : int array;  (* index into the time-edge stream, or -1 *)
 }
 
-let run ?(start_time = 1) net s =
+(* The flat kernel: one pass over the raw stream arrays.  [arrival] and
+   [pred] are caller-provided (length >= n); only slots 0..n-1 are
+   touched.  Unsafe accesses are fine — stream endpoints were validated
+   at Tgraph construction and i ranges over the stream length.
+
+   Early exit: the stream is label-sorted and arrivals only ever
+   decrease, so once every vertex is reached and the current label has
+   passed the maximum arrival, no remaining entry can satisfy
+   [label < arrival.(dst)] — the sweep is done.  The bound is computed
+   once when the last vertex is reached (conservative: later
+   improvements may lower the true maximum, which only delays the
+   exit, never corrupts it).  On dense fast-spreading instances such
+   as the normalized U-RTN clique this skips almost the entire
+   stream. *)
+let sweep net ~start_time ~s ~arrival ~pred =
+  let n = Tgraph.n net in
+  for v = 0 to n - 1 do
+    Array.unsafe_set arrival v max_int;
+    Array.unsafe_set pred v (-1)
+  done;
+  arrival.(s) <- start_time - 1;
+  let te_src, te_dst, te_label, _ = Tgraph.stream net in
+  let total = Array.length te_label in
+  let unreached = ref (n - 1) in
+  let bound = ref max_int in
+  let i = ref 0 in
+  while !i < total && (!unreached > 0 || Array.unsafe_get te_label !i < !bound)
+  do
+    let label = Array.unsafe_get te_label !i in
+    let src = Array.unsafe_get te_src !i in
+    if Array.unsafe_get arrival src < label then begin
+      let dst = Array.unsafe_get te_dst !i in
+      if label < Array.unsafe_get arrival dst then begin
+        if Array.unsafe_get arrival dst = max_int then begin
+          decr unreached;
+          if !unreached = 0 then begin
+            (* Last vertex just reached: arrivals are now all finite. *)
+            let worst = ref 0 in
+            for v = 0 to n - 1 do
+              if Array.unsafe_get arrival v > !worst && v <> dst then
+                worst := Array.unsafe_get arrival v
+            done;
+            bound := Stdlib.max !worst label
+          end
+        end;
+        Array.unsafe_set arrival dst label;
+        Array.unsafe_set pred dst !i
+      end
+    end;
+    incr i
+  done
+
+let check_args ~start_time net s =
   if start_time < 1 then invalid_arg "Foremost.run: start_time must be >= 1";
   let n = Tgraph.n net in
-  if s < 0 || s >= n then invalid_arg "Foremost.run: source out of range";
+  if s < 0 || s >= n then invalid_arg "Foremost.run: source out of range"
+
+let run ?(start_time = 1) net s =
+  check_args ~start_time net s;
+  let n = Tgraph.n net in
   let arrival = Array.make n max_int in
   let pred = Array.make n (-1) in
-  arrival.(s) <- start_time - 1;
-  let stream_pos = ref (-1) in
-  Tgraph.iter_time_edges net (fun ~src ~dst ~label ~edge:_ ->
-      incr stream_pos;
-      if arrival.(src) < label && label < arrival.(dst) then begin
-        arrival.(dst) <- label;
-        pred.(dst) <- !stream_pos
-      end);
+  sweep net ~start_time ~s ~arrival ~pred;
   { source = s; start_time; arrival; pred }
+
+let arrivals_borrowed ?(start_time = 1) net s =
+  check_args ~start_time net s;
+  let ws = Workspace.get ~n:(Tgraph.n net) in
+  sweep net ~start_time ~s ~arrival:ws.arrival ~pred:ws.pred;
+  ws.arrival
 
 let source r = r.source
 let start_time r = r.start_time
@@ -64,14 +119,10 @@ let brute_force_distance net ?(start_time = 1) s t =
     (* DFS over label-respecting walks, pruned by the best arrival so far;
        exponential in the worst case — a reference oracle, not a tool. *)
     let rec explore v time =
-      Array.iter
-        (fun (_, target, ls) ->
-          List.iter
-            (fun label ->
+      Tgraph.iter_crossings_out net v (fun e target ->
+          Tgraph.iter_edge_labels net e (fun label ->
               if label > time && label < !best then
-                if target = t then best := label else explore target label)
-            (Label.to_list ls))
-        (Tgraph.crossings_out net v)
+                if target = t then best := label else explore target label))
     in
     explore s (start_time - 1);
     if !best = max_int then None else Some !best

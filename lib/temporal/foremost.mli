@@ -5,7 +5,8 @@
     strictly before [l] (labels along a journey must strictly increase).
     A single pass is exact precisely because any journey's labels
     increase, so its steps appear in stream order.  Cost: O(M) per source
-    after the one-off sort in {!Tgraph.create}. *)
+    over the flat stream arrays built once by {!Tgraph.create}'s counting
+    sort. *)
 
 type result
 (** Earliest arrivals out of one source, with predecessor links. *)
@@ -13,6 +14,15 @@ type result
 val run : ?start_time:int -> Tgraph.t -> int -> result
 (** [run ?start_time net s] computes earliest arrivals for journeys
     departing at time [>= start_time] (default [1]).
+    @raise Invalid_argument on a bad source or [start_time < 1]. *)
+
+val arrivals_borrowed : ?start_time:int -> Tgraph.t -> int -> int array
+(** Same sweep into the calling domain's {!Workspace} arrival slot: no
+    allocation, no predecessor links.  Only entries [0 .. n-1] are
+    meaningful (the array may be longer), and they stay valid only until
+    the next temporal sweep on this domain — copy what must escape.
+    The all-pairs and estimator loops use this to run n sweeps with
+    zero per-source allocation.
     @raise Invalid_argument on a bad source or [start_time < 1]. *)
 
 val source : result -> int

@@ -53,6 +53,14 @@ let first_after t x =
   let i = upper_bound t x in
   if i < Array.length t then Some t.(i) else None
 
+let next_after t x =
+  let i = upper_bound t x in
+  if i < Array.length t then t.(i) else max_int
+
+let next_in t ~lo ~hi =
+  let i = upper_bound t lo in
+  if i < Array.length t && t.(i) <= hi then t.(i) else max_int
+
 let count_in t ~lo ~hi =
   if hi <= lo then 0 else upper_bound t hi - upper_bound t lo
 

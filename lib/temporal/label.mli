@@ -47,6 +47,15 @@ val count_in : t -> lo:int -> hi:int -> int
 val any_in : t -> lo:int -> hi:int -> int option
 (** Smallest label in [(lo, hi]], if any. *)
 
+val next_after : t -> int -> int
+(** Allocation-free {!first_after}: the smallest label strictly greater
+    than the argument, or [max_int] when none — the sentinel kernels
+    compare against directly instead of matching an option. *)
+
+val next_in : t -> lo:int -> hi:int -> int
+(** Allocation-free {!any_in}: smallest label in [(lo, hi]], [max_int]
+    when none. *)
+
 val union : t -> t -> t
 val within_lifetime : t -> int -> bool
 (** All labels [<= a]? *)

@@ -3,15 +3,22 @@ module Traverse = Sgraph.Traverse
 let temporally_reachable net u v =
   Foremost.distance (Foremost.run net u) v <> None
 
-let static_row net u = Traverse.bfs (Tgraph.graph net) u
+(* The per-source scans below borrow both workspace families at once —
+   static BFS into [dist]/[queue], the foremost sweep into [arrival] —
+   which the Workspace slot discipline explicitly permits. *)
+let static_into net u ws =
+  Traverse.bfs_into (Tgraph.graph net) u ~dist:ws.Workspace.dist
+    ~queue:ws.Workspace.queue
 
 let source_ok net u =
-  let static = static_row net u in
-  let res = Foremost.run net u in
   let n = Tgraph.n net in
+  let ws = Workspace.get ~n in
+  static_into net u ws;
+  let arrival = Foremost.arrivals_borrowed net u in
+  let static = ws.Workspace.dist in
   let rec scan v =
     v >= n
-    || ((static.(v) = Traverse.unreachable || Foremost.distance res v <> None)
+    || ((static.(v) = Traverse.unreachable || arrival.(v) < max_int)
         && scan (v + 1))
   in
   scan 0
@@ -23,13 +30,14 @@ let treach net =
 
 let missing_pairs net =
   let n = Tgraph.n net in
+  let ws = Workspace.get ~n in
   let missing = ref [] in
   for u = n - 1 downto 0 do
-    let static = static_row net u in
-    let res = Foremost.run net u in
+    static_into net u ws;
+    let arrival = Foremost.arrivals_borrowed net u in
+    let static = ws.Workspace.dist in
     for v = n - 1 downto 0 do
-      if v <> u && static.(v) <> Traverse.unreachable
-         && Foremost.distance res v = None
+      if v <> u && static.(v) <> Traverse.unreachable && arrival.(v) = max_int
       then missing := (u, v) :: !missing
     done
   done;
@@ -37,18 +45,21 @@ let missing_pairs net =
 
 let count_pairs net ~temporal =
   let n = Tgraph.n net in
+  let ws = Workspace.get ~n in
   let count = ref 0 in
   for u = 0 to n - 1 do
     if temporal then begin
-      let res = Foremost.run net u in
-      (* reachable_count includes the source itself. *)
-      count := !count + (Foremost.reachable_count res - 1)
+      let arrival = Foremost.arrivals_borrowed net u in
+      for v = 0 to n - 1 do
+        if v <> u && arrival.(v) < max_int then incr count
+      done
     end
     else begin
-      let static = static_row net u in
-      Array.iteri
-        (fun v d -> if v <> u && d <> Traverse.unreachable then incr count)
-        static
+      static_into net u ws;
+      let static = ws.Workspace.dist in
+      for v = 0 to n - 1 do
+        if v <> u && static.(v) <> Traverse.unreachable then incr count
+      done
     end
   done;
   !count

@@ -137,20 +137,16 @@ let path_exists_exhaustive ~delta net ~s ~t =
     let found = ref false in
     let rec explore v time visited =
       if not !found then
-        Array.iter
-          (fun (_, target, labels) ->
+        Tgraph.iter_crossings_out net v (fun e target ->
             if visited land (1 lsl target) = 0 then
-              List.iter
-                (fun label ->
+              Tgraph.iter_edge_labels net e (fun label ->
                   let ok =
                     if v = s && time = 0 then label > 0
                     else label > time && label <= time + delta
                   in
                   if ok && not !found then
                     if target = t then found := true
-                    else explore target label (visited lor (1 lsl target)))
-                (Label.to_list labels))
-          (Tgraph.crossings_out net v)
+                    else explore target label (visited lor (1 lsl target))))
     in
     explore s 0 (1 lsl s);
     !found

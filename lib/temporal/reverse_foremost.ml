@@ -17,9 +17,9 @@ let run ?deadline net t =
   (* Decreasing label order: when edge (u,v,l) is processed, every edge
      with a larger label — the only ones a journey may use after l — has
      already contributed to latest.(v). *)
-  let total = Tgraph.time_edge_count net in
-  for i = total - 1 downto 0 do
-    let u, v, l = Tgraph.time_edge net i in
+  let te_src, te_dst, te_label, _ = Tgraph.stream net in
+  for i = Array.length te_label - 1 downto 0 do
+    let u = te_src.(i) and v = te_dst.(i) and l = te_label.(i) in
     if l <= deadline && l <= latest.(v) && l - 1 > latest.(u) then begin
       latest.(u) <- l - 1;
       succ.(u) <- i

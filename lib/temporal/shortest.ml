@@ -36,17 +36,15 @@ let run ?(start_time = 1) net s =
     let pred = Array.make n (-1, -1) in
     for v = 0 to n - 1 do
       if prev.(v) < max_int then
-        Array.iter
-          (fun (_, target, labels) ->
-            match Label.first_after labels prev.(v) with
-            | Some label when label < arrival.(target) ->
+        Tgraph.iter_crossings_out net v (fun e target ->
+            let label = Tgraph.edge_next_label_after net e prev.(v) in
+            if label < arrival.(target) then begin
               arrival.(target) <- label;
               pred.(target) <- (v, label);
               if hops.(target) = -1 then hops.(target) <- !k;
               if hops.(target) = !k then at_hops.(target) <- label;
               changed := true
-            | _ -> ())
-          (Tgraph.crossings_out net v)
+            end)
     done;
     if !changed then levels := { arrival; pred } :: !levels
   done;

@@ -1,16 +1,68 @@
 module Graph = Sgraph.Graph
 
+(* Two label layouts share one temporal-network type.  [Sets] is the
+   general per-edge label-set assignment; [Single] is the flat fast
+   path for one-label-per-edge models (UNI-CASE, the normalized U-RTN
+   clique), which stores the label as a bare int — no n² one-element
+   arrays.  Every kernel-facing query ([edge_next_label_after], …)
+   dispatches once and works on unboxed ints either way. *)
+type labelling =
+  | Sets of Label.t array
+  | Single of int array
+
 type t = {
   graph : Graph.t;
   lifetime : int;
-  labels : Label.t array;
+  labelling : labelling;
+  (* The time-edge stream, counting-sorted by label (stable: ties keep
+     emission order — edge id ascending, u->v before v->u). *)
   te_src : int array;
   te_dst : int array;
   te_label : int array;
   te_edge : int array;
-  out_cache : (int * int * Label.t) array array;
-  in_cache : (int * int * Label.t) array array;
 }
+
+(* Counting sort by label: one pass to histogram labels 1..lifetime,
+   a prefix sum for bucket offsets, then a second emission pass writing
+   each stream entry directly into its final slot.  O(M + a) and
+   deterministic, versus the seed's O(M log M) closure-comparator sort
+   with heapsort-arbitrary tie order and four permutation copies.
+   [iter_labels e f] must present each edge's labels in ascending order
+   (Label.t is sorted; Single is one label) so stability gives the
+   documented tie order. *)
+let build_stream g ~lifetime ~total ~iter_labels =
+  let directions = if Graph.is_directed g then 1 else 2 in
+  let m = Graph.m g in
+  let counts = Array.make (lifetime + 1) 0 in
+  for e = 0 to m - 1 do
+    iter_labels e (fun l -> counts.(l) <- counts.(l) + directions)
+  done;
+  let sum = ref 0 in
+  for l = 1 to lifetime do
+    let c = counts.(l) in
+    counts.(l) <- !sum;
+    sum := !sum + c
+  done;
+  assert (!sum = total);
+  let te_src = Array.make total 0 in
+  let te_dst = Array.make total 0 in
+  let te_label = Array.make total 0 in
+  let te_edge = Array.make total 0 in
+  Graph.iter_edges g (fun e u v ->
+      iter_labels e (fun l ->
+          let pos = counts.(l) in
+          counts.(l) <- pos + directions;
+          te_src.(pos) <- u;
+          te_dst.(pos) <- v;
+          te_label.(pos) <- l;
+          te_edge.(pos) <- e;
+          if directions = 2 then begin
+            te_src.(pos + 1) <- v;
+            te_dst.(pos + 1) <- u;
+            te_label.(pos + 1) <- l;
+            te_edge.(pos + 1) <- e
+          end));
+  (te_src, te_dst, te_label, te_edge)
 
 let create g ~lifetime labels =
   if lifetime <= 0 then invalid_arg "Tgraph.create: lifetime must be positive";
@@ -21,56 +73,46 @@ let create g ~lifetime labels =
       if not (Label.within_lifetime ls lifetime) then
         invalid_arg "Tgraph.create: label beyond the lifetime")
     labels;
-  (* Count stream entries: one per (arc direction, label). *)
   let directions = if Graph.is_directed g then 1 else 2 in
   let total = ref 0 in
   Array.iter (fun ls -> total := !total + (directions * Label.size ls)) labels;
-  let total = !total in
-  let te_src = Array.make total 0 in
-  let te_dst = Array.make total 0 in
-  let te_label = Array.make total 0 in
-  let te_edge = Array.make total 0 in
-  let fill = ref 0 in
-  Graph.iter_edges g (fun e u v ->
-      let emit src dst label =
-        te_src.(!fill) <- src;
-        te_dst.(!fill) <- dst;
-        te_label.(!fill) <- label;
-        te_edge.(!fill) <- e;
-        incr fill
-      in
-      let ls = labels.(e) in
-      Array.iter
-        (fun label ->
-          emit u v label;
-          if not (Graph.is_directed g) then emit v u label)
-        (ls :> int array));
-  (* Sort the stream by label via an index permutation. *)
-  let order = Array.init total (fun i -> i) in
-  Array.sort (fun i j -> compare te_label.(i) te_label.(j)) order;
-  let permute a = Array.map (fun i -> a.(i)) order in
-  let te_src = permute te_src
-  and te_dst = permute te_dst
-  and te_label = permute te_label
-  and te_edge = permute te_edge in
-  let out_cache =
-    Array.init (Graph.n g) (fun v ->
-        Array.map (fun (e, target) -> (e, target, labels.(e))) (Graph.out_arcs g v))
+  let te_src, te_dst, te_label, te_edge =
+    build_stream g ~lifetime ~total:!total ~iter_labels:(fun e f ->
+        Array.iter f (labels.(e) :> int array))
   in
-  let in_cache =
-    Array.init (Graph.n g) (fun v ->
-        Array.map (fun (e, source) -> (e, source, labels.(e))) (Graph.in_arcs g v))
+  { graph = g; lifetime; labelling = Sets labels; te_src; te_dst; te_label; te_edge }
+
+let of_flat_arcs g ~lifetime label =
+  if lifetime <= 0 then
+    invalid_arg "Tgraph.of_flat_arcs: lifetime must be positive";
+  if Array.length label <> Graph.m g then
+    invalid_arg "Tgraph.of_flat_arcs: one label per edge required";
+  Array.iter
+    (fun l ->
+      if l < 1 then invalid_arg "Tgraph.of_flat_arcs: labels must be positive";
+      if l > lifetime then
+        invalid_arg "Tgraph.of_flat_arcs: label beyond the lifetime")
+    label;
+  let directions = if Graph.is_directed g then 1 else 2 in
+  let total = directions * Graph.m g in
+  let te_src, te_dst, te_label, te_edge =
+    build_stream g ~lifetime ~total ~iter_labels:(fun e f -> f label.(e))
   in
-  { graph = g; lifetime; labels; te_src; te_dst; te_label; te_edge;
-    out_cache; in_cache }
+  { graph = g; lifetime; labelling = Single label; te_src; te_dst; te_label; te_edge }
 
 let graph t = t.graph
 let lifetime t = t.lifetime
 let n t = Graph.n t.graph
-let labels t e = t.labels.(e)
+
+let labels t e =
+  match t.labelling with
+  | Sets a -> a.(e)
+  | Single l -> Label.singleton l.(e)
 
 let label_count t =
-  Array.fold_left (fun acc ls -> acc + Label.size ls) 0 t.labels
+  match t.labelling with
+  | Sets a -> Array.fold_left (fun acc ls -> acc + Label.size ls) 0 a
+  | Single l -> Array.length l
 
 let time_edge_count t = Array.length t.te_label
 
@@ -80,14 +122,58 @@ let iter_time_edges t f =
       ~edge:t.te_edge.(i)
   done
 
+let stream t = (t.te_src, t.te_dst, t.te_label, t.te_edge)
+
 let time_edge t i = (t.te_src.(i), t.te_dst.(i), t.te_label.(i))
-let crossings_out t v = t.out_cache.(v)
-let crossings_in t v = t.in_cache.(v)
+
+(* ---------------------------------------------------------------- *)
+(* Per-edge label queries: the scalar kernel interface.  Each returns
+   unboxed ints ([max_int] = none) and never allocates, whichever
+   labelling backs the network. *)
+
+let edge_label_size t e =
+  match t.labelling with Sets a -> Label.size a.(e) | Single _ -> 1
+
+let edge_has_label t e x =
+  match t.labelling with
+  | Sets a -> Label.mem a.(e) x
+  | Single l -> l.(e) = x
+
+let edge_next_label_after t e x =
+  match t.labelling with
+  | Sets a -> Label.next_after a.(e) x
+  | Single l -> if l.(e) > x then l.(e) else max_int
+
+let edge_next_label_in t e ~lo ~hi =
+  match t.labelling with
+  | Sets a -> Label.next_in a.(e) ~lo ~hi
+  | Single l -> if l.(e) > lo && l.(e) <= hi then l.(e) else max_int
+
+let iter_edge_labels t e f =
+  match t.labelling with
+  | Sets a -> Array.iter f (a.(e) :> int array)
+  | Single l -> f l.(e)
+
+(* ---------------------------------------------------------------- *)
+(* Crossings.  The CSR adjacency of the underlying graph *is* the
+   crossing table — arcs carry edge ids, labels are looked up by id —
+   so the iterators read two flat int arrays and allocate nothing. *)
+
+let iter_crossings_out t v f = Graph.iter_out t.graph v f
+let iter_crossings_in t v f = Graph.iter_in t.graph v f
+
+let crossings_out t v =
+  Array.map (fun (e, target) -> (e, target, labels t e)) (Graph.out_arcs t.graph v)
+
+let crossings_in t v =
+  Array.map (fun (e, source) -> (e, source, labels t e)) (Graph.in_arcs t.graph v)
 
 let can_cross_at t ~src ~dst time =
-  Array.exists
-    (fun (_, target, ls) -> target = dst && Label.mem ls time)
-    t.out_cache.(src)
+  let found = ref false in
+  Graph.iter_out t.graph src (fun e target ->
+      if (not !found) && target = dst && edge_has_label t e time then
+        found := true);
+  !found
 
 let pp ppf t =
   Format.fprintf ppf "temporal network on %a, lifetime=%d, labels=%d"

@@ -1,10 +1,18 @@
 (** Temporal networks [G = (V, E, L)] (paper, Definition 1).
 
     A static graph plus a label assignment and a lifetime [a] (the network
-    is ephemeral: no label exceeds [a]).  Construction pre-sorts the
+    is ephemeral: no label exceeds [a]).  Construction builds the
     *time-edge* stream — every [(u, v, l)] triple with [l ∈ L_{(u,v)}],
-    both directions for undirected edges — by label, which is what makes
-    foremost-journey computation a single linear sweep. *)
+    both directions for undirected edges — with a stable counting sort by
+    label (O(M + a), no comparator), which is what makes foremost-journey
+    computation a single linear sweep.  Ties within a label are in edge-id
+    order, [u→v] before [v→u], deterministically.
+
+    The stream and the crossing tables are flat int arrays (the crossing
+    table is the CSR adjacency of the underlying graph: arcs carry edge
+    ids, labels are looked up per id).  Hot paths use the non-allocating
+    iterators and scalar per-edge label queries below; the tuple/[Label.t]
+    accessors allocate per call and exist for convenience and tests. *)
 
 type t
 
@@ -14,6 +22,16 @@ val create : Sgraph.Graph.t -> lifetime:int -> Label.t array -> t
     @raise Invalid_argument if the array length differs from [m g], if
     the lifetime is non-positive, or if any label exceeds the lifetime. *)
 
+val of_flat_arcs : Sgraph.Graph.t -> lifetime:int -> int array -> t
+(** [of_flat_arcs g ~lifetime label] builds a single-label-per-edge
+    network from a bare int array, [label.(e)] being the one label of
+    edge [e].  Equivalent to [create] with singleton label sets but
+    allocates no [Label.t] values — the fast path for UNI-CASE
+    assignments such as the normalized U-RTN clique, where [create]
+    would box [m] one-element arrays.  Takes ownership of [label].
+    @raise Invalid_argument on a non-positive lifetime, a length
+    mismatch, or a label outside [1..lifetime]. *)
+
 val graph : t -> Sgraph.Graph.t
 val lifetime : t -> int
 
@@ -21,7 +39,9 @@ val n : t -> int
 (** Vertex count of the underlying graph. *)
 
 val labels : t -> int -> Label.t
-(** Label set of an edge id. *)
+(** Label set of an edge id.  Allocates on single-label networks
+    (builds the singleton on demand) — hot paths should use the scalar
+    queries below instead. *)
 
 val label_count : t -> int
 (** Total number of labels over all edges — the quantity compared against
@@ -37,12 +57,47 @@ val iter_time_edges : t -> (src:int -> dst:int -> label:int -> edge:int -> unit)
 val time_edge : t -> int -> int * int * int
 (** [time_edge t i] is the [i]-th stream entry as [(src, dst, label)]. *)
 
+val stream : t -> int array * int array * int array * int array
+(** [(src, dst, label, edge)] — the four parallel stream arrays, borrowed
+    (do {e not} mutate), sorted by label.  The raw representation for
+    flat kernel loops such as the foremost sweep. *)
+
+(** {2 Scalar per-edge label queries}
+
+    Allocation-free on both labellings; [max_int] is the "none"
+    sentinel. *)
+
+val edge_label_size : t -> int -> int
+
+val edge_has_label : t -> int -> int -> bool
+(** [edge_has_label t e x] — is [x ∈ L_e]? *)
+
+val edge_next_label_after : t -> int -> int -> int
+(** Smallest label of edge [e] strictly greater than the argument,
+    [max_int] when none. *)
+
+val edge_next_label_in : t -> int -> lo:int -> hi:int -> int
+(** Smallest label of edge [e] in [(lo, hi]], [max_int] when none. *)
+
+val iter_edge_labels : t -> int -> (int -> unit) -> unit
+(** All labels of edge [e], ascending. *)
+
+(** {2 Crossings} *)
+
+val iter_crossings_out : t -> int -> (int -> int -> unit) -> unit
+(** [iter_crossings_out t v f] calls [f edge target] for each arc leaving
+    [v], in edge-id order, without allocating. *)
+
+val iter_crossings_in : t -> int -> (int -> int -> unit) -> unit
+(** [f edge source] for each arc entering [v]. *)
+
 val crossings_out : t -> int -> (int * int * Label.t) array
 (** [crossings_out t v] lists [(edge id, target, labels)] for each arc
-    leaving [v] (do not mutate). *)
+    leaving [v].  Allocates a fresh array per call — use
+    {!iter_crossings_out} plus the scalar queries on hot paths. *)
 
 val crossings_in : t -> int -> (int * int * Label.t) array
-(** [(edge id, source, labels)] for each arc entering [v]. *)
+(** [(edge id, source, labels)] for each arc entering [v] (allocates). *)
 
 val can_cross_at : t -> src:int -> dst:int -> int -> bool
 (** Is some arc [src → dst] available exactly at the given time? *)

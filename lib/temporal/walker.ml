@@ -22,12 +22,13 @@ let walk ?(laziness = 0.) rng net ~source =
   let moves = ref 0 in
   let current = ref source in
   for t = 1 to a do
-    (* Arcs out of the current vertex available exactly now. *)
+    (* Arcs out of the current vertex available exactly now.  Prepending
+       in arc order reproduces the historical candidate order exactly —
+       the RNG draw below indexes into it, so order is part of the
+       determinism contract. *)
     let options = ref [] in
-    Array.iter
-      (fun (_, target, labels) ->
-        if Label.mem labels t then options := target :: !options)
-      (Tgraph.crossings_out net !current);
+    Tgraph.iter_crossings_out net !current (fun e target ->
+        if Tgraph.edge_has_label net e t then options := target :: !options);
     (match !options with
     | [] -> ()
     | candidates ->

@@ -151,14 +151,12 @@ let earliest_arrival ?(start_time = 1) t s =
     | None -> continue := false
     | Some (key, u) ->
       if key = arrival.(u) then
-        Array.iter
-          (fun (e, v) ->
+        Graph.iter_out t.graph u (fun e v ->
             match first_available_after t.schedules.(e) arrival.(u) with
             | Some when_crossing when when_crossing < arrival.(v) ->
               arrival.(v) <- when_crossing;
               Heap.push heap (when_crossing, v)
             | _ -> ())
-          (Graph.out_arcs t.graph u)
   done;
   arrival.(s) <- 0;
   arrival

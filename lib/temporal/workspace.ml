@@ -1,0 +1,40 @@
+(* Per-domain scratch arrays for the temporal kernels.
+
+   An n-source all-pairs sweep used to allocate two fresh n-arrays per
+   source (arrival + predecessor); with trial-level parallelism the
+   allocator churn multiplied across domains.  Each domain instead owns
+   one lazily grown workspace, fetched through [Domain.DLS] — so the
+   same arrays serve every sweep a domain runs, including [Exec.Pool]
+   worker domains, and no locking is ever needed. *)
+
+type t = {
+  mutable arrival : int array;  (* foremost/flooding arrivals *)
+  mutable pred : int array;  (* stream predecessor indices *)
+  mutable dist : int array;  (* static BFS distances *)
+  mutable queue : int array;  (* static BFS ring queue *)
+}
+
+let key : t Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { arrival = [||]; pred = [||]; dist = [||]; queue = [||] })
+
+(* Grow to the next power of two >= n so a mixed workload of sizes
+   settles after O(log) reallocations. *)
+let capacity_for n =
+  let c = ref 16 in
+  while !c < n do
+    c := !c * 2
+  done;
+  !c
+
+let get ~n =
+  if n < 0 then invalid_arg "Workspace.get: negative size";
+  let ws = Domain.DLS.get key in
+  if Array.length ws.arrival < n then begin
+    let c = capacity_for n in
+    ws.arrival <- Array.make c 0;
+    ws.pred <- Array.make c 0;
+    ws.dist <- Array.make c 0;
+    ws.queue <- Array.make c 0
+  end;
+  ws

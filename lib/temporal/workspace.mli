@@ -1,0 +1,32 @@
+(** Per-domain reusable scratch for the temporal kernels.
+
+    [get ~n] returns the calling domain's workspace with every array
+    grown to at least [n] entries.  Contents are {e not} cleared — each
+    borrowing kernel initialises the prefix it uses — and remain valid
+    only until the next kernel on the same domain borrows the same
+    slot.  Results that escape (public [run] functions returning
+    records) must copy; the borrowed entry points ({!Foremost.
+    arrivals_borrowed}, {!Sgraph.Traverse.bfs_into} call sites) are the
+    ones that avoid the copy.
+
+    Slot discipline (who may hold what simultaneously):
+    - [arrival]/[pred]: the foremost-sweep family (foremost, flooding,
+      reverse-foremost style kernels);
+    - [dist]/[queue]: static BFS.
+
+    A kernel may therefore run one temporal sweep and one static BFS
+    concurrently on the same domain (as [Reachability] does), but never
+    two temporal sweeps whose results it still needs. *)
+
+type t = {
+  mutable arrival : int array;
+  mutable pred : int array;
+  mutable dist : int array;
+  mutable queue : int array;
+}
+
+val get : n:int -> t
+(** The calling domain's workspace, with all arrays of length >= [n].
+    Keyed off [Domain.DLS], so [Exec.Pool] worker domains each get
+    their own.
+    @raise Invalid_argument if [n < 0]. *)
