@@ -63,9 +63,19 @@ let metrics_term =
 let trace_term =
   let doc =
     "Write every completed span as one JSON object per line to $(docv) \
-     (fields: name, depth, start_ns, dur_ns, minor_words, major_words)."
+     (schema v2 fields: name, domain, depth, start_ns, dur_ns, \
+     minor_words, major_words). Analyse with $(b,ephemeral trace)."
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let report_term =
+  let doc =
+    "Write a machine-readable run ledger (one JSON document: code \
+     fingerprint, seed, jobs, metric and span snapshots) atomically to \
+     $(docv). The ledger's $(b,deterministic) section is byte-identical \
+     at any --jobs."
+  in
+  Arg.(value & opt (some string) None & info [ "report" ] ~docv:"FILE" ~doc)
 
 (* Returns the teardown to run after the instrumented work: closes the
    trace sink and prints the summary, in that order.  The sink close
@@ -185,8 +195,8 @@ let run_cmd =
     let doc = "Also write each experiment as Markdown into $(docv)." in
     Arg.(value & opt (some string) None & info [ "md" ] ~docv:"DIR" ~doc)
   in
-  let run ids quick seed csv md metrics trace jobs cache store_dir resume
-      fault_spec max_retries trial_timeout run_deadline keep_going =
+  let run ids quick seed csv md metrics trace report jobs cache store_dir
+      resume fault_spec max_retries trial_timeout run_deadline keep_going =
     Option.iter Exec.Pool.set_jobs jobs;
     Fault.Shutdown.install ();
     let selected =
@@ -220,6 +230,10 @@ let run_cmd =
       Printf.eprintf "cannot open trace file: %s\n" msg;
       1
     | teardown ->
+      (* The ledger consumes the metrics/span snapshots, so --report
+         implies collection even without --metrics/--trace. *)
+      if report <> None then Obs.Control.set_enabled true;
+      let t0 = Obs.Clock.now () in
       let store = if cache then Some (Store.Objects.open_ ~dir:store_dir) else None in
       let run_one exp =
         let cached =
@@ -273,13 +287,34 @@ let run_cmd =
             f.message;
           1
       in
+      let report_status =
+        match report with
+        | None -> 0
+        | Some path -> (
+          let run_status =
+            if status <> 0 then "failed"
+            else if Sim.Supervise.degraded () then "degraded"
+            else "ok"
+          in
+          match
+            Sim.Ledger.write ~path ~seed ~quick ~jobs:(Exec.Config.jobs ())
+              ~experiments:
+                (List.map (fun (e : Sim.Experiments.t) -> e.id) experiments)
+              ~status:run_status
+              ~wall_ns:(Obs.Clock.elapsed_ns ~since:t0)
+          with
+          | () -> 0
+          | exception Sys_error msg ->
+            Printf.eprintf "cannot write report: %s\n" msg;
+            1)
+      in
       teardown ();
-      status
+      Stdlib.max status report_status
   in
   let doc = "Run reproduction experiments and print their tables." in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(const run $ ids_term $ quick_term $ seed_term $ csv_term $ md_term
-          $ metrics_term $ trace_term $ jobs_term $ cache_term
+          $ metrics_term $ trace_term $ report_term $ jobs_term $ cache_term
           $ store_dir_term $ resume_term $ fault_spec_term $ max_retries_term
           $ trial_timeout_term $ run_deadline_term $ keep_going_term)
 
@@ -946,6 +981,210 @@ let analyze_cmd =
   Cmd.v (Cmd.info "analyze" ~doc) Term.(const run $ file_term $ trace_term)
 
 (* ------------------------------------------------------------------ *)
+(* trace: offline analytics over JSONL trace files *)
+
+let trace_file_term n docv =
+  let doc = "Trace file (JSONL, written by $(b,run --trace))." in
+  Arg.(required & pos n (some file) None & info [] ~docv ~doc)
+
+(* Strict load: the first malformed line fails the whole command with
+   file:line, so a truncated trace can never silently under-report. *)
+let load_trace file =
+  match Obs.Reader.read_file file with
+  | Ok records -> Ok records
+  | Error { Obs.Reader.line; message } ->
+    Error (Printf.sprintf "%s:%d: %s" file line message)
+
+let trace_summary_cmd =
+  let run file =
+    match load_trace file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok records ->
+      print_string
+        (Stats.Table.to_ascii
+           (Obs.Export.span_table_of (Obs.Analysis.totals records)));
+      0
+  in
+  let doc =
+    "Aggregate a trace per span path and print the same table the run's \
+     $(b,--metrics) flag would (strictly parsing every line)."
+  in
+  Cmd.v (Cmd.info "summary" ~doc) Term.(const run $ trace_file_term 0 "FILE")
+
+let trace_flame_cmd =
+  let output_term =
+    let doc = "Write folded stacks to $(docv) instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  let run file output =
+    match load_trace file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok records ->
+      let emit oc =
+        List.iter
+          (fun (stack, self_ns) -> Printf.fprintf oc "%s %Ld\n" stack self_ns)
+          (Obs.Analysis.folded records)
+      in
+      (match output with
+      | None -> emit stdout
+      | Some path ->
+        let oc = open_out path in
+        emit oc;
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+      0
+  in
+  let doc =
+    "Emit the trace as folded stacks ($(i,path;to;span self-ns), one per \
+     line) for flamegraph.pl or speedscope."
+  in
+  Cmd.v (Cmd.info "flame" ~doc)
+    Term.(const run $ trace_file_term 0 "FILE" $ output_term)
+
+let trace_domains_cmd =
+  let run file =
+    match load_trace file with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok records -> (
+      match Obs.Analysis.domain_stats records with
+      | None ->
+        Printf.eprintf "%s: empty trace\n" file;
+        1
+      | Some s ->
+        let wall = Float.max 1. (Int64.to_float s.wall_ns) in
+        let table =
+          Stats.Table.create ~title:"Trace: domains"
+            ~columns:[ "domain"; "spans"; "busy ms"; "util %" ]
+        in
+        List.iter
+          (fun (row : Obs.Analysis.domain_row) ->
+            Stats.Table.add_row table
+              [
+                Int row.domain;
+                Int row.spans;
+                Float (Obs.Clock.ns_to_ms row.busy_ns, 2);
+                Float (100. *. Int64.to_float row.busy_ns /. wall, 1);
+              ])
+          s.rows;
+        print_string (Stats.Table.to_ascii table);
+        Printf.printf "wall: %.2f ms  distinct domains: %d\n"
+          (Obs.Clock.ns_to_ms s.wall_ns)
+          (List.length s.rows);
+        Printf.printf "concurrency:";
+        List.iter
+          (fun (k, ns) ->
+            Printf.printf " %d-busy %.1f%%" k
+              (100. *. Int64.to_float ns /. wall))
+          s.concurrency;
+        print_newline ();
+        0)
+  in
+  let doc =
+    "Per-domain busy time, utilization against the trace's wall window, \
+     and the concurrency profile (how long exactly k domains were busy) \
+     of a $(b,-j N) trace."
+  in
+  Cmd.v (Cmd.info "domains" ~doc) Term.(const run $ trace_file_term 0 "FILE")
+
+let trace_diff_cmd =
+  let fail_above_term =
+    let doc =
+      "Exit non-zero if any span path's wall time regressed by more than \
+       $(docv) percent (the CI regression gate)."
+    in
+    Arg.(value & opt (some float) None & info [ "fail-above" ] ~docv:"PCT" ~doc)
+  in
+  let min_ms_term =
+    let doc = "Ignore paths below $(docv) total wall ms in both traces." in
+    Arg.(value & opt float 0. & info [ "min-ms" ] ~docv:"MS" ~doc)
+  in
+  let run old_file new_file fail_above min_ms =
+    match (load_trace old_file, load_trace new_file) with
+    | Error msg, _ | _, Error msg ->
+      prerr_endline msg;
+      1
+    | Ok old_records, Ok new_records ->
+      let rows =
+        Obs.Analysis.diff
+          (Obs.Analysis.totals old_records)
+          (Obs.Analysis.totals new_records)
+      in
+      let wide_enough (t : Obs.Span.totals option) =
+        match t with
+        | Some t -> Obs.Clock.ns_to_ms t.total_ns >= min_ms
+        | None -> false
+      in
+      let rows =
+        List.filter
+          (fun (r : Obs.Analysis.diff_row) ->
+            wide_enough r.old_t || wide_enough r.new_t)
+          rows
+      in
+      let table =
+        Stats.Table.create ~title:"Trace: diff"
+          ~columns:
+            [ "span"; "old ms"; "new ms"; "wall %"; "old words"; "new words";
+              "alloc %" ]
+      in
+      let dash = Stats.Table.Str "-" in
+      let ms = function
+        | Some (t : Obs.Span.totals) ->
+          Stats.Table.Float (Obs.Clock.ns_to_ms t.total_ns, 2)
+        | None -> dash
+      in
+      let words = function
+        | Some (t : Obs.Span.totals) ->
+          Stats.Table.Float (t.minor_words +. t.major_words, 0)
+        | None -> dash
+      in
+      let pct = function
+        | Some p -> Stats.Table.Str (Printf.sprintf "%+.1f" p)
+        | None -> dash
+      in
+      List.iter
+        (fun (r : Obs.Analysis.diff_row) ->
+          Stats.Table.add_row table
+            [
+              Str r.path; ms r.old_t; ms r.new_t; pct r.wall_pct;
+              words r.old_t; words r.new_t; pct r.alloc_pct;
+            ])
+        rows;
+      print_string (Stats.Table.to_ascii table);
+      let worst = Obs.Analysis.worst_wall_pct rows in
+      if worst > Float.neg_infinity then
+        Printf.printf "worst wall regression: %+.1f%%\n" worst;
+      (match fail_above with
+      | Some limit when worst > limit ->
+        Printf.eprintf
+          "FAIL: worst wall regression %+.1f%% exceeds --fail-above %.1f%%\n"
+          worst limit;
+        1
+      | _ -> 0)
+  in
+  let doc =
+    "Per-span wall/alloc deltas between two traces, with a threshold exit \
+     code for CI ($(b,--fail-above))."
+  in
+  Cmd.v (Cmd.info "diff" ~doc)
+    Term.(const run $ trace_file_term 0 "OLD" $ trace_file_term 1 "NEW"
+          $ fail_above_term $ min_ms_term)
+
+let trace_cmd =
+  let doc =
+    "Analyse JSONL span traces written by $(b,run --trace): per-path \
+     summaries, flamegraph folding, per-domain utilization, and a \
+     regression-gating diff."
+  in
+  Cmd.group (Cmd.info "trace" ~doc)
+    [ trace_summary_cmd; trace_flame_cmd; trace_domains_cmd; trace_diff_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* version *)
 
 let version_cmd =
@@ -1128,6 +1367,6 @@ let () =
       [ run_cmd; chaos_cmd; list_cmd; diameter_cmd; reach_cmd; min_r_cmd; flood_cmd;
         expansion_cmd; journey_cmd; taxonomy_cmd; centrality_cmd;
         disjoint_cmd; export_cmd; analyze_cmd; restless_cmd; walk_cmd;
-        jam_cmd; store_cmd; version_cmd ]
+        jam_cmd; store_cmd; trace_cmd; version_cmd ]
   in
   exit (Cmd.eval' group)

@@ -40,10 +40,23 @@ let in_task () = !(Domain.DLS.get inside_task)
 
 let chunks_per_domain = 4
 
-let drain t task =
+(* Probes, all gated on Obs.Control at the use site: outstanding
+   chunks of the current task (queue depth), wall nanoseconds each
+   participant spent draining (busy time — the caller and every worker
+   own one counter), and the wall latency of whole tasks. *)
+let queue_depth_g = Obs.Metrics.gauge "pool.queue_depth"
+let task_ms_h = Obs.Metrics.histogram "pool.task_ms"
+let caller_busy_c = Obs.Metrics.counter "pool.busy_ns.caller"
+
+let worker_busy_counter i =
+  Obs.Metrics.counter (Printf.sprintf "pool.busy_ns.worker%d" i)
+
+let drain t task ~busy =
   let inside = Domain.DLS.get inside_task in
   let was_inside = !inside in
   inside := true;
+  let enabled = Obs.Control.enabled () in
+  let t0 = if enabled then Obs.Clock.now () else 0L in
   Obs.Span.with_context task.ctx (fun () ->
       let rec claim () =
         let lo = Atomic.fetch_and_add task.next task.chunk in
@@ -60,15 +73,19 @@ let drain t task =
                Mutex.unlock t.m);
           Mutex.lock t.m;
           task.pending <- task.pending - 1;
+          if enabled then
+            Obs.Metrics.set queue_depth_g (float_of_int task.pending);
           if task.pending = 0 then Condition.broadcast t.finished;
           Mutex.unlock t.m;
           claim ()
         end
       in
       claim ());
+  if enabled then
+    Obs.Metrics.add busy (Int64.to_int (Obs.Clock.elapsed_ns ~since:t0));
   inside := was_inside
 
-let rec worker_loop t ~worker seen =
+let rec worker_loop t ~worker ~busy seen =
   Mutex.lock t.m;
   while t.gen = seen && not t.stop do
     Condition.wait t.work t.m
@@ -93,13 +110,13 @@ let rec worker_loop t ~worker seen =
            [task.failed]; anything escaping here is pool machinery
            breaking.  Contain it so the domain survives for future
            tasks instead of dying silently mid-queue. *)
-        try drain t task with
+        try drain t task ~busy with
         | e ->
           Obs.Metrics.incr (Obs.Metrics.counter "pool.worker_exceptions");
           Obs.Log.warn_once "pool.worker"
             "pool worker %d crashed outside task isolation: %s" worker
             (Printexc.to_string e));
-    worker_loop t ~worker gen
+    worker_loop t ~worker ~busy gen
   end
 
 let create ~jobs =
@@ -117,7 +134,12 @@ let create ~jobs =
     }
   in
   t.workers <-
-    Array.init (jobs - 1) (fun i -> Domain.spawn (fun () -> worker_loop t ~worker:i 0));
+    Array.init (jobs - 1) (fun i ->
+        Domain.spawn (fun () ->
+            (* Created on the worker domain, so the counter registers
+               in the worker's own shard. *)
+            let busy = worker_busy_counter i in
+            worker_loop t ~worker:i ~busy 0));
   t
 
 let shutdown t =
@@ -137,7 +159,7 @@ let run t task =
   t.gen <- t.gen + 1;
   Condition.broadcast t.work;
   Mutex.unlock t.m;
-  drain t task;
+  drain t task ~busy:caller_busy_c;
   Mutex.lock t.m;
   while task.pending > 0 do
     Condition.wait t.finished t.m
@@ -167,6 +189,7 @@ let parallel t ~lo ~hi run_chunk =
     Obs.Metrics.incr (Obs.Metrics.counter "pool.tasks");
     Obs.Metrics.add (Obs.Metrics.counter "pool.chunks") pending
   end;
+  let t0 = if enabled then Obs.Clock.now () else 0L in
   run t
     {
       length;
@@ -176,7 +199,10 @@ let parallel t ~lo ~hi run_chunk =
       pending;
       failed = None;
       ctx = (if enabled then Obs.Span.context () else None);
-    }
+    };
+  if enabled then
+    Obs.Metrics.observe task_ms_h
+      (Obs.Clock.ns_to_ms (Obs.Clock.elapsed_ns ~since:t0))
 
 let sequential t ~lo ~hi =
   hi - lo <= 1 || t.jobs = 1 || !(Domain.DLS.get inside_task)

@@ -32,7 +32,16 @@
     runs on fewer domains.  An exception escaping the pool machinery
     itself is contained (["pool.worker_exceptions"], warn-once) so the
     domain survives for future tasks, and {!shutdown} joins dead
-    workers without raising. *)
+    workers without raising.
+
+    {b Probes} (recorded only while {!Obs.Control.enabled} is on):
+    ["pool.tasks"] and ["pool.chunks"] count submissions;
+    ["pool.queue_depth"] gauges the current task's outstanding chunks;
+    ["pool.task_ms"] is a histogram of whole-task wall latency; and
+    ["pool.busy_ns.caller"] / ["pool.busy_ns.workerN"] accumulate the
+    wall nanoseconds each participant spent draining chunks, so a
+    trace-less run still shows how evenly work spread across
+    domains. *)
 
 type t
 

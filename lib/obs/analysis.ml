@@ -1,0 +1,230 @@
+(* Offline trace analytics: everything here consumes a list of parsed
+   span records (see Reader) and returns plain data — the CLI renders.
+
+   The aggregate shape is Span.totals so `trace summary` over a trace
+   file and the in-process --metrics table are the same computation on
+   the same type: byte-compatible output through Export. *)
+
+type agg = {
+  mutable a_count : int;
+  mutable a_total : int64;
+  mutable a_minor : float;
+  mutable a_major : float;
+}
+
+let totals records =
+  let tbl : (string, agg) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (r : Span.record) ->
+      match Hashtbl.find_opt tbl r.name with
+      | Some a ->
+        a.a_count <- a.a_count + 1;
+        a.a_total <- Int64.add a.a_total r.dur_ns;
+        a.a_minor <- a.a_minor +. r.minor_words;
+        a.a_major <- a.a_major +. r.major_words
+      | None ->
+        Hashtbl.add tbl r.name
+          {
+            a_count = 1;
+            a_total = r.dur_ns;
+            a_minor = r.minor_words;
+            a_major = r.major_words;
+          })
+    records;
+  Hashtbl.fold
+    (fun name a acc ->
+      ( name,
+        {
+          Span.count = a.a_count;
+          total_ns = a.a_total;
+          minor_words = a.a_minor;
+          major_words = a.a_major;
+        } )
+      :: acc)
+    tbl []
+  |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Folded stacks (flamegraph.pl / speedscope):  "a;b;c <self-ns>".
+
+   Span paths are already full stacks, so folding is a rename plus
+   self-time: a path's total minus the totals of its direct children.
+   With concurrent children (trials of one experiment running on
+   several domains at once) the children's wall time can exceed the
+   parent's, so self time clamps at zero rather than going negative —
+   flame tools reject negative sample counts. *)
+
+let folded records =
+  let t = totals records in
+  let have = Hashtbl.create 64 in
+  List.iter (fun (name, _) -> Hashtbl.replace have name ()) t;
+  let child_sum : (string, int64) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (name, (tt : Span.totals)) ->
+      match String.rindex_opt name '/' with
+      | None -> ()
+      | Some i ->
+        let parent = String.sub name 0 i in
+        if Hashtbl.mem have parent then
+          let prev =
+            Option.value (Hashtbl.find_opt child_sum parent) ~default:0L
+          in
+          Hashtbl.replace child_sum parent (Int64.add prev tt.total_ns))
+    t;
+  List.map
+    (fun (name, (tt : Span.totals)) ->
+      let self =
+        Int64.sub tt.total_ns
+          (Option.value (Hashtbl.find_opt child_sum name) ~default:0L)
+      in
+      let self = if Int64.compare self 0L < 0 then 0L else self in
+      (String.map (fun c -> if c = '/' then ';' else c) name, self))
+    t
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain utilization and concurrency, from span intervals.
+
+   A domain is "busy" while at least one of its spans is open: union
+   its [start, start+dur) intervals.  The concurrency profile sweeps
+   the merged intervals of all domains and measures how long exactly
+   k domains were busy simultaneously — the observed parallelism of a
+   -j N run. *)
+
+type domain_row = { domain : int; spans : int; busy_ns : int64 }
+
+type domain_stats = {
+  rows : domain_row list;  (* sorted by domain id *)
+  wall_ns : int64;  (* earliest span start to latest span end *)
+  concurrency : (int * int64) list;  (* k -> ns with exactly k domains busy *)
+}
+
+(* Union of half-open intervals: sort by start, merge overlaps. *)
+let merge_intervals ivs =
+  let ivs = List.sort compare ivs in
+  match ivs with
+  | [] -> []
+  | (s0, e0) :: rest ->
+    let merged, last =
+      List.fold_left
+        (fun (acc, (cs, ce)) (s, e) ->
+          if Int64.compare s ce <= 0 then
+            (acc, (cs, if Int64.compare e ce > 0 then e else ce))
+          else ((cs, ce) :: acc, (s, e)))
+        ([], (s0, e0))
+        rest
+    in
+    List.rev (last :: merged)
+
+let domain_stats records =
+  if records = [] then None
+  else begin
+    let by_domain : (int, (int64 * int64) list ref) Hashtbl.t =
+      Hashtbl.create 8
+    in
+    let counts : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+    let lo = ref Int64.max_int and hi = ref Int64.min_int in
+    List.iter
+      (fun (r : Span.record) ->
+        let stop = Int64.add r.start_ns r.dur_ns in
+        if Int64.compare r.start_ns !lo < 0 then lo := r.start_ns;
+        if Int64.compare stop !hi > 0 then hi := stop;
+        (match Hashtbl.find_opt by_domain r.domain with
+        | Some l -> l := (r.start_ns, stop) :: !l
+        | None -> Hashtbl.add by_domain r.domain (ref [ (r.start_ns, stop) ]));
+        match Hashtbl.find_opt counts r.domain with
+        | Some c -> incr c
+        | None -> Hashtbl.add counts r.domain (ref 1))
+      records;
+    let merged : (int * (int64 * int64) list) list =
+      Hashtbl.fold (fun d l acc -> (d, merge_intervals !l) :: acc) by_domain []
+      |> List.sort compare
+    in
+    let rows =
+      List.map
+        (fun (d, ivs) ->
+          let busy =
+            List.fold_left
+              (fun acc (s, e) -> Int64.add acc (Int64.sub e s))
+              0L ivs
+          in
+          { domain = d; spans = !(Hashtbl.find counts d); busy_ns = busy })
+        merged
+    in
+    (* Event sweep over the merged intervals of every domain: +1 at
+       each start, -1 at each end, accumulate time per level. *)
+    let events =
+      List.concat_map
+        (fun (_, ivs) ->
+          List.concat_map (fun (s, e) -> [ (s, 1); (e, -1) ]) ivs)
+        merged
+      |> List.sort compare
+    in
+    let per_level : (int, int64) Hashtbl.t = Hashtbl.create 8 in
+    let level = ref 0 in
+    let prev = ref !lo in
+    List.iter
+      (fun (t, d) ->
+        let dt = Int64.sub t !prev in
+        if Int64.compare dt 0L > 0 then begin
+          let prev_ns =
+            Option.value (Hashtbl.find_opt per_level !level) ~default:0L
+          in
+          Hashtbl.replace per_level !level (Int64.add prev_ns dt)
+        end;
+        prev := t;
+        level := !level + d)
+      events;
+    let concurrency =
+      Hashtbl.fold (fun k ns acc -> (k, ns) :: acc) per_level []
+      |> List.sort compare
+    in
+    Some { rows; wall_ns = Int64.sub !hi !lo; concurrency }
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Trace diff: per-path deltas between two runs, the CI regression
+   gate behind `trace diff --fail-above`. *)
+
+type diff_row = {
+  path : string;
+  old_t : Span.totals option;
+  new_t : Span.totals option;
+  wall_pct : float option;  (* None unless the path is in both runs *)
+  alloc_pct : float option;
+}
+
+let alloc_words (t : Span.totals) = t.minor_words +. t.major_words
+
+let pct_delta ~old_v ~new_v =
+  if old_v > 0. then Some ((new_v -. old_v) /. old_v *. 100.) else None
+
+let diff old_totals new_totals =
+  let paths =
+    List.sort_uniq compare
+      (List.map fst old_totals @ List.map fst new_totals)
+  in
+  List.map
+    (fun path ->
+      let old_t = List.assoc_opt path old_totals in
+      let new_t = List.assoc_opt path new_totals in
+      let wall_pct, alloc_pct =
+        match (old_t, new_t) with
+        | Some o, Some n ->
+          ( pct_delta
+              ~old_v:(Int64.to_float o.Span.total_ns)
+              ~new_v:(Int64.to_float n.Span.total_ns),
+            pct_delta ~old_v:(alloc_words o) ~new_v:(alloc_words n) )
+        | _ -> (None, None)
+      in
+      { path; old_t; new_t; wall_pct; alloc_pct })
+    paths
+
+(* The gate value: worst wall regression over the paths present in
+   both runs; neg_infinity when nothing is comparable. *)
+let worst_wall_pct rows =
+  List.fold_left
+    (fun acc row ->
+      match row.wall_pct with
+      | Some p when p > acc -> p
+      | _ -> acc)
+    Float.neg_infinity rows

@@ -1,0 +1,56 @@
+(** Offline trace analytics over parsed span records.
+
+    Everything consumes a [Span.record list] (see {!Reader}) and
+    returns plain data; the [ephemeral trace] CLI renders it. *)
+
+val totals : Span.record list -> (string * Span.totals) list
+(** Per-path aggregate, sorted by path — the same shape {!Span.totals}
+    produces in-process, so {!Export.span_table_of} renders a trace
+    file byte-compatibly with the [--metrics] span table. *)
+
+val folded : Span.record list -> (string * int64) list
+(** Folded-stack lines for flamegraph.pl / speedscope: the span path
+    with [/] folded to [;], and the path's {e self} time in
+    nanoseconds (total minus direct children, clamped at zero —
+    children running concurrently on other domains can exceed their
+    parent's wall time).  Sorted by stack. *)
+
+(** {2 Per-domain utilization} *)
+
+type domain_row = {
+  domain : int;  (** emitting domain id; [-1] for schema-v1 records *)
+  spans : int;
+  busy_ns : int64;  (** union of the domain's span intervals *)
+}
+
+type domain_stats = {
+  rows : domain_row list;  (** sorted by domain id *)
+  wall_ns : int64;  (** earliest span start to latest span end *)
+  concurrency : (int * int64) list;
+      (** [(k, ns)]: time with exactly [k] domains busy, sorted by [k] *)
+}
+
+val domain_stats : Span.record list -> domain_stats option
+(** [None] on an empty record list. *)
+
+(** {2 Trace diff (regression gate)} *)
+
+type diff_row = {
+  path : string;
+  old_t : Span.totals option;
+  new_t : Span.totals option;
+  wall_pct : float option;
+      (** wall-time delta in percent; [None] unless the path appears in
+          both runs with positive old time *)
+  alloc_pct : float option;  (** same for minor+major allocated words *)
+}
+
+val diff :
+  (string * Span.totals) list ->
+  (string * Span.totals) list ->
+  diff_row list
+(** [diff old new] over the union of paths, sorted by path. *)
+
+val worst_wall_pct : diff_row list -> float
+(** Worst (largest) wall regression over comparable paths;
+    [neg_infinity] when no path is comparable. *)

@@ -1,8 +1,11 @@
 module Table = Stats.Table
 
-let span_table () =
+(* One renderer for both sources of span aggregates: the in-process
+   table ([--metrics]) and a parsed trace file ([trace summary]) —
+   same totals, byte-identical table. *)
+let span_table_of ?(title = "Observability: spans") totals =
   let table =
-    Table.create ~title:"Observability: spans"
+    Table.create ~title
       ~columns:
         [ "span"; "count"; "total ms"; "mean ms"; "minor words"; "major words" ]
   in
@@ -18,8 +21,10 @@ let span_table () =
           Float (t.minor_words, 0);
           Float (t.major_words, 0);
         ])
-    (Span.totals ());
+    totals;
   table
+
+let span_table () = span_table_of (Span.totals ())
 
 let metrics_table () =
   let table =
@@ -36,14 +41,17 @@ let metrics_table () =
         Table.add_row table
           [ Str name; Str "gauge"; Float (x, 3); dash; dash; dash ]
       | Histogram_v h ->
+        (* A registered-but-empty histogram has no percentiles: render
+           dashes, not nan. *)
+        let pcti x = if h.h_count = 0 then dash else Table.Float (x, 3) in
         Table.add_row table
           [
             Str name;
             Str "histogram";
             Str (Printf.sprintf "n=%d sum=%.3g" h.h_count h.h_sum);
-            Float (h.p50, 3);
-            Float (h.p90, 3);
-            Float (h.p99, 3);
+            pcti h.p50;
+            pcti h.p90;
+            pcti h.p99;
           ])
     (Metrics.snapshot ());
   table

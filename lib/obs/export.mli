@@ -5,7 +5,14 @@
     major words allocated), then one row per registered metric. *)
 
 val span_table : unit -> Stats.Table.t
+
+val span_table_of :
+  ?title:string -> (string * Span.totals) list -> Stats.Table.t
+(** Render an explicit totals list (e.g. aggregated from a trace file
+    by {!Analysis.totals}) with the exact layout of {!span_table}. *)
+
 val metrics_table : unit -> Stats.Table.t
+(** Empty histograms render their percentiles as [-], not [nan]. *)
 
 val print_summary : unit -> unit
 (** Span table, then — only if any metric is registered — the metrics

@@ -63,10 +63,6 @@ type counter = crecord handle
 type gauge = grecord handle
 type histogram = hrecord handle
 
-let counter name : counter = { name; cache = None }
-let gauge name : gauge = { name; cache = None }
-let histogram name : histogram = { name; cache = None }
-
 (* Instrument creation is rare; guard it with the registry mutex so a
    merging reader never sees a shard table mid-resize. *)
 let get_or_create table name fresh =
@@ -109,6 +105,25 @@ let gauge_record (h : gauge) = resolve h (fun s -> s.s_gauges) fresh_gauge
 
 let histogram_record (h : histogram) =
   resolve h (fun s -> s.s_histograms) fresh_histogram
+
+(* Handle creation registers the instrument in the creating domain's
+   shard right away, so a declared metric appears in {!snapshot} (and
+   the --metrics table, the run ledger) even before its first update —
+   an empty histogram is a row with n=0, not an absent row. *)
+let counter name : counter =
+  let h = { name; cache = None } in
+  ignore (counter_record h : crecord);
+  h
+
+let gauge name : gauge =
+  let h = { name; cache = None } in
+  ignore (gauge_record h : grecord);
+  h
+
+let histogram name : histogram =
+  let h = { name; cache = None } in
+  ignore (histogram_record h : hrecord);
+  h
 
 (* Merged reads: fold the named record over every shard. *)
 let fold_shards pick name f init =

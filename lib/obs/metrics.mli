@@ -18,7 +18,9 @@
 
     Registration and updates are always live — cheap enough that the
     on/off decision belongs to the *instrumentation sites* (see
-    {!Control}), not to every [incr]. *)
+    {!Control}), not to every [incr].  Creating a handle registers the
+    instrument immediately (in the creating domain's shard), so a
+    declared metric shows up in {!snapshot} before its first update. *)
 
 type counter
 type gauge

@@ -1,0 +1,195 @@
+(* Strict JSONL trace parsing: the exact inverse of
+   [Sink.record_to_json], field for field.
+
+   Strictness is the point — the trace is a machine interface, and a
+   reader that shrugs at a truncated or garbled line would silently
+   drop data from every tool built on top (trace summary, flame,
+   diff).  So: every field must be present exactly once, carry the
+   right JSON type, parse into its OCaml type, and nothing may follow
+   the closing brace.  The only tolerated variation is schema v1
+   (records written before the "domain" field existed), which reads
+   back with [domain = -1].
+
+   The scanner is hand-rolled over the line (no dependency, no
+   intermediate tree): a key/value loop collecting raw value tokens,
+   then per-field conversion driven by the field name. *)
+
+type error = { line : int; message : string }
+
+exception Bad of string
+
+let fail fmt = Printf.ksprintf (fun msg -> raise (Bad msg)) fmt
+
+(* A scanned value: a decoded string literal or the raw characters of
+   a number token (converted per field below). *)
+type value =
+  | Vstring of string
+  | Vnumber of string
+
+let hex_digit = function
+  | '0' .. '9' as c -> Char.code c - Char.code '0'
+  | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+  | c -> fail "bad hex digit %C in \\u escape" c
+
+let scan_fields line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () =
+    if !pos >= n then fail "truncated record" else String.unsafe_get line !pos
+  in
+  let advance () = incr pos in
+  let expect c =
+    if peek () <> c then fail "expected %C at column %d" c (!pos + 1);
+    advance ()
+  in
+  let scan_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        (match peek () with
+        | '"' -> Buffer.add_char buf '"'; advance ()
+        | '\\' -> Buffer.add_char buf '\\'; advance ()
+        | '/' -> Buffer.add_char buf '/'; advance ()
+        | 'n' -> Buffer.add_char buf '\n'; advance ()
+        | 'r' -> Buffer.add_char buf '\r'; advance ()
+        | 't' -> Buffer.add_char buf '\t'; advance ()
+        | 'b' -> Buffer.add_char buf '\b'; advance ()
+        | 'f' -> Buffer.add_char buf '\012'; advance ()
+        | 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let code =
+            (hex_digit line.[!pos] lsl 12)
+            lor (hex_digit line.[!pos + 1] lsl 8)
+            lor (hex_digit line.[!pos + 2] lsl 4)
+            lor hex_digit line.[!pos + 3]
+          in
+          pos := !pos + 4;
+          (* The writer only escapes bytes; reject code points that
+             cannot round-trip through one. *)
+          if code > 0xFF then fail "\\u%04x is not a byte" code;
+          Buffer.add_char buf (Char.chr code)
+        | c -> fail "unknown escape \\%C" c);
+        go ()
+      | c when Char.code c < 0x20 ->
+        fail "unescaped control character %C in string" c
+      | c ->
+        Buffer.add_char buf c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let scan_number () =
+    let start = !pos in
+    while
+      !pos < n
+      && (match String.unsafe_get line !pos with
+         | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+         | _ -> false)
+    do
+      advance ()
+    done;
+    if !pos = start then fail "expected a value at column %d" (!pos + 1);
+    String.sub line start (!pos - start)
+  in
+  expect '{';
+  let fields = ref [] in
+  let rec members () =
+    let key = scan_string () in
+    if List.mem_assoc key !fields then fail "duplicate field %S" key;
+    expect ':';
+    let v = if peek () = '"' then Vstring (scan_string ()) else Vnumber (scan_number ()) in
+    fields := (key, v) :: !fields;
+    match peek () with
+    | ',' -> advance (); members ()
+    | '}' -> advance ()
+    | c -> fail "expected ',' or '}', got %C" c
+  in
+  (match peek () with
+  | '}' -> advance () (* {} scans; field validation rejects it *)
+  | _ -> members ());
+  if !pos <> n then fail "trailing garbage after record";
+  List.rev !fields
+
+let v1_fields =
+  [ "name"; "depth"; "start_ns"; "dur_ns"; "minor_words"; "major_words" ]
+
+let parse line =
+  match
+    let fields = scan_fields line in
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k ("domain" :: v1_fields)) then
+          fail "unknown field %S" k)
+      fields;
+    let get k =
+      match List.assoc_opt k fields with
+      | Some v -> v
+      | None -> fail "missing field %S" k
+    in
+    let str k =
+      match get k with
+      | Vstring s -> s
+      | Vnumber _ -> fail "field %S must be a string" k
+    in
+    let num k =
+      match get k with
+      | Vnumber tok -> tok
+      | Vstring _ -> fail "field %S must be a number" k
+    in
+    let int_field k =
+      match int_of_string_opt (num k) with
+      | Some i -> i
+      | None -> fail "field %S is not an integer" k
+    in
+    let int64_field k =
+      match Int64.of_string_opt (num k) with
+      | Some i -> i
+      | None -> fail "field %S is not an integer" k
+    in
+    let float_field k =
+      match float_of_string_opt (num k) with
+      | Some f -> f
+      | None -> fail "field %S is not a number" k
+    in
+    {
+      Span.name = str "name";
+      domain =
+        (if List.mem_assoc "domain" fields then int_field "domain" else -1);
+      depth = int_field "depth";
+      start_ns = int64_field "start_ns";
+      dur_ns = int64_field "dur_ns";
+      minor_words = float_field "minor_words";
+      major_words = float_field "major_words";
+    }
+  with
+  | r -> Ok r
+  | exception Bad msg -> Error msg
+
+let fold_file path ~init ~f =
+  match open_in path with
+  | exception Sys_error msg -> Error { line = 0; message = msg }
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec go lineno acc =
+          match input_line ic with
+          | exception End_of_file -> Ok acc
+          | l -> (
+            match parse l with
+            | Ok r -> go (lineno + 1) (f acc r)
+            | Error message -> Error { line = lineno; message })
+        in
+        go 1 init)
+
+let read_file path =
+  Result.map List.rev
+    (fold_file path ~init:[] ~f:(fun acc r -> r :: acc))

@@ -14,10 +14,14 @@ let json_escape s =
     s;
   Buffer.contents buf
 
+(* Schema v2: the emitting domain id rides along, so a -j N trace can
+   be sliced per domain after the fact.  Readers must keep accepting
+   v1 lines (no "domain" field) — see Reader. *)
 let record_to_json (r : Span.record) =
   Printf.sprintf
-    {|{"name":"%s","depth":%d,"start_ns":%Ld,"dur_ns":%Ld,"minor_words":%.0f,"major_words":%.0f}|}
-    (json_escape r.name) r.depth r.start_ns r.dur_ns r.minor_words r.major_words
+    {|{"name":"%s","domain":%d,"depth":%d,"start_ns":%Ld,"dur_ns":%Ld,"minor_words":%.0f,"major_words":%.0f}|}
+    (json_escape r.name) r.domain r.depth r.start_ns r.dur_ns r.minor_words
+    r.major_words
 
 (* The mutex makes emit/close safe against each other when spans close
    on pool worker domains; whole-line writes under the lock keep every
@@ -38,9 +42,16 @@ let open_jsonl path =
   let tmp = path ^ ".tmp" in
   { oc = open_out tmp; tmp; path; m = Mutex.create (); closed = false }
 
+(* Spans can close on pool workers while the main domain shuts the
+   sink down (SIGINT publishes mid-run); an emit that loses that race
+   is dropped, counted, and otherwise a no-op — never a write to a
+   closed channel. *)
+let dropped_c = Metrics.counter "obs.sink_dropped"
+
 let emit t r =
   Mutex.lock t.m;
-  if not t.closed then begin
+  if t.closed then Metrics.incr dropped_c
+  else begin
     output_string t.oc (record_to_json r);
     output_char t.oc '\n'
   end;

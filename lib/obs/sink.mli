@@ -1,15 +1,21 @@
 (** Trace sinks: span records out of the process.
 
     The JSONL sink writes one JSON object per completed span, one per
-    line — the schema documented in README.md ("Observability"):
+    line — schema v2, documented in README.md ("Observability"):
 
     {v
-    {"name":"e1/trial","depth":1,"start_ns":123,"dur_ns":456,
+    {"name":"e1/trial","domain":0,"depth":1,"start_ns":123,"dur_ns":456,
      "minor_words":7890,"major_words":0}
     v}
 
+    ("domain" is the id of the domain the span closed on; v1 traces
+    lack the field and {!Reader} still accepts them.)
+
     Writes are mutex-guarded whole lines, so spans closing on pool
-    worker domains interleave per record, never mid-line.
+    worker domains interleave per record, never mid-line.  An [emit]
+    that races a {!close} (spans closing on workers during a SIGINT
+    publish) is a guarded no-op, counted under the
+    [obs.sink_dropped] metric.
 
     Publication is atomic: lines stream into [<path>.tmp] and {!close}
     fsyncs then renames onto [path], so an interrupted run never
@@ -25,6 +31,8 @@ val attach : t -> unit
 (** Subscribe the sink to {!Span.on_record}. *)
 
 val emit : t -> Span.record -> unit
+(** Write one record as a whole line; after {!close}, a counted no-op. *)
+
 val close : t -> unit
 (** Flush, fsync, close and atomically publish at the path given to
     {!open_jsonl}; idempotent.  Does not unsubscribe — use

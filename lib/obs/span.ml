@@ -1,5 +1,6 @@
 type record = {
   name : string;
+  domain : int;
   depth : int;
   start_ns : int64;
   dur_ns : int64;
@@ -86,6 +87,7 @@ let with_span name f =
         emit
           {
             name = path;
+            domain = (Domain.self () :> int);
             depth;
             start_ns = start;
             dur_ns = dur;

@@ -22,6 +22,7 @@
 
 type record = {
   name : string;  (** full slash-joined path, e.g. ["e1/trial"] *)
+  domain : int;  (** id of the domain the span closed on ([Domain.self]) *)
   depth : int;  (** 0 for a root span *)
   start_ns : int64;  (** {!Clock.now} at open *)
   dur_ns : int64;

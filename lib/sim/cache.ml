@@ -19,10 +19,23 @@ let counters () =
   (* Register both so a --metrics summary always shows the pair. *)
   (Obs.Metrics.counter "store.hits", Obs.Metrics.counter "store.misses")
 
-let record hit =
+(* Hit/miss latency: how long a lookup took end to end — read, CRC
+   verify and decode on a hit; usually one failed manifest probe on a
+   miss.  Split by outcome so `--metrics` shows whether the cache is
+   earning its keep. *)
+let hit_ms_h = Obs.Metrics.histogram "store.hit_ms"
+let miss_ms_h = Obs.Metrics.histogram "store.miss_ms"
+
+let record ?since hit =
   if Obs.Control.enabled () then begin
     let hits, misses = counters () in
-    Obs.Metrics.incr (if hit then hits else misses)
+    Obs.Metrics.incr (if hit then hits else misses);
+    Option.iter
+      (fun t0 ->
+        Obs.Metrics.observe
+          (if hit then hit_ms_h else miss_ms_h)
+          (Obs.Clock.ns_to_ms (Obs.Clock.elapsed_ns ~since:t0)))
+      since
   end
 
 let to_codec (o : Outcome.t) : Store.Codec.outcome =
@@ -32,18 +45,20 @@ let of_codec (c : Store.Codec.outcome) : Outcome.t =
   { tables = c.tables; notes = c.notes; plots = c.plots }
 
 let get store exp ~seed ~quick =
+  let since = Obs.Clock.now () in
   match Objects.get store ~key:(key exp ~seed ~quick) with
   | None ->
-    record false;
+    record ~since false;
     None
   | Some (bytes, entry) ->
     (match Store.Codec.decode_outcome bytes with
     | Ok c ->
-      record true;
-      Some (of_codec c)
+      let outcome = of_codec c in
+      record ~since true;
+      Some outcome
     | Error _ ->
       Objects.quarantine store entry;
-      record false;
+      record ~since false;
       None)
 
 let put store exp ~seed ~quick outcome =

@@ -1,0 +1,192 @@
+(* The machine-readable flight record of one `ephemeral run`: a single
+   JSON document with everything needed to audit or compare the run —
+   code fingerprint, inputs, telemetry snapshot — published atomically
+   (Fsio.write_atomic), so a crashed run never leaves a torn report.
+
+   Schema stability is the contract that makes reports diffable: the
+   document splits into a "deterministic" object, byte-identical for
+   the same (code, seed, quick, experiments) at ANY --jobs — the
+   determinism claim, machine-checkable per run — and a "volatile"
+   object for everything scheduling-dependent (timings, per-domain
+   scratch growth, pool accounting).  Keys appear in both sections
+   regardless of job count: known scheduling instruments are emitted
+   even when absent from the snapshot, so -j1 and -j4 reports have
+   identical key sets.
+
+   Which counters are scheduling-dependent is a closed, curated list:
+   pool accounting (including per-worker busy time, aggregated here
+   into one number so the key set doesn't depend on worker count),
+   sink drops, and workspace growths (one per domain that touched the
+   kernel).  Everything else — trials, sweeps, edges scanned, faults,
+   store hits — is part of the deterministic contract. *)
+
+let volatile_counter name =
+  let has_prefix p =
+    String.length name >= String.length p
+    && String.sub name 0 (String.length p) = p
+  in
+  has_prefix "pool." || has_prefix "obs." || name = "kernel.workspace_growths"
+
+let busy_prefix = "pool.busy_ns."
+
+let is_busy name =
+  String.length name >= String.length busy_prefix
+  && String.sub name 0 (String.length busy_prefix) = busy_prefix
+
+(* Known scheduling instruments, emitted with a zero default so the
+   volatile key set matches across job counts (-j1 never submits a
+   pool task; -j4 never runs without one). *)
+let known_scheduling =
+  [ "kernel.workspace_growths"; "obs.sink_dropped"; "pool.chunks";
+    "pool.tasks"; "pool.worker_exceptions"; "pool.workers_poisoned" ]
+
+let known_gauges = [ "pool.queue_depth" ]
+
+let known_histograms =
+  [ "pool.task_ms"; "store.hit_ms"; "store.miss_ms"; "supervise.retry_ms" ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON assembly.  Hand-built on a Buffer like the store manifest:
+   keys are sorted before emission, so equal data means equal bytes. *)
+
+let jstr s = Printf.sprintf "\"%s\"" (Obs.Sink.json_escape s)
+
+let jfloat x =
+  if Float.is_nan x || x = Float.infinity || x = Float.neg_infinity then "null"
+  else Printf.sprintf "%.6g" x
+
+let jobj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> jstr k ^ ":" ^ v) fields)
+  ^ "}"
+
+let jarr items = "[" ^ String.concat "," items ^ "]"
+
+let histo_json (h : Obs.Metrics.histo_summary) =
+  jobj
+    [
+      ("count", string_of_int h.h_count);
+      ("sum", jfloat h.h_sum);
+      ("min", if h.h_count = 0 then "null" else jfloat h.h_min);
+      ("max", if h.h_count = 0 then "null" else jfloat h.h_max);
+      ("p50", jfloat h.p50);
+      ("p90", jfloat h.p90);
+      ("p99", jfloat h.p99);
+    ]
+
+let empty_histo : Obs.Metrics.histo_summary =
+  {
+    h_count = 0;
+    h_sum = 0.;
+    h_min = Float.infinity;
+    h_max = Float.neg_infinity;
+    p50 = Float.nan;
+    p90 = Float.nan;
+    p99 = Float.nan;
+  }
+
+(* Union of [known] names (with a default) and the observed pairs,
+   sorted by name. *)
+let with_defaults known default present =
+  let all =
+    List.sort_uniq compare (known @ List.map fst present)
+  in
+  List.map
+    (fun name ->
+      (name, Option.value (List.assoc_opt name present) ~default))
+    all
+
+let build ~seed ~quick ~jobs ~experiments ~status ~wall_ns =
+  let snapshot = Obs.Metrics.snapshot () in
+  let counters =
+    List.filter_map
+      (function n, Obs.Metrics.Counter_v v -> Some (n, v) | _ -> None)
+      snapshot
+  in
+  let gauges =
+    List.filter_map
+      (function n, Obs.Metrics.Gauge_v v -> Some (n, v) | _ -> None)
+      snapshot
+  in
+  let histograms =
+    List.filter_map
+      (function n, Obs.Metrics.Histogram_v h -> Some (n, h) | _ -> None)
+      snapshot
+  in
+  let det_counters =
+    List.filter (fun (n, _) -> not (volatile_counter n)) counters
+  in
+  let scheduling =
+    with_defaults known_scheduling 0
+      (List.filter (fun (n, _) -> volatile_counter n && not (is_busy n)) counters)
+  in
+  let pool_busy_ns =
+    List.fold_left
+      (fun acc (n, v) -> if is_busy n then acc + v else acc)
+      0 counters
+  in
+  let spans = Obs.Span.totals () in
+  let failed_trials = List.length (Supervise.failures ()) in
+  let deterministic =
+    jobj
+      [
+        ("fingerprint", jstr (Store.Key.fingerprint ()));
+        ("sources", string_of_int (Store.Key.fingerprinted_sources ()));
+        ("seed", string_of_int seed);
+        ("quick", string_of_bool quick);
+        ("experiments", jarr (List.map jstr experiments));
+        ("status", jstr status);
+        ("failed_trials", string_of_int failed_trials);
+        ( "counters",
+          jobj (List.map (fun (n, v) -> (n, string_of_int v)) det_counters) );
+        ( "span_counts",
+          jobj
+            (List.map
+               (fun (name, (t : Obs.Span.totals)) ->
+                 (name, string_of_int t.count))
+               spans) );
+      ]
+  in
+  let volatile =
+    jobj
+      [
+        ("jobs", string_of_int jobs);
+        ("wall_ns", Printf.sprintf "%Ld" wall_ns);
+        ("pool_busy_ns", string_of_int pool_busy_ns);
+        ( "scheduling",
+          jobj (List.map (fun (n, v) -> (n, string_of_int v)) scheduling) );
+        ( "gauges",
+          jobj
+            (List.map
+               (fun (n, v) -> (n, jfloat v))
+               (with_defaults known_gauges 0. gauges)) );
+        ( "spans",
+          jobj
+            (List.map
+               (fun (name, (t : Obs.Span.totals)) ->
+                 ( name,
+                   jobj
+                     [
+                       ("total_ns", Printf.sprintf "%Ld" t.total_ns);
+                       ("minor_words", Printf.sprintf "%.0f" t.minor_words);
+                       ("major_words", Printf.sprintf "%.0f" t.major_words);
+                     ] ))
+               spans) );
+        ( "histograms",
+          jobj
+            (List.map
+               (fun (n, h) -> (n, histo_json h))
+               (with_defaults known_histograms empty_histo histograms)) );
+      ]
+  in
+  jobj
+    [
+      ("schema", jstr "ephemeral-run-ledger");
+      ("version", "1");
+      ("deterministic", deterministic);
+      ("volatile", volatile);
+    ]
+  ^ "\n"
+
+let write ~path ~seed ~quick ~jobs ~experiments ~status ~wall_ns =
+  Store.Fsio.write_atomic path
+    (build ~seed ~quick ~jobs ~experiments ~status ~wall_ns)

@@ -1,0 +1,46 @@
+(** Machine-readable run ledger: one JSON document per [ephemeral run]
+    ([--report FILE]), published atomically via {!Store.Fsio.write_atomic}.
+
+    The document has two top-level objects beside [schema]/[version]:
+
+    - ["deterministic"] — byte-identical across job counts for the
+      same code, seed, scale and experiment selection: the code
+      fingerprint, run inputs, exit status, failed-trial count,
+      job-count-invariant counters (trials, kernel sweeps and edges
+      scanned, faults, store hits/misses) and per-span-path counts.
+    - ["volatile"] — everything scheduling may legitimately change:
+      jobs, wall time, pool accounting (per-worker busy nanoseconds
+      aggregated into one [pool_busy_ns]), per-domain workspace
+      growths, span timings/allocations, and latency histograms.
+
+    Both sections emit known instruments even when unused, so -j1 and
+    -j4 reports carry identical key sets — CI diffs the deterministic
+    object verbatim.  Caveat: under a fault plan with worker poisoning
+    the injected-fault counters depend on which domains exist, so the
+    deterministic section is only comparable between runs of the same
+    plan and job count. *)
+
+val build :
+  seed:int ->
+  quick:bool ->
+  jobs:int ->
+  experiments:string list ->
+  status:string ->
+  wall_ns:int64 ->
+  string
+(** Assemble the document (trailing newline included) from the current
+    {!Obs.Metrics.snapshot}, {!Obs.Span.totals} and
+    {!Supervise.failures}.  [status] is ["ok"], ["degraded"] or
+    ["failed"]. *)
+
+val write :
+  path:string ->
+  seed:int ->
+  quick:bool ->
+  jobs:int ->
+  experiments:string list ->
+  status:string ->
+  wall_ns:int64 ->
+  unit
+(** [build] then publish atomically at [path] (tmp + fsync + rename).
+    Raises [Sys_error] if the path is unwritable. *)

@@ -118,6 +118,11 @@ let check_run_deadline () =
 let retried = lazy (Obs.Metrics.counter "trials.retried")
 let failed = lazy (Obs.Metrics.counter "trials.failed")
 
+(* Wall milliseconds of retry attempts (attempt >= 1) — with Obs on,
+   the histogram shows what rerunning trials actually cost a faulted
+   run.  Lazy like the counters: a clean run never registers it. *)
+let retry_ms = lazy (Obs.Metrics.histogram "supervise.retry_ms")
+
 let run_trial ~trial rng0 f =
   let c = Atomic.get cfg in
   let attempt_once k =
@@ -136,9 +141,19 @@ let run_trial ~trial rng0 f =
       v
   in
   let rec go k =
+    let timed = k > 0 && Obs.Control.enabled () in
+    let t0 = if timed then Obs.Clock.now () else 0L in
+    let observe_retry () =
+      if timed then
+        Obs.Metrics.observe (Lazy.force retry_ms)
+          (Obs.Clock.ns_to_ms (Obs.Clock.elapsed_ns ~since:t0))
+    in
     match attempt_once k with
-    | v -> Ok v
+    | v ->
+      observe_retry ();
+      Ok v
     | exception e ->
+      observe_retry ();
       if k < c.max_retries && retryable_exn e then begin
         Obs.Metrics.incr (Lazy.force retried);
         go (k + 1)

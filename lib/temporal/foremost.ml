@@ -19,6 +19,13 @@ type result = {
    exit, never corrupts it).  On dense fast-spreading instances such
    as the normalized U-RTN clique this skips almost the entire
    stream. *)
+(* Kernel probes, updated once per sweep after the hot loop (never
+   inside it) and only while Obs.Control is on — the disabled path
+   costs one atomic load per sweep. *)
+let sweeps_c = Obs.Metrics.counter "kernel.sweeps"
+let scanned_c = Obs.Metrics.counter "kernel.edges_scanned"
+let early_c = Obs.Metrics.counter "kernel.early_exits"
+
 let sweep net ~start_time ~s ~arrival ~pred =
   let n = Tgraph.n net in
   for v = 0 to n - 1 do
@@ -55,7 +62,12 @@ let sweep net ~start_time ~s ~arrival ~pred =
       end
     end;
     incr i
-  done
+  done;
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.incr sweeps_c;
+    Obs.Metrics.add scanned_c !i;
+    if !i < total then Obs.Metrics.incr early_c
+  end
 
 let check_args ~start_time net s =
   if start_time < 1 then invalid_arg "Foremost.run: start_time must be >= 1";

@@ -27,11 +27,17 @@ let capacity_for n =
   done;
   !c
 
+(* Growths are per domain (each domain's workspace grows on its own
+   schedule), so the counter's value depends on the job count — run
+   ledgers file it under the volatile section. *)
+let growth_c = Obs.Metrics.counter "kernel.workspace_growths"
+
 let get ~n =
   if n < 0 then invalid_arg "Workspace.get: negative size";
   let ws = Domain.DLS.get key in
   if Array.length ws.arrival < n then begin
     let c = capacity_for n in
+    if Obs.Control.enabled () then Obs.Metrics.incr growth_c;
     ws.arrival <- Array.make c 0;
     ws.pred <- Array.make c 0;
     ws.dist <- Array.make c 0;

@@ -214,6 +214,7 @@ let record_serialization () =
   let r =
     {
       Obs.Span.name = "e1/trial";
+      domain = 3;
       depth = 1;
       start_ns = 123L;
       dur_ns = 456L;
@@ -221,8 +222,8 @@ let record_serialization () =
       major_words = 0.;
     }
   in
-  Alcotest.(check string) "canonical record"
-    {|{"name":"e1/trial","depth":1,"start_ns":123,"dur_ns":456,"minor_words":7890,"major_words":0}|}
+  Alcotest.(check string) "canonical record (schema v2)"
+    {|{"name":"e1/trial","domain":3,"depth":1,"start_ns":123,"dur_ns":456,"minor_words":7890,"major_words":0}|}
     (Obs.Sink.record_to_json r)
 
 let jsonl_sink_writes_lines () =
@@ -271,6 +272,317 @@ let export_tables () =
       check_bool "histogram row present" true (contains metrics "histogram"))
 
 (* --------------------------------------------------------------- *)
+(* Reader: strict parsing, the inverse of Sink.record_to_json *)
+
+let mk ?(name = "a") ?(domain = 0) ?(depth = 0) ?(start_ns = 0L) ?(dur_ns = 0L)
+    ?(minor = 0.) ?(major = 0.) () =
+  {
+    Obs.Span.name;
+    domain;
+    depth;
+    start_ns;
+    dur_ns;
+    minor_words = minor;
+    major_words = major;
+  }
+
+(* Arbitrary records whose serialized form is reachable from
+   [record_to_json]: names over the full byte range (escaping paths
+   included), word counts as integral floats (the serializer prints
+   them %.0f). *)
+let gen_record =
+  QCheck2.Gen.(
+    let* name = string_size ~gen:(char_range '\x00' '\xff') (int_range 0 24) in
+    let* domain = int_range (-1) 8 in
+    let* depth = int_range 0 12 in
+    let* start = int in
+    let* dur = nat in
+    let* minor = nat in
+    let* major = nat in
+    return
+      (mk ~name ~domain ~depth ~start_ns:(Int64.of_int start)
+         ~dur_ns:(Int64.of_int dur)
+         ~minor:(float_of_int minor)
+         ~major:(float_of_int major) ()))
+
+let reader_roundtrip =
+  qcase ~count:500 "parse ∘ record_to_json = id" gen_record
+    ~print:Obs.Sink.record_to_json (fun r ->
+      match Obs.Reader.parse (Obs.Sink.record_to_json r) with
+      | Ok r' -> r' = r
+      | Error e -> QCheck2.Test.fail_reportf "rejected own output: %s" e)
+
+let v2_line =
+  {|{"name":"e1/trial","domain":2,"depth":1,"start_ns":5,"dur_ns":7,"minor_words":11,"major_words":13}|}
+
+let reader_accepts_v1 () =
+  let v1 =
+    {|{"name":"e1/trial","depth":1,"start_ns":5,"dur_ns":7,"minor_words":11,"major_words":13}|}
+  in
+  match Obs.Reader.parse v1 with
+  | Ok r ->
+    check_int "v1 domain reads back as -1" (-1) r.Obs.Span.domain;
+    Alcotest.(check string) "name" "e1/trial" r.name;
+    check_int "depth" 1 r.depth
+  | Error e -> Alcotest.failf "v1 line rejected: %s" e
+
+let reader_rejects_garbage () =
+  let reject why s =
+    match Obs.Reader.parse s with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s accepted: %S" why s
+  in
+  reject "empty line" "";
+  reject "not JSON" "sweep 42";
+  reject "truncated" (String.sub v2_line 0 (String.length v2_line - 10));
+  reject "trailing garbage" (v2_line ^ "x");
+  reject "second object on the line" (v2_line ^ v2_line);
+  reject "unknown field"
+    {|{"name":"a","domain":0,"depth":0,"start_ns":0,"dur_ns":0,"minor_words":0,"major_words":0,"extra":1}|};
+  reject "duplicate field"
+    {|{"name":"a","name":"b","depth":0,"start_ns":0,"dur_ns":0,"minor_words":0,"major_words":0}|};
+  reject "missing field" {|{"name":"a","depth":0}|};
+  reject "wrong type"
+    {|{"name":7,"domain":0,"depth":0,"start_ns":0,"dur_ns":0,"minor_words":0,"major_words":0}|};
+  reject "bad escape"
+    {|{"name":"a\qb","domain":0,"depth":0,"start_ns":0,"dur_ns":0,"minor_words":0,"major_words":0}|};
+  (* \uXXXX escapes above 0xFF cannot come from record_to_json (names
+     are raw bytes); the parser refuses rather than lossily decode. *)
+  reject "escape beyond one byte"
+    "{\"name\":\"\\u0100\",\"domain\":0,\"depth\":0,\"start_ns\":0,\"dur_ns\":0,\"minor_words\":0,\"major_words\":0}";
+  (* Parse must also survive (and reject) every prefix of a valid line:
+     a crash mid-write truncates anywhere. *)
+  for i = 1 to String.length v2_line - 1 do
+    reject "prefix" (String.sub v2_line 0 i)
+  done
+
+let reader_file_errors () =
+  let path = Filename.temp_file "obs_reader" ".jsonl" in
+  let oc = open_out path in
+  output_string oc (v2_line ^ "\n");
+  output_string oc (v2_line ^ "\n");
+  output_string oc "garbled\n";
+  close_out oc;
+  (match Obs.Reader.read_file path with
+  | Error { line; _ } -> check_int "error names the bad line" 3 line
+  | Ok _ -> Alcotest.fail "garbled file accepted");
+  Sys.remove path;
+  match Obs.Reader.read_file path with
+  | Error { line; _ } -> check_int "unopenable file is line 0" 0 line
+  | Ok _ -> Alcotest.fail "read a removed file"
+
+(* --------------------------------------------------------------- *)
+(* Analysis: totals, folded stacks, domain utilization, diff *)
+
+let analysis_totals_and_folded () =
+  let records =
+    [
+      mk ~name:"a" ~dur_ns:100L ~minor:10. ();
+      mk ~name:"a" ~dur_ns:50L ~minor:5. ();
+      mk ~name:"a/b" ~depth:1 ~dur_ns:30L ();
+    ]
+  in
+  (match Obs.Analysis.totals records with
+  | [ ("a", ta); ("a/b", tb) ] ->
+    check_int "a count" 2 ta.Obs.Span.count;
+    Alcotest.(check int64) "a total" 150L ta.total_ns;
+    check_float "a minor words" 15. ta.minor_words;
+    check_int "a/b count" 1 tb.Obs.Span.count
+  | l -> Alcotest.failf "expected 2 paths, got %d" (List.length l));
+  (match Obs.Analysis.folded records with
+  | [ ("a", self_a); ("a;b", self_b) ] ->
+    Alcotest.(check int64) "parent self = total - children" 120L self_a;
+    Alcotest.(check int64) "leaf self = its total" 30L self_b
+  | l -> Alcotest.failf "expected 2 stacks, got %d" (List.length l));
+  (* Children running concurrently on other domains can out-total the
+     parent's wall time; self clamps at zero rather than going negative. *)
+  let over =
+    [ mk ~name:"a" ~dur_ns:100L (); mk ~name:"a/b" ~depth:1 ~dur_ns:250L () ]
+  in
+  match Obs.Analysis.folded over with
+  | [ ("a", self_a); ("a;b", _) ] ->
+    Alcotest.(check int64) "oversubscribed self clamps to 0" 0L self_a
+  | l -> Alcotest.failf "expected 2 stacks, got %d" (List.length l)
+
+let analysis_domain_stats () =
+  check_bool "empty trace has no stats" true
+    (Obs.Analysis.domain_stats [] = None);
+  (* Domain 0 busy on [0,60) ∪ [40,100) = [0,100); domain 1 on [50,150).
+     Wall [0,150): exactly-one-busy on [0,50) ∪ [100,150), both on
+     [50,100). *)
+  let records =
+    [
+      mk ~domain:0 ~start_ns:0L ~dur_ns:60L ();
+      mk ~domain:0 ~start_ns:40L ~dur_ns:60L ();
+      mk ~domain:1 ~start_ns:50L ~dur_ns:100L ();
+    ]
+  in
+  match Obs.Analysis.domain_stats records with
+  | None -> Alcotest.fail "no stats"
+  | Some s ->
+    Alcotest.(check int64) "wall" 150L s.wall_ns;
+    (match s.rows with
+    | [ d0; d1 ] ->
+      check_int "domain ids sorted" 0 d0.Obs.Analysis.domain;
+      check_int "span counts" 2 d0.spans;
+      Alcotest.(check int64) "overlap within a domain unions" 100L d0.busy_ns;
+      Alcotest.(check int64) "second domain busy" 100L d1.busy_ns
+    | l -> Alcotest.failf "expected 2 domains, got %d" (List.length l));
+    Alcotest.(check (list (pair int int64)))
+      "concurrency profile" [ (1, 100L); (2, 50L) ] s.concurrency
+
+let analysis_diff () =
+  let t dur =
+    List.assoc "x" (Obs.Analysis.totals [ mk ~name:"x" ~dur_ns:dur () ])
+  in
+  let old_t = [ ("a", t 100L); ("b", t 10L) ] in
+  let new_t = [ ("a", t 150L); ("c", t 20L) ] in
+  (match Obs.Analysis.diff old_t new_t with
+  | [ ra; rb; rc ] ->
+    Alcotest.(check string) "union sorted" "a" ra.Obs.Analysis.path;
+    (match ra.wall_pct with
+    | Some pct -> check_float ~eps:1e-9 "+50% regression" 50. pct
+    | None -> Alcotest.fail "comparable path has no wall pct");
+    check_bool "old-only path incomparable" true (rb.wall_pct = None);
+    check_bool "new-only path incomparable" true (rc.wall_pct = None)
+  | l -> Alcotest.failf "expected 3 rows, got %d" (List.length l));
+  check_float ~eps:1e-9 "worst picks the regression" 50.
+    (Obs.Analysis.worst_wall_pct (Obs.Analysis.diff old_t new_t));
+  check_bool "no comparable rows -> neg_infinity" true
+    (Obs.Analysis.worst_wall_pct (Obs.Analysis.diff old_t [ ("c", t 20L) ])
+    = Float.neg_infinity)
+
+(* --------------------------------------------------------------- *)
+(* Sink hardening: close semantics *)
+
+let sink_emit_after_close_drops () =
+  let path = Filename.temp_file "obs_closed" ".jsonl" in
+  with_tracing (fun () ->
+      let sink = Obs.Sink.open_jsonl path in
+      Obs.Sink.attach sink;
+      Obs.Span.with_span "kept" (fun () -> ());
+      Obs.Sink.close sink;
+      Obs.Sink.close sink (* idempotent *);
+      let dropped = Obs.Metrics.counter "obs.sink_dropped" in
+      let before = Obs.Metrics.count dropped in
+      Obs.Span.with_span "ghost" (fun () -> ());
+      check_int "post-close span counted as dropped" (before + 1)
+        (Obs.Metrics.count dropped));
+  (match Obs.Reader.read_file path with
+  | Ok [ r ] -> Alcotest.(check string) "only the pre-close span" "kept" r.name
+  | Ok l -> Alcotest.failf "expected 1 record, got %d" (List.length l)
+  | Error e -> Alcotest.failf "line %d: %s" e.line e.message);
+  Sys.remove path
+
+let sink_concurrent_emitters_during_close () =
+  let path = Filename.temp_file "obs_race" ".jsonl" in
+  with_tracing (fun () ->
+      let sink = Obs.Sink.open_jsonl path in
+      Obs.Sink.attach sink;
+      let emitters =
+        List.init 3 (fun d ->
+            Domain.spawn (fun () ->
+                for i = 1 to 200 do
+                  Obs.Span.with_span
+                    (Printf.sprintf "w%d/s%d" d (i mod 4))
+                    (fun () -> ())
+                done))
+      in
+      (* Close while the emitters race: whatever lands after the cut
+         must be dropped whole, never torn. *)
+      Obs.Span.with_span "main" (fun () -> ());
+      Obs.Sink.close sink;
+      List.iter Domain.join emitters);
+  (match Obs.Reader.read_file path with
+  | Ok records ->
+    check_bool "published file is non-empty" true (records <> []);
+    List.iter
+      (fun (r : Obs.Span.record) ->
+        check_bool "every line carries a domain id" true (r.domain >= 0))
+      records
+  | Error e -> Alcotest.failf "torn line %d: %s" e.line e.message);
+  Sys.remove path
+
+(* --------------------------------------------------------------- *)
+(* Export: empty histograms render as dashes, not nan *)
+
+let export_empty_histogram_dash () =
+  with_tracing (fun () ->
+      ignore (Obs.Metrics.histogram "empty.h" : Obs.Metrics.histogram);
+      let table = Stats.Table.to_ascii (Obs.Export.metrics_table ()) in
+      check_bool "declared histogram appears" true (contains table "empty.h");
+      check_bool "no nan anywhere" false (contains table "nan"))
+
+(* --------------------------------------------------------------- *)
+(* Deep probes: populated when enabled, untouched when disabled *)
+
+let kernel_probe_counters () =
+  with_tracing (fun () ->
+      let net = fixture () in
+      ignore (Temporal.Foremost.run net 0);
+      let count name = Obs.Metrics.count (Obs.Metrics.counter name) in
+      check_bool "sweep counted" true (count "kernel.sweeps" >= 1);
+      check_bool "edges scanned" true (count "kernel.edges_scanned" >= 1))
+
+let kernel_probes_off_when_disabled () =
+  Obs.Metrics.reset ();
+  Obs.Control.set_enabled false;
+  let net = fixture () in
+  ignore (Temporal.Foremost.run net 0);
+  check_int "no sweeps recorded" 0
+    (Obs.Metrics.count (Obs.Metrics.counter "kernel.sweeps"));
+  check_int "no edges recorded" 0
+    (Obs.Metrics.count (Obs.Metrics.counter "kernel.edges_scanned"));
+  Obs.Metrics.reset ()
+
+let workspace_growth_probe () =
+  with_tracing (fun () ->
+      (* A fresh domain starts with an empty workspace, so the first
+         sweep must grow it — regardless of what other tests did to
+         this domain's scratch. *)
+      let grew =
+        Domain.spawn (fun () ->
+            let net = fixture () in
+            ignore (Temporal.Foremost.arrivals_borrowed net 0);
+            Obs.Metrics.count (Obs.Metrics.counter "kernel.workspace_growths"))
+        |> Domain.join
+      in
+      check_bool "fresh domain grew its workspace" true (grew >= 1))
+
+let pool_probes () =
+  with_tracing (fun () ->
+      let pool = Exec.Pool.create ~jobs:2 in
+      Fun.protect
+        ~finally:(fun () -> Exec.Pool.shutdown pool)
+        (fun () ->
+          let a = Exec.Pool.map_range pool ~lo:0 ~hi:64 (fun i -> i * i) in
+          check_int "work done" 64 (Array.length a));
+      check_bool "task latency observed" true
+        (Obs.Metrics.observations (Obs.Metrics.histogram "pool.task_ms") >= 1);
+      check_bool "queue depth gauge drained to zero" true
+        (Obs.Metrics.value (Obs.Metrics.gauge "pool.queue_depth") = 0.))
+
+let supervise_retry_histogram () =
+  with_tracing (fun () ->
+      Sim.Supervise.configure
+        { Sim.Supervise.default with max_retries = 2 };
+      Fun.protect
+        ~finally:(fun () -> Sim.Supervise.configure Sim.Supervise.default)
+        (fun () ->
+          let attempts = ref 0 in
+          match
+            Sim.Supervise.run_trial ~trial:0 (rng ()) (fun _ ->
+                incr attempts;
+                if !attempts < 2 then failwith "flaky" else 42)
+          with
+          | Ok v ->
+            check_int "second attempt succeeded" 42 v;
+            check_int "exactly the retry attempt is timed" 1
+              (Obs.Metrics.observations
+                 (Obs.Metrics.histogram "supervise.retry_ms"))
+          | Error f -> Alcotest.failf "trial failed: %s" f.message))
+
+(* --------------------------------------------------------------- *)
 (* Report.ensure_dir (satellite fix: nested paths) *)
 
 let ensure_dir_recursive () =
@@ -314,6 +626,33 @@ let suites =
         case "record serialization" record_serialization;
         case "JSONL file output" jsonl_sink_writes_lines;
         case "export tables" export_tables;
+        case "emit after close drops, close idempotent"
+          sink_emit_after_close_drops;
+        case "concurrent emitters racing close"
+          sink_concurrent_emitters_during_close;
+        case "empty histogram renders dashes" export_empty_histogram_dash;
+      ] );
+    ( "obs.reader",
+      [
+        reader_roundtrip;
+        case "schema v1 accepted, domain = -1" reader_accepts_v1;
+        case "garbled lines rejected" reader_rejects_garbage;
+        case "file errors carry line numbers" reader_file_errors;
+      ] );
+    ( "obs.analysis",
+      [
+        case "totals and folded stacks" analysis_totals_and_folded;
+        case "per-domain utilization + concurrency" analysis_domain_stats;
+        case "diff and worst regression" analysis_diff;
+      ] );
+    ( "obs.probes",
+      [
+        case "kernel counters when enabled" kernel_probe_counters;
+        case "kernel counters silent when disabled"
+          kernel_probes_off_when_disabled;
+        case "fresh-domain workspace growth" workspace_growth_probe;
+        case "pool latency histogram + queue gauge" pool_probes;
+        case "supervise retry latency" supervise_retry_histogram;
       ] );
     ("report.dirs", [ case "ensure_dir is recursive" ensure_dir_recursive ]);
   ]

@@ -281,6 +281,94 @@ let report_persistence () =
   Sys.remove md;
   Sys.rmdir dir
 
+(* --------------------------------------------------------------- *)
+(* Run ledger *)
+
+let with_obs f =
+  Obs.Control.set_enabled true;
+  Obs.Span.reset ();
+  Obs.Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.Control.set_enabled false;
+      Obs.Span.reset ();
+      Obs.Metrics.reset ())
+    f
+
+(* Extract a top-level ["key": {...}] object by brace counting — span
+   paths, ids and fingerprints never contain braces. *)
+let extract doc key =
+  let needle = "\"" ^ key ^ "\":" in
+  let nl = String.length needle in
+  let rec find i =
+    if i + nl > String.length doc then Alcotest.failf "ledger lacks %s" key
+    else if String.sub doc i nl = needle then i + nl
+    else find (i + 1)
+  in
+  let start = find 0 in
+  let depth = ref 0 and stop = ref start in
+  (try
+     for i = start to String.length doc - 1 do
+       match doc.[i] with
+       | '{' -> incr depth
+       | '}' ->
+         decr depth;
+         if !depth = 0 then begin
+           stop := i;
+           raise Exit
+         end
+       | _ -> ()
+     done;
+     Alcotest.failf "unbalanced %s object" key
+   with Exit -> ());
+  String.sub doc start (!stop - start + 1)
+
+let ledger_at jobs =
+  with_obs (fun () ->
+      with_jobs jobs (fun () ->
+          Sim.Supervise.configure Sim.Supervise.default;
+          let exp = Option.get (Experiments.find "e6") in
+          ignore (exp.run ~quick:true ~seed:17 : Sim.Outcome.t);
+          Sim.Ledger.build ~seed:17 ~quick:true ~jobs ~experiments:[ "e6" ]
+            ~status:"ok" ~wall_ns:123L))
+
+(* The ledger's headline contract: the "deterministic" object is
+   byte-identical at any job count, and the volatile object carries the
+   same instrument keys whether or not scheduling ever touched them. *)
+let ledger_schema_stable_across_jobs () =
+  let a = ledger_at 1 and b = ledger_at 4 in
+  check_bool "schema header" true
+    (contains a {|"schema":"ephemeral-run-ledger"|});
+  Alcotest.(check string) "deterministic section identical at -j1/-j4"
+    (extract a "deterministic") (extract b "deterministic");
+  List.iter
+    (fun key ->
+      check_bool (key ^ " present at -j1") true (contains a ("\"" ^ key ^ "\""));
+      check_bool (key ^ " present at -j4") true (contains b ("\"" ^ key ^ "\"")))
+    [
+      "kernel.workspace_growths"; "pool.tasks"; "pool.task_ms";
+      "pool.queue_depth"; "store.hit_ms"; "store.miss_ms";
+      "supervise.retry_ms"; "obs.sink_dropped";
+    ]
+
+let ledger_write_atomic () =
+  with_obs (fun () ->
+      let dir = Filename.temp_file "ledger" "" in
+      Sys.remove dir;
+      Sim.Report.ensure_dir dir;
+      let path = Filename.concat dir "run.json" in
+      Sim.Ledger.write ~path ~seed:1 ~quick:true ~jobs:1 ~experiments:[ "e1" ]
+        ~status:"ok" ~wall_ns:0L;
+      check_bool "ledger published" true (Sys.file_exists path);
+      check_bool "no tmp residue" false (Sys.file_exists (path ^ ".tmp"));
+      let doc = read_file path in
+      check_bool "one newline-terminated document" true
+        (String.length doc > 0 && doc.[String.length doc - 1] = '\n');
+      check_bool "fingerprint recorded" true (contains doc {|"fingerprint":|});
+      check_bool "experiments recorded" true (contains doc {|["e1"]|});
+      Sys.remove path;
+      Sys.rmdir dir)
+
 let suites =
   [
     ( "sim.runner",
@@ -323,5 +411,11 @@ let suites =
       [
         case "outcome render" outcome_render_sections;
         case "persistence" report_persistence;
+      ] );
+    ( "sim.ledger",
+      [
+        case "deterministic section stable across jobs"
+          ledger_schema_stable_across_jobs;
+        case "atomic publish" ledger_write_atomic;
       ] );
   ]
