@@ -34,6 +34,7 @@ type opts = {
   mutable no_store : bool;
   mutable no_faults : bool;
   mutable no_kernel : bool;
+  mutable no_batch : bool;
   mutable metrics : bool;
   mutable trace : string option;
   mutable jobs : int option;
@@ -50,6 +51,8 @@ let usage_lines =
     "  --no-faults    skip part 2c (E1 fault soak: injected faults + retries)";
     "  --no-kernel    skip part 2d (flat kernel vs seed baseline, writes";
     "                 BENCH_clique.json)";
+    "  --no-batch     skip part 2e (batch-kernel: scalar vs bit-parallel";
+    "                 all-pairs diameter)";
     "  --no-micro     skip part 3 (Bechamel micro-benchmarks)";
     "  --jobs N, -j N worker domains for trial execution (default: 4";
     "                 for the speedup run, EPHEMERAL_JOBS or the";
@@ -74,6 +77,7 @@ let parse_args () =
       no_store = false;
       no_faults = false;
       no_kernel = false;
+      no_batch = false;
       metrics = false;
       trace = None;
       jobs = None;
@@ -101,6 +105,7 @@ let parse_args () =
       | "--no-store" -> o.no_store <- true; go (i + 1)
       | "--no-faults" -> o.no_faults <- true; go (i + 1)
       | "--no-kernel" -> o.no_kernel <- true; go (i + 1)
+      | "--no-batch" -> o.no_batch <- true; go (i + 1)
       | "--metrics" -> o.metrics <- true; go (i + 1)
       | "--trace" -> o.trace <- Some (value "--trace" i); go (i + 2)
       | ("--jobs" | "-j") as flag -> o.jobs <- Some (int_value flag i); go (i + 2)
@@ -271,6 +276,87 @@ let run_fault_soak () =
     print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 2e (run before 2d so its numbers land in BENCH_clique.json):
+   bit-parallel batch kernel vs per-source scalar sweeps.
+
+   One fixed normalized-uniform clique instance per size, all-pairs
+   temporal diameter both ways: Distance.instance_diameter_scalar does n
+   foremost sweeps, Distance.instance_diameter does ceil(n/W) batched
+   ones over the same stream.  Same instance in both legs, so the
+   diameters must be equal — the agreement bit is the bench's oracle —
+   and the ratio isolates the word-parallel win itself. *)
+
+type batch_point = {
+  bp_n : int;
+  bp_scalar_ns : float;
+  bp_batch_ns : float;
+  bp_speedup : float;
+  bp_agree : bool;
+}
+
+let batch_points : batch_point list ref = ref []
+let batch_sizes () = if quick then [ 256; 512 ] else [ 512; 2048; 8192 ]
+
+(* Mean ns and allocated bytes per call over [trials] calls (shared by
+   parts 2e and 2d). *)
+let measure ~trials f =
+  let bytes0 = Gc.allocated_bytes () in
+  let t0 = Unix.gettimeofday () in
+  let last = ref None in
+  for _ = 1 to trials do
+    last := f ()
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let bytes = Gc.allocated_bytes () -. bytes0 in
+  ( !last,
+    dt /. float_of_int trials *. 1e9,
+    bytes /. float_of_int trials )
+
+let run_batch_bench () =
+  print_endline
+    "=================================================================";
+  Printf.printf
+    " Batch kernel: scalar vs bit-parallel all-pairs TD (W = %d lanes)\n"
+    Batch.lane_width;
+  print_endline
+    "=================================================================";
+  List.iter
+    (fun n ->
+      let g = Sgraph.Gen.clique Directed n in
+      let net = Assignment.normalized_uniform (Rng.create 211) g in
+      (* The scalar leg repeats n sweeps per run, so keep its trial
+         count low at the big sizes; the batched leg is cheap enough to
+         average a few runs everywhere. *)
+      let scalar_trials = if n >= 2048 then 1 else if quick then 2 else 3 in
+      let batch_trials = if quick then 2 else 3 in
+      ignore (Distance.instance_diameter net);  (* warm-up sizes the lane workspace *)
+      let batch_out, batch_ns, _ =
+        measure ~trials:batch_trials (fun () -> Distance.instance_diameter net)
+      in
+      let scalar_out, scalar_ns, _ =
+        measure ~trials:scalar_trials (fun () ->
+            Distance.instance_diameter_scalar net)
+      in
+      let agree = batch_out = scalar_out in
+      let speedup = scalar_ns /. Float.max 1. batch_ns in
+      Printf.printf
+        "  n=%5d  scalar %12.0f ns/run  batched %12.0f ns/run  %6.2fx  agree: %s\n"
+        n scalar_ns batch_ns speedup
+        (if agree then "yes" else "NO (BUG)");
+      batch_points :=
+        {
+          bp_n = n;
+          bp_scalar_ns = scalar_ns;
+          bp_batch_ns = batch_ns;
+          bp_speedup = speedup;
+          bp_agree = agree;
+        }
+        :: !batch_points)
+    (batch_sizes ());
+  batch_points := List.rev !batch_points;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2d: flat kernel vs seed baseline on the E1 clique pipeline.
 
    One trial = draw a normalized uniform assignment on the directed
@@ -288,19 +374,6 @@ let run_fault_soak () =
 
 let kernel_n = 512
 let kernel_trials () = if quick then 3 else 10
-
-let measure ~trials f =
-  let bytes0 = Gc.allocated_bytes () in
-  let t0 = Unix.gettimeofday () in
-  let last = ref None in
-  for _ = 1 to trials do
-    last := f ()
-  done;
-  let dt = Unix.gettimeofday () -. t0 in
-  let bytes = Gc.allocated_bytes () -. bytes0 in
-  ( !last,
-    dt /. float_of_int trials *. 1e9,
-    bytes /. float_of_int trials )
 
 let run_kernel_bench () =
   print_endline
@@ -339,6 +412,24 @@ let run_kernel_bench () =
   Printf.printf "  diameters agree: %s\n" (if agree then "yes" else "NO (BUG)");
   let path = "BENCH_clique.json" in
   let oc = open_out path in
+  (* Part 2e's scalar-vs-batched points ride along in a "batch" array
+     (empty under --no-batch), one object per size. *)
+  let batch_json =
+    match !batch_points with
+    | [] -> "[]"
+    | points ->
+      "[\n"
+      ^ String.concat ",\n"
+          (List.map
+             (fun p ->
+               Printf.sprintf
+                 "    { \"n\": %d, \"scalar_ns_per_run\": %.0f, \
+                  \"batch_ns_per_run\": %.0f, \"speedup\": %.2f, \
+                  \"agree\": %b }"
+                 p.bp_n p.bp_scalar_ns p.bp_batch_ns p.bp_speedup p.bp_agree)
+             points)
+      ^ "\n  ]"
+  in
   Printf.fprintf oc
     "{\n\
     \  \"bench\": \"e1_clique_pipeline\",\n\
@@ -349,11 +440,13 @@ let run_kernel_bench () =
     \  \"flat\": { \"ns_per_trial\": %.0f, \"bytes_per_trial\": %.0f },\n\
     \  \"speedup\": %.2f,\n\
     \  \"alloc_ratio\": %.2f,\n\
-    \  \"outputs_agree\": %b\n\
+    \  \"outputs_agree\": %b,\n\
+    \  \"lane_width\": %d,\n\
+    \  \"batch\": %s\n\
      }\n"
     kernel_n trials quick legacy_ns legacy_bytes flat_ns flat_bytes speedup
     (legacy_bytes /. Float.max 1. flat_bytes)
-    agree;
+    agree Batch.lane_width batch_json;
   close_out oc;
   Printf.printf "  wrote %s\n" path;
   print_newline ()
@@ -610,6 +703,7 @@ let () =
   if not opts.no_speedup then run_speedup ();
   if not opts.no_store then run_store_bench ();
   if not opts.no_faults then run_fault_soak ();
+  if not opts.no_batch then run_batch_bench ();
   if not opts.no_kernel then run_kernel_bench ();
   if not opts.no_micro then run_micro ();
   Option.iter Obs.Sink.close sink;

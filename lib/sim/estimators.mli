@@ -23,7 +23,9 @@ val temporal_diameter :
 (** Sample [trials] assignments of [r] i.i.d. uniform labels per edge on
     [{1..a}] and compute each instance's exact max-pair temporal distance
     — the quantity whose expectation is the Temporal Diameter
-    (Definition 5). *)
+    (Definition 5).  Each instance diameter runs on the bit-parallel
+    batch kernel (ceil(n/W) sweeps instead of n), which keeps exact
+    all-pairs affordable at n in the thousands. *)
 
 val clique_temporal_diameter :
   Prng.Rng.t -> n:int -> a:int -> trials:int -> diameter_stats

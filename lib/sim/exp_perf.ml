@@ -57,10 +57,12 @@ let run ~quick ~seed =
        over the flat stream built once by Tgraph.create's O(M + a) \
        counting sort, so doubling n quadruples M and the sweep time \
        together";
-      "all-pairs TD = n sweeps over per-domain workspace arrays, so it \
-       scales as n*M = O(n^3) on the clique; construction (counting sort \
-       + CSR crossings) dominates single queries, which is why the API \
-       builds the stream once and reuses it";
+      "all-pairs TD = ceil(n/W) bit-parallel batch sweeps (W = \
+       Batch.lane_width sources share one word per vertex), so the n \
+       scalar sweeps of the old kernel collapse by a factor ~W while \
+       staying bit-identical; construction (counting sort + CSR \
+       crossings) dominates single queries, which is why the API builds \
+       the stream once and reuses it";
       "unlike every other table, these numbers are timings (median wall \
        time on the monotonic clock): shapes are stable, absolute values \
        move with the machine";

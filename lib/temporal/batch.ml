@@ -1,0 +1,371 @@
+(* Bit-parallel batched foremost sweeps: up to [lane_width] sources per
+   pass, one bit lane each, over the same counting-sorted time-edge
+   stream the scalar kernel walks.
+
+   Layout.  Each vertex owns ONE machine word per batch: bit [j] of
+   [reached.(v)] says "lane [j]'s source has a journey to [v] arriving
+   strictly before the label group being processed".  A time edge
+   (u, v, l) then advances all lanes at once:
+
+     add = reached.(u) land (lnot reached.(v))
+
+   Strict label increase along journeys is what makes the word trick
+   sound, and it is enforced by *group-phased* processing: all entries
+   of one label [l] are applied against the reached state frozen at the
+   end of label [l - 1] ([reached]), accumulating their new bits into a
+   separate [delta] plane; only when the group ends are the deltas
+   committed (arrivals recorded at [l], [reached] updated).  An entry
+   can therefore never chain with another entry of its own label — the
+   same guarantee the scalar kernel gets from its [arrival.(u) < l]
+   comparison — so within-label stream order cannot affect the result,
+   and batch arrivals are bit-for-bit the scalar sweep's.
+
+   Early exit.  A lane saturates when its reached count hits [n]; the
+   label of the group that saturated it is recorded as the lane's
+   eccentricity (the arrival of its last-reached vertex).  Arrivals
+   only ever extend to *new* vertices — a committed arrival is final,
+   because a later entry carries a later label — so once the popcount
+   of the saturated-lane mask reaches the batch width there is nothing
+   left for the stream to say and the sweep stops.  On the normalized
+   clique this fires after O(log n) label groups, exactly like the
+   scalar bound-based exit, but its cost is shared by all lanes.
+
+   Probes (updated once per sweep, after the hot loop, only while
+   Obs.Control is on): kernel.batch_sweeps, kernel.batch_edges_scanned
+   and kernel.lane_saturations.  All three are functions of the
+   instance and batch composition alone — never of scheduling — so run
+   ledgers file them under the deterministic section. *)
+
+let lane_width = Sys.int_size
+
+(* Bit helpers on OCaml's native ints.  Masks with bit 62 set do not
+   fit a 63-bit literal, so popcount splits into two halves narrow
+   enough for 32-bit SWAR; [ntz] expects a power of two. *)
+
+let pop32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0F0F0F0F in
+  (* OCaml ints don't truncate the multiply at 32 bits, so mask the
+     summed byte out explicitly (counts fit: <= 32 per half). *)
+  ((x * 0x01010101) lsr 24) land 0xFF
+
+let popcount x = pop32 (x land 0x7FFFFFFF) + pop32 ((x lsr 31) land 0xFFFFFFFF)
+
+let ntz b =
+  if b = 0 then invalid_arg "Batch.ntz: zero";
+  let n = ref 0 and x = ref b in
+  if !x land 0x7FFFFFFF = 0 then begin
+    n := !n + 31;
+    x := !x lsr 31
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+(* All [k] low bits set, valid for 1 <= k <= lane_width (1 lsl
+   lane_width is unspecified, so the full word is spelled -1). *)
+let full_mask k = if k >= lane_width then -1 else (1 lsl k) - 1
+
+type t = {
+  n : int;
+  lanes : int;
+  start_time : int;
+  sources : int array;
+  arrival : int array;
+  reached : int array;
+  reached_counts : int array;
+  ecc : int array;
+}
+
+let sweeps_c = Obs.Metrics.counter "kernel.batch_sweeps"
+let scanned_c = Obs.Metrics.counter "kernel.batch_edges_scanned"
+let sat_c = Obs.Metrics.counter "kernel.lane_saturations"
+
+let sweep ?(start_time = 1) net ~sources =
+  if start_time < 1 then invalid_arg "Batch.sweep: start_time must be >= 1";
+  let n = Tgraph.n net in
+  let k = Array.length sources in
+  if k < 1 || k > lane_width then
+    invalid_arg "Batch.sweep: need 1 .. lane_width sources";
+  Array.iter
+    (fun s -> if s < 0 || s >= n then invalid_arg "Batch.sweep: source out of range")
+    sources;
+  let ws = Workspace.get_batch ~n ~lanes:k in
+  let reached = ws.Workspace.lane_reached in
+  let delta = ws.Workspace.lane_delta in
+  let dirty = ws.Workspace.lane_dirty in
+  let arrival = ws.Workspace.lane_arrival in
+  let counts = ws.Workspace.lane_counts in
+  let ecc = ws.Workspace.lane_ecc in
+  Array.fill reached 0 n 0;
+  Array.fill delta 0 n 0;
+  Array.fill arrival 0 (n * k) max_int;
+  Array.fill counts 0 k 0;
+  Array.fill ecc 0 k max_int;
+  let unsat = ref (full_mask k) in
+  for lane = 0 to k - 1 do
+    let s = Array.unsafe_get sources lane in
+    reached.(s) <- reached.(s) lor (1 lsl lane);
+    arrival.((s * k) + lane) <- start_time - 1;
+    counts.(lane) <- counts.(lane) + 1;
+    if counts.(lane) = n then begin
+      (* Saturated at birth: n = 1.  Mirror the scalar eccentricity
+         convention (max over an empty set of targets) of 0. *)
+      ecc.(lane) <- 0;
+      unsat := !unsat land lnot (1 lsl lane)
+    end
+  done;
+  let te_src, te_dst, te_label, _ = Tgraph.stream net in
+  let total = Array.length te_label in
+  let i = ref 0 in
+  (* Entries below the departure horizon can never start a journey and
+     nothing is reached before them; skip them outright. *)
+  while !i < total && Array.unsafe_get te_label !i < start_time do
+    incr i
+  done;
+  let ndirty = ref 0 in
+  while !i < total && !unsat <> 0 do
+    let l = Array.unsafe_get te_label !i in
+    (* Phase 1: apply every entry of the group against the frozen
+       pre-group state. *)
+    while
+      !i < total && Array.unsafe_get te_label !i = l
+    do
+      let src = Array.unsafe_get te_src !i in
+      let g = Array.unsafe_get reached src in
+      if g <> 0 then begin
+        let dst = Array.unsafe_get te_dst !i in
+        let add =
+          g
+          land lnot (Array.unsafe_get reached dst lor Array.unsafe_get delta dst)
+        in
+        if add <> 0 then begin
+          if Array.unsafe_get delta dst = 0 then begin
+            Array.unsafe_set dirty !ndirty dst;
+            incr ndirty
+          end;
+          Array.unsafe_set delta dst (Array.unsafe_get delta dst lor add)
+        end
+      end;
+      incr i
+    done;
+    (* Phase 2: commit the group — record arrivals at l, fold the
+       deltas into the reached plane, retire saturated lanes. *)
+    for j = 0 to !ndirty - 1 do
+      let v = Array.unsafe_get dirty j in
+      let add = Array.unsafe_get delta v in
+      Array.unsafe_set delta v 0;
+      Array.unsafe_set reached v (Array.unsafe_get reached v lor add);
+      (* Walk the word lane by lane instead of isolate-and-ntz per set
+         bit: on dense groups (the common case on the clique, where one
+         label delivers most lanes to a vertex at once) the shift walk
+         is a handful of ops per arrival where ntz extraction costs
+         ~15, and it still stops at the highest set bit when the word
+         is sparse.  This loop writes every all-pairs arrival exactly
+         once, so it is the sweep's real inner loop — the edge scan
+         above touches ~W times fewer entries. *)
+      let rem = ref add in
+      let base = v * k in
+      let lane = ref 0 in
+      while !rem <> 0 do
+        if !rem land 1 <> 0 then begin
+          Array.unsafe_set arrival (base + !lane) l;
+          let c = Array.unsafe_get counts !lane + 1 in
+          Array.unsafe_set counts !lane c;
+          if c = n then begin
+            Array.unsafe_set ecc !lane l;
+            unsat := !unsat land lnot (1 lsl !lane)
+          end
+        end;
+        rem := !rem lsr 1;
+        incr lane
+      done
+    done;
+    ndirty := 0
+  done;
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.incr sweeps_c;
+    Obs.Metrics.add scanned_c !i;
+    Obs.Metrics.add sat_c (popcount (full_mask k land lnot !unsat))
+  end;
+  {
+    n;
+    lanes = k;
+    start_time;
+    sources;
+    arrival;
+    reached;
+    reached_counts = counts;
+    ecc;
+  }
+
+let lanes t = t.lanes
+let source t lane = t.sources.(lane)
+let arrival t ~lane v = t.arrival.((v * t.lanes) + lane)
+let reached_word t v = t.reached.(v)
+let reached_count t ~lane = t.reached_counts.(lane)
+let saturated t ~lane = t.reached_counts.(lane) = t.n
+
+let all_saturated t =
+  let rec scan lane =
+    lane >= t.lanes || (t.reached_counts.(lane) = t.n && scan (lane + 1))
+  in
+  scan 0
+
+let eccentricity t ~lane =
+  let e = t.ecc.(lane) in
+  if e = max_int then None else Some e
+
+let arrivals_into t ~lane out =
+  let k = t.lanes in
+  for v = 0 to t.n - 1 do
+    Array.unsafe_set out v (Array.unsafe_get t.arrival ((v * k) + lane))
+  done
+
+(* Eccentricity-only sweep: same group-phased walk as [sweep], but it
+   never touches the arrival matrix.  The outputs instance_diameter
+   needs are just (a) did every lane saturate and (b) the label of the
+   last committed arrival — which IS the batch's worst eccentricity,
+   because arrivals commit in strictly increasing label order, so the
+   final new (vertex, lane) pair carries the maximum arrival.  That
+   reduces the per-group commit to one popcount per dirty vertex
+   against a single remaining-pairs counter: no n*k fill, no per-bit
+   lane walk, no per-lane counts.  The sweep's cost collapses to the
+   edge scan, which is what makes exact all-pairs diameters cheap
+   enough for E1b's n = 2048. *)
+let sweep_diameter ?(start_time = 1) net ~sources =
+  if start_time < 1 then
+    invalid_arg "Batch.sweep_diameter: start_time must be >= 1";
+  let n = Tgraph.n net in
+  let k = Array.length sources in
+  if k < 1 || k > lane_width then
+    invalid_arg "Batch.sweep_diameter: need 1 .. lane_width sources";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= n then
+        invalid_arg "Batch.sweep_diameter: source out of range")
+    sources;
+  let ws = Workspace.get_batch ~n ~lanes:k in
+  let reached = ws.Workspace.lane_reached in
+  let delta = ws.Workspace.lane_delta in
+  let dirty = ws.Workspace.lane_dirty in
+  Array.fill reached 0 n 0;
+  Array.fill delta 0 n 0;
+  (* Unreached (vertex, lane) pairs left; each lane's own source counts
+     as reached from the start (even under duplicate sources the pairs
+     are distinct, one per lane). *)
+  let remaining = ref ((n * k) - k) in
+  for lane = 0 to k - 1 do
+    let s = Array.unsafe_get sources lane in
+    reached.(s) <- reached.(s) lor (1 lsl lane)
+  done;
+  let worst = ref 0 in
+  let te_src, te_dst, te_label, _ = Tgraph.stream net in
+  let total = Array.length te_label in
+  let i = ref 0 in
+  while !i < total && Array.unsafe_get te_label !i < start_time do
+    incr i
+  done;
+  let ndirty = ref 0 in
+  while !i < total && !remaining > 0 do
+    let l = Array.unsafe_get te_label !i in
+    while !i < total && Array.unsafe_get te_label !i = l do
+      let src = Array.unsafe_get te_src !i in
+      let g = Array.unsafe_get reached src in
+      if g <> 0 then begin
+        let dst = Array.unsafe_get te_dst !i in
+        let add =
+          g
+          land lnot (Array.unsafe_get reached dst lor Array.unsafe_get delta dst)
+        in
+        if add <> 0 then begin
+          if Array.unsafe_get delta dst = 0 then begin
+            Array.unsafe_set dirty !ndirty dst;
+            incr ndirty
+          end;
+          Array.unsafe_set delta dst (Array.unsafe_get delta dst lor add)
+        end
+      end;
+      incr i
+    done;
+    if !ndirty > 0 then begin
+      (* Something committed at this label; if it turns out to be the
+         last commit, [l] is the max arrival of the whole batch. *)
+      worst := l;
+      for j = 0 to !ndirty - 1 do
+        let v = Array.unsafe_get dirty j in
+        let add = Array.unsafe_get delta v in
+        Array.unsafe_set delta v 0;
+        Array.unsafe_set reached v (Array.unsafe_get reached v lor add);
+        remaining := !remaining - popcount add
+      done;
+      ndirty := 0
+    end
+  done;
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.incr sweeps_c;
+    Obs.Metrics.add scanned_c !i;
+    let sat =
+      if !remaining = 0 then k
+      else begin
+        (* Lane j saturated iff bit j survives an AND over every
+           vertex's word; only the incomplete path pays this O(n). *)
+        let acc = ref (full_mask k) in
+        for v = 0 to n - 1 do
+          acc := !acc land Array.unsafe_get reached v
+        done;
+        popcount !acc
+      end
+    in
+    Obs.Metrics.add sat_c sat
+  end;
+  if !remaining = 0 then Some !worst else None
+
+(* ------------------------------------------------------------------ *)
+(* Batching sources 0 .. n-1. *)
+
+let batch_count ~n = (n + lane_width - 1) / lane_width
+
+let batch_sources ~n b =
+  let lo = b * lane_width in
+  if lo < 0 || lo >= n then invalid_arg "Batch.batch_sources: batch out of range";
+  Array.init (Stdlib.min lane_width (n - lo)) (fun j -> lo + j)
+
+let iter_batches ?start_time net f =
+  let n = Tgraph.n net in
+  for b = 0 to batch_count ~n - 1 do
+    f (sweep ?start_time net ~sources:(batch_sources ~n b))
+  done
+
+let map_batches ?start_time net f =
+  let n = Tgraph.n net in
+  Exec.Pool.map_range (Exec.Pool.global ()) ~lo:0 ~hi:(batch_count ~n)
+    (fun b -> f (sweep ?start_time net ~sources:(batch_sources ~n b)))
+
+(* ------------------------------------------------------------------ *)
+(* Scalar escape hatch: one env probe at startup, so CI can byte-diff
+   the batched renders against the per-source path on the same build. *)
+
+let force_scalar_v =
+  lazy
+    (match Sys.getenv_opt "EPHEMERAL_SCALAR_SWEEPS" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true)
+
+let force_scalar () = Lazy.force force_scalar_v

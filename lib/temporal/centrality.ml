@@ -14,23 +14,58 @@ let normalise net totals =
   let scale = if n <= 1 then 1. else 1. /. float_of_int (n - 1) in
   Array.map (fun x -> x *. scale) totals
 
+(* Per-lane harmonic total off the batched arrival matrix, target order
+   ascending — the same float-add order as the scalar row scan, so the
+   batched index is bit-identical. *)
+let harmonic_lane ~n t lane =
+  let skip = Batch.source t lane in
+  let total = ref 0. in
+  for v = 0 to n - 1 do
+    let a = Batch.arrival t ~lane v in
+    if v <> skip && a > 0 && a < max_int then
+      total := !total +. (1. /. float_of_int a)
+  done;
+  !total
+
 let out_closeness net =
   let n = Tgraph.n net in
-  normalise net
-    (Array.init n (fun u ->
-         harmonic_from_arrivals ~n ~skip:u (Foremost.arrivals_borrowed net u)))
+  let totals =
+    if Batch.force_scalar () then
+      Array.init n (fun u ->
+          harmonic_from_arrivals ~n ~skip:u (Foremost.arrivals_borrowed net u))
+    else
+      Array.concat
+        (Array.to_list
+           (Batch.map_batches net (fun t ->
+                Array.init (Batch.lanes t) (harmonic_lane ~n t))))
+  in
+  normalise net totals
 
 let in_closeness net =
   let n = Tgraph.n net in
   let totals = Array.make n 0. in
-  for u = 0 to n - 1 do
-    let arrivals = Foremost.arrivals_borrowed net u in
-    for v = 0 to n - 1 do
-      let a = arrivals.(v) in
-      if v <> u && a > 0 && a < max_int then
-        totals.(v) <- totals.(v) +. (1. /. float_of_int a)
+  if Batch.force_scalar () then
+    for u = 0 to n - 1 do
+      let arrivals = Foremost.arrivals_borrowed net u in
+      for v = 0 to n - 1 do
+        let a = arrivals.(v) in
+        if v <> u && a > 0 && a < max_int then
+          totals.(v) <- totals.(v) +. (1. /. float_of_int a)
+      done
     done
-  done;
+  else
+    (* Sequential batches, lanes in source order: each totals slot sees
+       the exact add sequence of the scalar u-loop, keeping the floats
+       bit-identical. *)
+    Batch.iter_batches net (fun t ->
+        for lane = 0 to Batch.lanes t - 1 do
+          let u = Batch.source t lane in
+          for v = 0 to n - 1 do
+            let a = Batch.arrival t ~lane v in
+            if v <> u && a > 0 && a < max_int then
+              totals.(v) <- totals.(v) +. (1. /. float_of_int a)
+          done
+        done);
   normalise net totals
 
 let broadcast_time net =
@@ -47,13 +82,20 @@ let best_broadcaster net =
 
 let reach_counts net =
   let n = Tgraph.n net in
-  Array.init n (fun u ->
-      let arrivals = Foremost.arrivals_borrowed net u in
-      let count = ref 0 in
-      for v = 0 to n - 1 do
-        if arrivals.(v) < max_int then incr count
-      done;
-      !count)
+  if Batch.force_scalar () then
+    Array.init n (fun u ->
+        let arrivals = Foremost.arrivals_borrowed net u in
+        let count = ref 0 in
+        for v = 0 to n - 1 do
+          if arrivals.(v) < max_int then incr count
+        done;
+        !count)
+  else
+    Array.concat
+      (Array.to_list
+         (Batch.map_batches net (fun t ->
+              Array.init (Batch.lanes t) (fun lane ->
+                  Batch.reached_count t ~lane))))
 
 let rank scores =
   let order = Array.init (Array.length scores) Fun.id in

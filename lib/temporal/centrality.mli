@@ -3,8 +3,11 @@
     Rankings of vertices by how well they disseminate or collect
     information under the network's availability schedule — the natural
     "who should originate the message" question on top of §3.5's
-    protocol.  All indices are exact, built from one foremost (or
-    reverse-foremost) pass per vertex. *)
+    protocol.  All indices are exact; the closeness and reach-count
+    families run on the bit-parallel {!Batch} kernel (one stream sweep
+    per {!Batch.lane_width} sources, float accumulation in the scalar
+    order so values are bit-identical to the per-source paths), the
+    flooding/journey-based ones on one pass per vertex. *)
 
 val out_closeness : Tgraph.t -> float array
 (** [out_closeness net] assigns each [u] the normalised harmonic

@@ -11,7 +11,11 @@ type estimate = {
 
 (* Each probe pre-splits one RNG stream per trial and samples the
    assignments on the domain pool; the count is folded in trial order,
-   so results don't depend on the job count. *)
+   so results don't depend on the job count.  Inside each trial the
+   Treach check runs on the bit-parallel batch kernel (one sweep per
+   Batch.lane_width sources, sequential because the trial already
+   occupies the pool), so successes pays ⌈n/W⌉ stream sweeps per
+   sampled assignment instead of n. *)
 let successes rng g ~a ~r ~trials =
   if trials <= 0 then 0
   else begin

@@ -3,9 +3,10 @@ module Traverse = Sgraph.Traverse
 let temporally_reachable net u v =
   Foremost.distance (Foremost.run net u) v <> None
 
-(* The per-source scans below borrow both workspace families at once —
-   static BFS into [dist]/[queue], the foremost sweep into [arrival] —
-   which the Workspace slot discipline explicitly permits. *)
+(* The per-source scans borrow both workspace families at once — static
+   BFS into [dist]/[queue], the sweep into [arrival] (scalar) or the
+   [lane_*] slots (batched) — which the Workspace slot discipline
+   explicitly permits. *)
 let static_into net u ws =
   Traverse.bfs_into (Tgraph.graph net) u ~dist:ws.Workspace.dist
     ~queue:ws.Workspace.queue
@@ -23,46 +24,138 @@ let source_ok net u =
   in
   scan 0
 
-let treach net =
+let treach_scalar net =
   let n = Tgraph.n net in
   let rec scan u = u >= n || (source_ok net u && scan (u + 1)) in
   scan 0
 
+(* Batched Treach: one sweep covers lane_width sources, and a fully
+   saturated batch (every lane reached every vertex — the common case
+   on instances that do satisfy Treach) passes with no static BFS at
+   all.  Only unsaturated lanes pay a BFS plus a bit-probe scan.
+   Sequential batches keep the scalar path's early exit, at batch
+   granularity. *)
+let batch_ok net t =
+  let n = Tgraph.n net in
+  Batch.all_saturated t
+  ||
+  let ws = Workspace.get ~n in
+  let rec lane_ok lane =
+    lane >= Batch.lanes t
+    || begin
+         (Batch.saturated t ~lane
+         ||
+         begin
+           static_into net (Batch.source t lane) ws;
+           let static = ws.Workspace.dist in
+           let bit = 1 lsl lane in
+           let rec scan v =
+             v >= n
+             || ((static.(v) = Traverse.unreachable
+                 || Batch.reached_word t v land bit <> 0)
+                && scan (v + 1))
+           in
+           scan 0
+         end)
+         && lane_ok (lane + 1)
+       end
+  in
+  lane_ok 0
+
+let treach net =
+  if Batch.force_scalar () then treach_scalar net
+  else begin
+    let n = Tgraph.n net in
+    let batches = Batch.batch_count ~n in
+    let rec scan b =
+      b >= batches
+      || (batch_ok net (Batch.sweep net ~sources:(Batch.batch_sources ~n b))
+         && scan (b + 1))
+    in
+    scan 0
+  end
+
 let missing_pairs net =
   let n = Tgraph.n net in
-  let ws = Workspace.get ~n in
-  let missing = ref [] in
-  for u = n - 1 downto 0 do
-    static_into net u ws;
-    let arrival = Foremost.arrivals_borrowed net u in
-    let static = ws.Workspace.dist in
-    for v = n - 1 downto 0 do
-      if v <> u && static.(v) <> Traverse.unreachable && arrival.(v) = max_int
-      then missing := (u, v) :: !missing
-    done
-  done;
-  !missing
+  if Batch.force_scalar () then begin
+    let ws = Workspace.get ~n in
+    let missing = ref [] in
+    for u = n - 1 downto 0 do
+      static_into net u ws;
+      let arrival = Foremost.arrivals_borrowed net u in
+      let static = ws.Workspace.dist in
+      for v = n - 1 downto 0 do
+        if v <> u && static.(v) <> Traverse.unreachable && arrival.(v) = max_int
+        then missing := (u, v) :: !missing
+      done
+    done;
+    !missing
+  end
+  else begin
+    (* Forward batch/lane/target order with a final reverse keeps the
+       scalar path's ascending (u, v) output order. *)
+    let missing = ref [] in
+    Batch.iter_batches net (fun t ->
+        if not (Batch.all_saturated t) then begin
+          let ws = Workspace.get ~n in
+          for lane = 0 to Batch.lanes t - 1 do
+            if not (Batch.saturated t ~lane) then begin
+              let u = Batch.source t lane in
+              static_into net u ws;
+              let static = ws.Workspace.dist in
+              let bit = 1 lsl lane in
+              for v = 0 to n - 1 do
+                if
+                  v <> u
+                  && static.(v) <> Traverse.unreachable
+                  && Batch.reached_word t v land bit = 0
+                then missing := (u, v) :: !missing
+              done
+            end
+          done
+        end);
+    List.rev !missing
+  end
 
 let count_pairs net ~temporal =
   let n = Tgraph.n net in
-  let ws = Workspace.get ~n in
-  let count = ref 0 in
-  for u = 0 to n - 1 do
-    if temporal then begin
-      let arrival = Foremost.arrivals_borrowed net u in
-      for v = 0 to n - 1 do
-        if v <> u && arrival.(v) < max_int then incr count
-      done
+  if temporal then begin
+    if Batch.force_scalar () then begin
+      let count = ref 0 in
+      for u = 0 to n - 1 do
+        let arrival = Foremost.arrivals_borrowed net u in
+        for v = 0 to n - 1 do
+          if v <> u && arrival.(v) < max_int then incr count
+        done
+      done;
+      !count
     end
     else begin
+      (* The sweep already maintains per-lane reached counts (source
+         included), so a batch costs O(lanes) to read out. *)
+      let per_batch =
+        Batch.map_batches net (fun t ->
+            let c = ref 0 in
+            for lane = 0 to Batch.lanes t - 1 do
+              c := !c + Batch.reached_count t ~lane - 1
+            done;
+            !c)
+      in
+      Array.fold_left ( + ) 0 per_batch
+    end
+  end
+  else begin
+    let ws = Workspace.get ~n in
+    let count = ref 0 in
+    for u = 0 to n - 1 do
       static_into net u ws;
       let static = ws.Workspace.dist in
       for v = 0 to n - 1 do
         if v <> u && static.(v) <> Traverse.unreachable then incr count
       done
-    end
-  done;
-  !count
+    done;
+    !count
+  end
 
 let reachable_pair_count net = count_pairs net ~temporal:true
 let static_reachable_pair_count net = count_pairs net ~temporal:false
