@@ -35,9 +35,11 @@ type opts = {
   mutable no_faults : bool;
   mutable no_kernel : bool;
   mutable no_batch : bool;
+  mutable no_implicit : bool;
   mutable metrics : bool;
   mutable trace : string option;
   mutable jobs : int option;
+  mutable backend : Sim.Backend.t;
 }
 
 let usage_lines =
@@ -53,7 +55,11 @@ let usage_lines =
     "                 BENCH_clique.json)";
     "  --no-batch     skip part 2e (batch-kernel: scalar vs bit-parallel";
     "                 all-pairs diameter)";
+    "  --no-implicit  skip part 2f (dense vs implicit backend: trial time";
+    "                 and peak RSS on the same derived instances)";
     "  --no-micro     skip part 3 (Bechamel micro-benchmarks)";
+    "  --backend B    run the experiment tables (part 1) under backend B";
+    "                 (dense | implicit; default dense)";
     "  --jobs N, -j N worker domains for trial execution (default: 4";
     "                 for the speedup run, EPHEMERAL_JOBS or the";
     "                 recommended domain count elsewhere)";
@@ -78,9 +84,11 @@ let parse_args () =
       no_faults = false;
       no_kernel = false;
       no_batch = false;
+      no_implicit = false;
       metrics = false;
       trace = None;
       jobs = None;
+      backend = Sim.Backend.Dense;
     }
   in
   let argv = Sys.argv in
@@ -106,6 +114,12 @@ let parse_args () =
       | "--no-faults" -> o.no_faults <- true; go (i + 1)
       | "--no-kernel" -> o.no_kernel <- true; go (i + 1)
       | "--no-batch" -> o.no_batch <- true; go (i + 1)
+      | "--no-implicit" -> o.no_implicit <- true; go (i + 1)
+      | "--backend" ->
+        (match Sim.Backend.of_string (value "--backend" i) with
+        | Some b -> o.backend <- b
+        | None -> usage_error "--backend must be dense or implicit");
+        go (i + 2)
       | "--metrics" -> o.metrics <- true; go (i + 1)
       | "--trace" -> o.trace <- Some (value "--trace" i); go (i + 2)
       | ("--jobs" | "-j") as flag -> o.jobs <- Some (int_value flag i); go (i + 2)
@@ -357,6 +371,110 @@ let run_batch_bench () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 2f (also before 2d, for the same reason): dense vs implicit
+   backend on the E1 trial pipeline.
+
+   One trial = realise a derived normalized-uniform directed-clique
+   instance from a fresh 64-bit seed and compute its exact all-pairs
+   temporal diameter.  The implicit leg keeps the instance lazy
+   (arithmetic topology, labels rolled on demand behind the prefix
+   stream); the dense leg materializes the same instance (CSR clique,
+   stored label array, full counting-sorted stream) first.  Identical
+   seeds per trial, so the diameters must agree — the backend
+   equivalence oracle, run as a bench.
+
+   Peak RSS comes from /proc/self/status VmHWM, which is a monotone
+   high-water mark for the whole process: the implicit leg therefore
+   runs FIRST, so its reading bounds the implicit working set, and
+   the dense leg's (higher) reading shows what materialization adds
+   on top.  On hosts without procfs both read 0 and only the timing
+   rows are meaningful. *)
+
+type backend_point = {
+  ib_n : int;
+  ib_dense_ns : float;
+  ib_implicit_ns : float;
+  ib_ratio : float;
+  ib_agree : bool;
+  ib_implicit_hwm_kb : int;
+  ib_dense_hwm_kb : int;
+}
+
+let backend_points : backend_point list ref = ref []
+let backend_sizes () = if quick then [ 512; 1024 ] else [ 1024; 2048; 4096 ]
+
+let peak_rss_kb () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> 0
+  | ic ->
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file -> 0
+      | line ->
+        if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+          try Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d"
+                Fun.id
+          with Scanf.Scan_failure _ | Failure _ -> 0
+        else scan ()
+    in
+    let v = scan () in
+    close_in ic;
+    v
+
+let run_implicit_bench () =
+  print_endline
+    "=================================================================";
+  print_endline
+    " Backend: dense (materialized) vs implicit (derived labels), same seeds";
+  print_endline
+    "=================================================================";
+  List.iter
+    (fun n ->
+      let trials = if quick then 2 else 3 in
+      let seed = 409 in
+      let impl_out, impl_ns, _ =
+        measure ~trials (fun () ->
+            let rng = Rng.create seed in
+            let g = Sgraph.Gen.clique_implicit Directed n in
+            Distance.instance_diameter
+              (Assignment.uniform_single_implicit rng g ~a:n))
+      in
+      let impl_hwm = peak_rss_kb () in
+      let dense_out, dense_ns, _ =
+        measure ~trials (fun () ->
+            let rng = Rng.create seed in
+            let g = Sgraph.Gen.clique Directed n in
+            Distance.instance_diameter
+              (Tgraph.materialize
+                 (Assignment.uniform_single_implicit rng g ~a:n)))
+      in
+      let dense_hwm = peak_rss_kb () in
+      let agree = impl_out = dense_out in
+      let ratio = dense_ns /. Float.max 1. impl_ns in
+      Printf.printf
+        "  n=%5d  dense %12.0f ns/trial  implicit %12.0f ns/trial  %6.2fx  \
+         agree: %s\n"
+        n dense_ns impl_ns ratio
+        (if agree then "yes" else "NO (BUG)");
+      Printf.printf
+        "           peak RSS after implicit leg %d KiB, after dense leg %d KiB\n"
+        impl_hwm dense_hwm;
+      backend_points :=
+        {
+          ib_n = n;
+          ib_dense_ns = dense_ns;
+          ib_implicit_ns = impl_ns;
+          ib_ratio = ratio;
+          ib_agree = agree;
+          ib_implicit_hwm_kb = impl_hwm;
+          ib_dense_hwm_kb = dense_hwm;
+        }
+        :: !backend_points)
+    (backend_sizes ());
+  backend_points := List.rev !backend_points;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2d: flat kernel vs seed baseline on the E1 clique pipeline.
 
    One trial = draw a normalized uniform assignment on the directed
@@ -430,6 +548,26 @@ let run_kernel_bench () =
              points)
       ^ "\n  ]"
   in
+  (* Part 2f's dense-vs-implicit points land in a "backends" array
+     (empty under --no-implicit). *)
+  let backends_json =
+    match !backend_points with
+    | [] -> "[]"
+    | points ->
+      "[\n"
+      ^ String.concat ",\n"
+          (List.map
+             (fun p ->
+               Printf.sprintf
+                 "    { \"n\": %d, \"dense_ns_per_trial\": %.0f, \
+                  \"implicit_ns_per_trial\": %.0f, \
+                  \"dense_over_implicit\": %.2f, \"agree\": %b, \
+                  \"implicit_peak_rss_kb\": %d, \"dense_peak_rss_kb\": %d }"
+                 p.ib_n p.ib_dense_ns p.ib_implicit_ns p.ib_ratio p.ib_agree
+                 p.ib_implicit_hwm_kb p.ib_dense_hwm_kb)
+             points)
+      ^ "\n  ]"
+  in
   Printf.fprintf oc
     "{\n\
     \  \"bench\": \"e1_clique_pipeline\",\n\
@@ -442,11 +580,12 @@ let run_kernel_bench () =
     \  \"alloc_ratio\": %.2f,\n\
     \  \"outputs_agree\": %b,\n\
     \  \"lane_width\": %d,\n\
-    \  \"batch\": %s\n\
+    \  \"batch\": %s,\n\
+    \  \"backends\": %s\n\
      }\n"
     kernel_n trials quick legacy_ns legacy_bytes flat_ns flat_bytes speedup
     (legacy_bytes /. Float.max 1. flat_bytes)
-    agree Batch.lane_width batch_json;
+    agree Batch.lane_width batch_json backends_json;
   close_out oc;
   Printf.printf "  wrote %s\n" path;
   print_newline ()
@@ -699,10 +838,15 @@ let () =
   in
   if opts.metrics || Option.is_some sink then Obs.Control.set_enabled true;
   Option.iter Exec.Pool.set_jobs opts.jobs;
+  Sim.Backend.set opts.backend;
   if not opts.no_tables then run_tables ();
   if not opts.no_speedup then run_speedup ();
   if not opts.no_store then run_store_bench ();
   if not opts.no_faults then run_fault_soak ();
+  (* Backend comparison first: peak RSS is read from VmHWM, a
+     process-lifetime high-water mark, so the implicit legs must run
+     before anything that materializes a large dense instance. *)
+  if not opts.no_implicit then run_implicit_bench ();
   if not opts.no_batch then run_batch_bench ();
   if not opts.no_kernel then run_kernel_bench ();
   if not opts.no_micro then run_micro ();

@@ -48,6 +48,24 @@ let jobs_term =
   in
   Arg.(value & opt (some int) None & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+let backend_term =
+  let doc =
+    "Temporal-instance representation: $(b,dense) (materialized label \
+     arrays and a full counting-sorted time-edge stream) or $(b,implicit) \
+     (labels derived on demand from one 64-bit seed behind a lazy prefix \
+     stream — O(n) working set on the normalized clique instead of \
+     O(n^2)). Both realise label-identical instances, so every table is \
+     byte-identical under either; the choice keys the result store and \
+     is recorded in the run ledger."
+  in
+  let choices =
+    List.map (fun b -> (Sim.Backend.to_string b, b)) Sim.Backend.all
+  in
+  Arg.(
+    value
+    & opt (enum choices) Sim.Backend.Dense
+    & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 let lifetime_of n = function Some a -> a | None -> n
 
 (* ------------------------------------------------------------------ *)
@@ -195,9 +213,11 @@ let run_cmd =
     let doc = "Also write each experiment as Markdown into $(docv)." in
     Arg.(value & opt (some string) None & info [ "md" ] ~docv:"DIR" ~doc)
   in
-  let run ids quick seed csv md metrics trace report jobs cache store_dir
-      resume fault_spec max_retries trial_timeout run_deadline keep_going =
+  let run ids quick seed backend csv md metrics trace report jobs cache
+      store_dir resume fault_spec max_retries trial_timeout run_deadline
+      keep_going =
     Option.iter Exec.Pool.set_jobs jobs;
+    Sim.Backend.set backend;
     Fault.Shutdown.install ();
     let selected =
       match ids with
@@ -297,7 +317,8 @@ let run_cmd =
             else "ok"
           in
           match
-            Sim.Ledger.write ~path ~seed ~quick ~jobs:(Exec.Config.jobs ())
+            Sim.Ledger.write ~path ~seed ~quick ~backend:(Sim.Backend.tag ())
+              ~jobs:(Exec.Config.jobs ())
               ~experiments:
                 (List.map (fun (e : Sim.Experiments.t) -> e.id) experiments)
               ~status:run_status
@@ -313,7 +334,8 @@ let run_cmd =
   in
   let doc = "Run reproduction experiments and print their tables." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const run $ ids_term $ quick_term $ seed_term $ csv_term $ md_term
+    Term.(const run $ ids_term $ quick_term $ seed_term $ backend_term
+          $ csv_term $ md_term
           $ metrics_term $ trace_term $ report_term $ jobs_term $ cache_term
           $ store_dir_term $ resume_term $ fault_spec_term $ max_retries_term
           $ trial_timeout_term $ run_deadline_term $ keep_going_term)
@@ -1195,6 +1217,9 @@ let version_cmd =
       (Store.Key.fingerprinted_sources ());
     Printf.printf "store format     : codec v%d (%s)\n" Store.Codec.format_version
       Store.Codec.magic;
+    Printf.printf "backends         : %s (--backend on run; active: %s)\n"
+      (String.concat ", " (List.map Sim.Backend.to_string Sim.Backend.all))
+      (Sim.Backend.tag ());
     0
   in
   let doc = "Show the version and the build-time code fingerprint (the \
@@ -1237,8 +1262,8 @@ let store_ls_cmd =
     if live = [] then print_endline "(empty)"
     else begin
       let now = Unix.gettimeofday () in
-      Printf.printf "%-12s %-6s %-10s %-6s %8s %6s  %s\n" "key" "exp" "seed"
-        "quick" "bytes" "age" "build";
+      Printf.printf "%-12s %-6s %-10s %-6s %-9s %8s %6s  %s\n" "key" "exp"
+        "seed" "quick" "backend" "bytes" "age" "build";
       List.iter
         (fun (e : Store.Objects.entry) ->
           let field k = Option.value ~default:"-" (List.assoc_opt k e.meta) in
@@ -1248,10 +1273,10 @@ let store_ls_cmd =
             | Some _ -> "stale"
             | None -> "?"
           in
-          Printf.printf "%-12s %-6s %-10s %-6s %8d %6s  %s\n"
+          Printf.printf "%-12s %-6s %-10s %-6s %-9s %8d %6s  %s\n"
             (String.sub e.key 0 (Stdlib.min 12 (String.length e.key)))
-            (field "exp") (field "seed") (field "quick") e.size
-            (age_string ~now e.time) build)
+            (field "exp") (field "seed") (field "quick") (field "backend")
+            e.size (age_string ~now e.time) build)
         live
     end;
     0
@@ -1266,7 +1291,8 @@ let store_show_cmd =
                a cache-key prefix from $(b,store ls)." in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"ID_OR_KEY" ~doc)
   in
-  let run dir what seed quick =
+  let run dir what seed quick backend =
+    Sim.Backend.set backend;
     let store = Store.Objects.open_ ~dir in
     match Sim.Experiments.find what with
     | Some exp -> (
@@ -1276,8 +1302,9 @@ let store_show_cmd =
         0
       | None ->
         Printf.eprintf
-          "no cached outcome for %s (seed %d, quick %b) under this build\n"
-          exp.id seed quick;
+          "no cached outcome for %s (seed %d, quick %b, backend %s) under \
+           this build\n"
+          exp.id seed quick (Sim.Backend.tag ());
         1)
     | None -> (
       let matches =
@@ -1316,7 +1343,8 @@ let store_show_cmd =
   in
   let doc = "Render a cached outcome without running anything." in
   Cmd.v (Cmd.info "show" ~doc)
-    Term.(const run $ store_dir_term $ what_term $ seed_term $ quick_term)
+    Term.(const run $ store_dir_term $ what_term $ seed_term $ quick_term
+          $ backend_term)
 
 let store_gc_cmd =
   let max_bytes_term =

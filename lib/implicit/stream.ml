@@ -1,0 +1,196 @@
+module Graph = Sgraph.Graph
+
+(* The derived time-edge stream, materialized lazily as a label-bounded
+   *prefix*.  A view with [bound = B] holds exactly the entries whose
+   label is <= B, in the same order the dense counting-sorted stream
+   would hold them: label ascending, ties in emission order (edge id
+   ascending, u->v before v->u).  Because the sort is stable and the
+   emission order is fixed, the view for bound B is a byte prefix of
+   the view for bound 2B — so kernels that exhaust a view keep their
+   stream indices (arrival predecessors, scan positions) and continue
+   exactly where they stopped after an {!extend}.
+
+   On the normalized U-RTN clique the temporal diameter is
+   Theta(log n), so sweeps only ever consume labels up to O(log n) out
+   of a lifetime of n: the prefix holds ~ m * B / a entries — O(n log n)
+   for the clique — while the dense stream would hold all m * r.  That
+   ratio is the whole point of the backend.
+
+   Concurrency: views are immutable and published through an [Atomic]
+   (release/acquire), so readers never lock.  Builders serialize on a
+   mutex and re-check the published bound before building, so each step
+   of the deterministic bound schedule (B0, 2*B0, ... capped at the
+   lifetime) is built exactly once per instance no matter how many
+   domains race — keeping the [implicit.label_rolls] probe identical at
+   any [--jobs]. *)
+
+type view = {
+  bound : int;  (* every entry with label <= bound is present *)
+  complete : bool;  (* bound >= lifetime: this is the whole stream *)
+  te_src : int array;
+  te_dst : int array;
+  te_label : int array;
+  te_edge : int array;
+}
+
+type t = {
+  graph : Graph.t;
+  labels : Labels.t;
+  lifetime : int;
+  initial_bound : int;
+  cur : view Atomic.t;
+  lock : Mutex.t;
+}
+
+let default_initial_bound = 64
+
+let create graph ~labels ~lifetime =
+  if lifetime < 1 then invalid_arg "Implicit.Stream.create: lifetime < 1";
+  {
+    graph;
+    labels;
+    lifetime;
+    initial_bound = Stdlib.min lifetime default_initial_bound;
+    cur =
+      Atomic.make
+        {
+          bound = 0;
+          complete = false;
+          te_src = [||];
+          te_dst = [||];
+          te_label = [||];
+          te_edge = [||];
+        };
+    lock = Mutex.create ();
+  }
+
+let graph t = t.graph
+let labels t = t.labels
+let lifetime t = t.lifetime
+let view t = Atomic.get t.cur
+
+(* Growable quad buffer for one collect pass. *)
+type buf = {
+  mutable len : int;
+  mutable src : int array;
+  mutable dst : int array;
+  mutable lab : int array;
+  mutable edg : int array;
+}
+
+let buf_push b u v l e =
+  let cap = Array.length b.src in
+  if b.len = cap then begin
+    let cap' = Stdlib.max 1024 (2 * cap) in
+    let grow a = Array.append a (Array.make (cap' - cap) 0) in
+    b.src <- grow b.src;
+    b.dst <- grow b.dst;
+    b.lab <- grow b.lab;
+    b.edg <- grow b.edg
+  end;
+  b.src.(b.len) <- u;
+  b.dst.(b.len) <- v;
+  b.lab.(b.len) <- l;
+  b.edg.(b.len) <- e;
+  b.len <- b.len + 1
+
+(* One roll pass over all edges, keeping entries with lo < label <= hi
+   in emission order, then a stable counting sort by label appended
+   onto [prev]'s arrays.  All labels in the band exceed [prev.bound],
+   so old arrays + sorted band is exactly the stream prefix for
+   [hi]. *)
+let build_band t (prev : view) ~hi =
+  let lo = prev.bound in
+  let g = t.graph in
+  let undirected = not (Graph.is_directed g) in
+  let r = Labels.rolls_per_edge t.labels in
+  let scratch = Array.make r 0 in
+  let b = { len = 0; src = [||]; dst = [||]; lab = [||]; edg = [||] } in
+  Graph.iter_edges g (fun e u v ->
+      if r = 1 then begin
+        let l = Labels.roll t.labels ~edge:e ~k:0 in
+        if l > lo && l <= hi then begin
+          buf_push b u v l e;
+          if undirected then buf_push b v u l e
+        end
+      end
+      else begin
+        let cnt = Labels.fill_sorted t.labels ~edge:e scratch in
+        for j = 0 to cnt - 1 do
+          let l = scratch.(j) in
+          if l > lo && l <= hi then begin
+            buf_push b u v l e;
+            if undirected then buf_push b v u l e
+          end
+        done
+      end);
+  Labels.note_bulk_rolls (Graph.m g * r);
+  let old_len = Array.length prev.te_label in
+  let total = old_len + b.len in
+  let extendarr old = Array.append old (Array.make b.len 0) in
+  let te_src = extendarr prev.te_src in
+  let te_dst = extendarr prev.te_dst in
+  let te_label = extendarr prev.te_label in
+  let te_edge = extendarr prev.te_edge in
+  (* Stable counting sort of the band into the tail. *)
+  let counts = Array.make (hi - lo + 1) 0 in
+  for i = 0 to b.len - 1 do
+    let c = b.lab.(i) - lo in
+    counts.(c) <- counts.(c) + 1
+  done;
+  let sum = ref old_len in
+  for c = 1 to hi - lo do
+    let k = counts.(c) in
+    counts.(c) <- !sum;
+    sum := !sum + k
+  done;
+  assert (!sum = total);
+  for i = 0 to b.len - 1 do
+    let c = b.lab.(i) - lo in
+    let pos = counts.(c) in
+    counts.(c) <- pos + 1;
+    te_src.(pos) <- b.src.(i);
+    te_dst.(pos) <- b.dst.(i);
+    te_label.(pos) <- b.lab.(i);
+    te_edge.(pos) <- b.edg.(i)
+  done;
+  { bound = hi; complete = hi >= t.lifetime; te_src; te_dst; te_label; te_edge }
+
+let extend t ~past =
+  let v = Atomic.get t.cur in
+  if v.bound > past then true
+  else if v.complete then false
+  else begin
+    Mutex.lock t.lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.lock)
+      (fun () ->
+        (* Re-check under the lock: another domain may have published a
+           deeper prefix while we waited.  Each schedule step is built
+           at most once per instance. *)
+        let rec grow () =
+          let v = Atomic.get t.cur in
+          if v.bound > past || v.complete then ()
+          else begin
+            let hi =
+              if v.bound = 0 then t.initial_bound
+              else Stdlib.min t.lifetime (2 * v.bound)
+            in
+            Atomic.set t.cur (build_band t v ~hi);
+            grow ()
+          end
+        in
+        grow ());
+    (Atomic.get t.cur).bound > past
+  end
+
+let force_complete t =
+  let rec go () =
+    let v = Atomic.get t.cur in
+    if not v.complete then begin
+      ignore (extend t ~past:v.bound);
+      go ()
+    end
+  in
+  go ();
+  Atomic.get t.cur

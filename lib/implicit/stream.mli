@@ -1,0 +1,48 @@
+(** Lazily-materialized prefix of a derived time-edge stream.
+
+    A {!view} with [bound = B] holds exactly the stream entries with
+    label [<= B], byte-identical to the corresponding prefix of the
+    dense counting-sorted stream (label ascending, ties in emission
+    order: edge id ascending, u->v before v->u).  Views for growing
+    bounds are byte prefixes of each other, so kernels keep their
+    stream indices across {!extend} and resume scanning exactly where
+    they stopped.
+
+    Views are immutable and published through an [Atomic]; builders
+    serialize on a mutex and follow a fixed doubling bound schedule, so
+    each prefix step is built exactly once per instance regardless of
+    how many domains race — the [implicit.label_rolls] probe stays
+    deterministic at any [--jobs]. *)
+
+type view = {
+  bound : int;  (** every entry with label [<= bound] is present *)
+  complete : bool;  (** [bound >= lifetime]: this is the whole stream *)
+  te_src : int array;
+  te_dst : int array;
+  te_label : int array;
+  te_edge : int array;
+}
+
+type t
+
+val create : Sgraph.Graph.t -> labels:Labels.t -> lifetime:int -> t
+(** No rolls happen here; the first {!extend} builds the first prefix.
+    @raise Invalid_argument if [lifetime < 1]. *)
+
+val graph : t -> Sgraph.Graph.t
+val labels : t -> Labels.t
+val lifetime : t -> int
+
+val view : t -> view
+(** The currently published prefix (initially empty with [bound = 0]).
+    Lock-free. *)
+
+val extend : t -> past:int -> bool
+(** [extend t ~past] ensures the published prefix reaches strictly past
+    bound [past] (or is complete).  Returns [false] iff the stream is
+    complete and holds nothing beyond [past] — i.e. there is nothing
+    left to scan for a caller that has consumed a view with that
+    bound. *)
+
+val force_complete : t -> view
+(** Extend to the full lifetime and return the complete stream. *)

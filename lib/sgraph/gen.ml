@@ -48,6 +48,13 @@ let star n =
   if n < 2 then invalid_arg "Gen.star: need n >= 2";
   Graph.create Undirected ~n (List.init (n - 1) (fun i -> (0, i + 1)))
 
+(* O(1)-memory twins of [clique]/[star]/[grid]: same vertex and edge
+   numbering, arithmetic adjacency instead of CSR arrays.  These are the
+   topologies the implicit temporal backend scales to n = 10^5..10^6. *)
+let clique_implicit kind n = Graph.implicit_clique kind n
+let star_implicit n = Graph.implicit_star n
+let grid_implicit rows cols = Graph.implicit_grid ~rows ~cols
+
 let path n =
   if n < 1 then invalid_arg "Gen.path: need n >= 1";
   Graph.create Undirected ~n (List.init (n - 1) (fun i -> (i, i + 1)))

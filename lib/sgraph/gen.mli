@@ -13,6 +13,18 @@ val star : int -> Graph.t
 (** [star n]: undirected [K_{1,n-1}] with centre [0] (Theorem 6's graph).
     @raise Invalid_argument if [n < 2]. *)
 
+val clique_implicit : Graph.kind -> int -> Graph.t
+(** [clique_implicit kind n]: {!clique} as an O(1)-memory implicit
+    shape — identical numbering, no CSR arrays.  See
+    {!Graph.implicit_clique}. *)
+
+val star_implicit : int -> Graph.t
+(** [star_implicit n]: {!star} as an O(1)-memory implicit shape. *)
+
+val grid_implicit : int -> int -> Graph.t
+(** [grid_implicit rows cols]: {!grid} as an O(1)-memory implicit
+    shape. *)
+
 val path : int -> Graph.t
 (** [path n]: undirected path [0 - 1 - ... - n-1]. *)
 

@@ -11,7 +11,17 @@
     Adjacency is stored in CSR form (per-vertex offsets into flat int
     arrays), so the non-allocating {!iter_out}/{!iter_in} scans are the
     fast path; the tuple-array accessors {!out_arcs}/{!in_arcs} build a
-    fresh boxed copy per call and are kept for convenience and tests. *)
+    fresh boxed copy per call and are kept for convenience and tests.
+
+    A few regular topologies also exist as {e implicit shapes}
+    ({!implicit_clique}, {!implicit_star}, {!implicit_grid}): O(1)-memory
+    values whose adjacency and edge-id decode are pure arithmetic.  They
+    use the exact vertex and edge numbering of the corresponding
+    {!Gen} generators and their iterators visit arcs in the same
+    edge-id-ascending order as the CSR build, so the two forms are
+    observationally identical — the implicit form just has no O(n + m)
+    arrays behind it, which is what lets derived-label temporal
+    instances scale past the CSR memory wall. *)
 
 type kind = Directed | Undirected
 
@@ -32,6 +42,24 @@ val of_arrays : kind -> n:int -> int array -> int array -> t
     of both arrays; do not reuse them.
     @raise Invalid_argument on out-of-range endpoints, self-loops, or
     mismatched array lengths. *)
+
+val implicit_clique : kind -> int -> t
+(** [implicit_clique kind n] is the complete graph on [n] vertices as an
+    O(1)-memory shape, numbered exactly like [Gen.clique kind n].
+    @raise Invalid_argument if [n < 1]. *)
+
+val implicit_star : int -> t
+(** [implicit_star n] is the undirected star with centre [0] as an
+    O(1)-memory shape, numbered exactly like [Gen.star n].
+    @raise Invalid_argument if [n < 2]. *)
+
+val implicit_grid : rows:int -> cols:int -> t
+(** [implicit_grid ~rows ~cols] is the undirected grid as an O(1)-memory
+    shape, numbered exactly like [Gen.grid rows cols].
+    @raise Invalid_argument if either dimension is [< 1]. *)
+
+val is_implicit : t -> bool
+(** True when the graph is an arithmetic shape rather than a CSR. *)
 
 val kind : t -> kind
 val is_directed : t -> bool

@@ -1,8 +1,8 @@
 (* Whole-experiment outcome caching on top of lib/store.
 
-   The key pins experiment id, seed, quick flag and the build-time
-   code fingerprint (Store.Key); the value is the Codec-encoded
-   outcome.  Because every experiment is byte-deterministic in those
+   The key pins experiment id, seed, quick flag, backend tag and the
+   build-time code fingerprint (Store.Key); the value is the
+   Codec-encoded outcome.  Because every experiment is byte-deterministic in those
    inputs (the PR 2 contract), a hit is provably equal to a fresh run
    — rendered tables, CSVs and Markdown included.
 
@@ -13,7 +13,7 @@
 module Objects = Store.Objects
 
 let key (exp : Experiments.t) ~seed ~quick =
-  Store.Key.derive ~exp_id:exp.id ~seed ~quick
+  Store.Key.derive ~exp_id:exp.id ~seed ~quick ~backend:(Backend.tag ())
 
 let counters () =
   (* Register both so a --metrics summary always shows the pair. *)
@@ -70,7 +70,7 @@ let put store exp ~seed ~quick outcome =
     match
       Objects.put store
         ~key:(key exp ~seed ~quick)
-        ~meta:(Store.Key.meta ~exp_id:exp.id ~seed ~quick)
+        ~meta:(Store.Key.meta ~exp_id:exp.id ~seed ~quick ~backend:(Backend.tag ()))
         (Store.Codec.encode_outcome (to_codec outcome))
     with
     | (_ : Objects.entry) -> ()

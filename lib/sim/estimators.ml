@@ -15,12 +15,7 @@ type diameter_stats = {
   disconnected : int;
 }
 
-let temporal_diameter rng g ~a ~r ~trials =
-  let per_trial =
-    Runner.map rng ~trials (fun _ trial_rng ->
-        let net = Assignment.uniform_multi trial_rng g ~a ~r in
-        Distance.instance_diameter net)
-  in
+let diameter_stats_of ~trials per_trial =
   let summary = Stats.Summary.create () in
   (* Preallocate at the trial count and trim once: no cons cell and no
      List.rev pass per sample. *)
@@ -42,8 +37,40 @@ let temporal_diameter rng g ~a ~r ~trials =
     disconnected = !disconnected;
   }
 
+let temporal_diameter rng g ~a ~r ~trials =
+  diameter_stats_of ~trials
+    (Runner.map rng ~trials (fun _ trial_rng ->
+         let net = Assignment.uniform_multi trial_rng g ~a ~r in
+         Distance.instance_diameter net))
+
 let clique_temporal_diameter rng ~n ~a ~trials =
   temporal_diameter rng (Sgraph.Gen.clique Directed n) ~a ~r:1 ~trials
+
+(* Backend-dispatched clique estimator (e23): each trial draws ONE
+   bits64 seed and realises the derived instance either lazily
+   (Implicit) or as its materialized dense twin (Dense).  Both arms
+   see label-identical instances — Tgraph.materialize re-evaluates
+   the same site function — so the resulting stats are byte-equal
+   across backends; only memory and time differ.  The topology
+   follows the backend too: an O(1) arithmetic clique vs the O(n^2)
+   CSR build (part of the dense cost being measured).  [sample]
+   switches the per-instance statistic from the exact all-pairs
+   diameter to a max over that many random sources (used only for
+   the XL row, where even ceil(n/W) full sweeps are too dear). *)
+let derived_clique_diameter rng ~n ~sample ~trials =
+  let implicit_mode = Backend.current () = Backend.Implicit in
+  let g =
+    if implicit_mode then Sgraph.Gen.clique_implicit Directed n
+    else Sgraph.Gen.clique Directed n
+  in
+  diameter_stats_of ~trials
+    (Runner.map rng ~trials (fun _ trial_rng ->
+         let net = Assignment.uniform_single_implicit trial_rng g ~a:n in
+         let net = if implicit_mode then net else Tgraph.materialize net in
+         match sample with
+         | None -> Distance.instance_diameter net
+         | Some sources ->
+           Distance.instance_diameter_sampled trial_rng net ~sources))
 
 let flooding_time rng g ~a ~r ~trials =
   let per_trial =

@@ -32,6 +32,17 @@ val clique_temporal_diameter :
 (** {!temporal_diameter} on the directed clique with [r = 1]: the
     (normalized when [a = n]) U-RTN of §3. *)
 
+val derived_clique_diameter :
+  Prng.Rng.t -> n:int -> sample:int option -> trials:int -> diameter_stats
+(** Normalized U-RTN directed-clique diameters on the {e active}
+    {!Backend}: each trial draws one 64-bit seed and realises the
+    derived instance lazily (Implicit) or as its materialized dense
+    twin (Dense) — label-identical either way, so the stats are
+    byte-equal across backends.  [sample = Some k] replaces the exact
+    all-pairs diameter by the max eccentricity over [k] random
+    sources (a lower estimate, for sizes where even the batched exact
+    kernel is too dear). *)
+
 val flooding_time :
   Prng.Rng.t ->
   Sgraph.Graph.t ->

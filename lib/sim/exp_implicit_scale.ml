@@ -1,0 +1,100 @@
+module Table = Stats.Table
+module Summary = Stats.Summary
+
+(* E23 extends E1's Theorem 3-4 check to sizes the dense
+   representation cannot reach: at n = 10^5 the directed clique's
+   time-edge stream alone is ~10^10 entries (hundreds of GB), while
+   the derived-label backend holds O(n log n) expected entries (the
+   lazy prefix up to the ~3.7 ln n diameter).  Every trial draws one
+   64-bit seed; dense and implicit realise label-identical instances
+   from it, so in quick mode — where both backends can afford the
+   sizes — the rendered table is byte-identical under either, which
+   CI diffs directly.  Full-mode sizes follow the active backend:
+   the implicit arm runs the large-n sweep, the dense arm stops where
+   materialization stays affordable. *)
+
+let quick_sizes = [ 512; 2048 ]
+let full_sizes_implicit = [ 10_000; 100_000 ]
+let full_sizes_dense = [ 2048; 4096 ]
+
+let trials_for ~quick n =
+  if quick then if n <= 512 then 4 else 2
+  else if n <= 4096 then 4
+  else if n <= 10_000 then 3
+  else 1
+
+(* The XL row: sampled-source diameter at n = 10^6 (m = 10^12 label
+   sites — the roll pass alone is hours on one core), strictly behind
+   the EPHEMERAL_IMPLICIT_XL opt-in.  Sampled because even ceil(n/W)
+   exact sweeps are out of reach; 8 sources give a lower estimate
+   whose TD/ln n still lands on the Theorem 4 plateau. *)
+let xl_n = 1_000_000
+let xl_sources = 8
+
+let add_size_row table points rng ~quick ~sample n =
+  let trials = trials_for ~quick n in
+  let stats =
+    Obs.Span.with_span (Printf.sprintf "n=%d" n) (fun () ->
+        Estimators.derived_clique_diameter (Prng.Rng.split rng) ~n ~sample
+          ~trials)
+  in
+  let mean = Summary.mean stats.summary in
+  let ln_n = log (float_of_int n) in
+  if sample = None then points := (float_of_int n, mean) :: !points;
+  Table.add_row table
+    [
+      Int n;
+      Int trials;
+      Str
+        (match sample with
+        | None -> "exact"
+        | Some k -> Printf.sprintf "sampled(%d)" k);
+      Float (mean, 2);
+      Float (Summary.stddev stats.summary, 2);
+      Float (mean /. ln_n, 3);
+      Int stats.disconnected;
+    ]
+
+let run ~quick ~seed =
+  let rng = Prng.Rng.create seed in
+  let sizes =
+    if quick then quick_sizes
+    else
+      match Backend.current () with
+      | Backend.Implicit -> full_sizes_implicit
+      | Backend.Dense -> full_sizes_dense
+  in
+  let table =
+    Table.create
+      ~title:
+        "E23: temporal diameter of the normalized U-RTN clique at scale \
+         (derived-label instances)"
+      ~columns:[ "n"; "trials"; "stat"; "mean TD"; "sd"; "TD/ln n"; "disconn" ]
+  in
+  let points = ref [] in
+  List.iter (add_size_row table points rng ~quick ~sample:None) sizes;
+  if Backend.xl_enabled () && not quick then
+    add_size_row table points rng ~quick ~sample:(Some xl_sources) xl_n;
+  let points = List.rev !points in
+  let fit = Stats.Regression.fit_log points in
+  let notes =
+    [
+      Format.asprintf
+        "fit TD = alpha + gamma*ln n: %a — Theorem 4's Theta(log n) diameter, \
+         now checked exactly at sizes where the answer is ~%.0f over a stream \
+         of ~n^2 label sites"
+        Stats.Regression.pp_fit fit
+        (match List.rev points with (_, td) :: _ -> td | [] -> 0.);
+      "each trial is one 64-bit seed; labels are derived from it on demand, \
+       so the instance representation (a run-mode choice recorded in the \
+       ledger) changes memory and time but never a number in this table";
+      "the clique is always temporally connected (every pair keeps its \
+       direct arc), so 'disconn' must be 0 throughout";
+    ]
+  in
+  let plot =
+    Stats.Ascii_plot.render ~x_label:"ln n" ~y_label:"mean TD"
+      ~title:"E23: mean temporal diameter vs ln n"
+      (List.map (fun (n, td) -> (log n, td)) points)
+  in
+  Outcome.make ~notes ~plots:[ plot ] [ table ]

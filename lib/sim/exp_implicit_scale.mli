@@ -1,0 +1,13 @@
+(** E23 — Temporal diameter at scale on derived-label instances.
+
+    E1's Theorem 3/4 check pushed past the dense memory wall: exact
+    all-pairs temporal diameters of normalized U-RTN directed cliques
+    at [n = 10^4] and [10^5] (where the materialized time-edge stream
+    would be ~10^10 entries), plus an opt-in sampled row at [10^6]
+    behind [EPHEMERAL_IMPLICIT_XL].  Each trial is one 64-bit seed;
+    dense and implicit backends realise label-identical instances
+    from it, so the quick-mode table (sizes both can afford) is
+    byte-identical under either backend — CI diffs exactly that.
+    Full-mode sizes follow the active {!Backend}. *)
+
+val run : quick:bool -> seed:int -> Outcome.t

@@ -139,6 +139,12 @@ let all =
       paper_ref = "reproducibility meta-check";
       run = Exp_stability.run;
     };
+    {
+      id = "e23";
+      title = "Temporal diameter at scale: derived-label instances";
+      paper_ref = "Theorems 3-4 at n the dense representation cannot hold";
+      run = Exp_implicit_scale.run;
+    };
   ]
 
 let find id =

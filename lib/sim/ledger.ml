@@ -95,7 +95,7 @@ let with_defaults known default present =
       (name, Option.value (List.assoc_opt name present) ~default))
     all
 
-let build ~seed ~quick ~jobs ~experiments ~status ~wall_ns =
+let build ~seed ~quick ~backend ~jobs ~experiments ~status ~wall_ns =
   let snapshot = Obs.Metrics.snapshot () in
   let counters =
     List.filter_map
@@ -133,6 +133,12 @@ let build ~seed ~quick ~jobs ~experiments ~status ~wall_ns =
         ("sources", string_of_int (Store.Key.fingerprinted_sources ()));
         ("seed", string_of_int seed);
         ("quick", string_of_bool quick);
+        (* The instance representation is a run input like the seed:
+           label-identical across backends by construction, but the
+           implicit.* roll/query counters below legitimately differ,
+           so the field keeps deterministic sections comparable only
+           within one backend. *)
+        ("backend", jstr backend);
         ("experiments", jarr (List.map jstr experiments));
         ("status", jstr status);
         ("failed_trials", string_of_int failed_trials);
@@ -187,6 +193,6 @@ let build ~seed ~quick ~jobs ~experiments ~status ~wall_ns =
     ]
   ^ "\n"
 
-let write ~path ~seed ~quick ~jobs ~experiments ~status ~wall_ns =
+let write ~path ~seed ~quick ~backend ~jobs ~experiments ~status ~wall_ns =
   Store.Fsio.write_atomic path
-    (build ~seed ~quick ~jobs ~experiments ~status ~wall_ns)
+    (build ~seed ~quick ~backend ~jobs ~experiments ~status ~wall_ns)

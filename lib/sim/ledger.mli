@@ -23,6 +23,7 @@
 val build :
   seed:int ->
   quick:bool ->
+  backend:string ->
   jobs:int ->
   experiments:string list ->
   status:string ->
@@ -31,12 +32,16 @@ val build :
 (** Assemble the document (trailing newline included) from the current
     {!Obs.Metrics.snapshot}, {!Obs.Span.totals} and
     {!Supervise.failures}.  [status] is ["ok"], ["degraded"] or
-    ["failed"]. *)
+    ["failed"]; [backend] is {!Backend.tag} — a run input recorded in
+    the deterministic section (the [implicit.*] counters differ
+    across backends even though every table agrees, so deterministic
+    sections compare only within one backend). *)
 
 val write :
   path:string ->
   seed:int ->
   quick:bool ->
+  backend:string ->
   jobs:int ->
   experiments:string list ->
   status:string ->

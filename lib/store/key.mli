@@ -1,14 +1,18 @@
 (** Cache keys: what addresses an experiment outcome in the store.
 
     [derive] digests the experiment id, seed, quick flag (trial counts
-    and sweep sizes are pure functions of it) and the build-time code
-    fingerprint — so any input or code change invalidates cleanly (a
-    miss, then repopulation), and equal keys provably name equal
-    outcomes under the determinism contract of [Sim.Runner]. *)
+    and sweep sizes are pure functions of it), the instance-backend
+    tag (outcomes computed under one representation are never served
+    to a run under another) and the build-time code fingerprint — so
+    any input or code change invalidates cleanly (a miss, then
+    repopulation), and equal keys provably name equal outcomes under
+    the determinism contract of [Sim.Runner]. *)
 
-val derive : exp_id:string -> seed:int -> quick:bool -> string
+val derive :
+  exp_id:string -> seed:int -> quick:bool -> backend:string -> string
 (** Hex digest; stable across processes and machines for the same
-    build. *)
+    build.  [backend] is the run's backend tag ([Sim.Backend.tag]):
+    an opaque key component at this layer. *)
 
 val fingerprint : unit -> string
 (** The code fingerprint baked in at build time: a digest of every
@@ -19,6 +23,11 @@ val fingerprint : unit -> string
 val fingerprinted_sources : unit -> int
 (** How many source files the fingerprint covers. *)
 
-val meta : exp_id:string -> seed:int -> quick:bool -> (string * string) list
+val meta :
+  exp_id:string ->
+  seed:int ->
+  quick:bool ->
+  backend:string ->
+  (string * string) list
 (** Human-readable key components, recorded in the manifest for
     [store ls]. *)

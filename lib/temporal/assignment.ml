@@ -12,6 +12,20 @@ let uniform_single rng g ~a =
 
 let normalized_uniform rng g = uniform_single rng g ~a:(Graph.n g)
 
+(* Implicit twins: one bits64 draw seeds the whole instance; every
+   label is recomputed on demand from (seed, edge id, roll index)
+   instead of being stored.  [Tgraph.materialize] of the result is
+   label-identical to it — both backends evaluate the same site
+   function — which is what the equivalence suite pins.  Note the
+   labels are NOT the ones [uniform_single] would draw from the same
+   rng (that path consumes m sequential xoshiro outputs); the implicit
+   constructors define their own, equally uniform, distribution. *)
+let uniform_multi_implicit rng g ~a ~r =
+  if r < 1 then invalid_arg "Assignment.uniform_multi_implicit: r must be >= 1";
+  Tgraph.of_derived g ~a ~seed:(Prng.Rng.bits64 rng) ~r
+
+let uniform_single_implicit rng g ~a = uniform_multi_implicit rng g ~a ~r:1
+
 let draw_multi rng ~r draw_one =
   Label.of_list (List.init r (fun _ -> draw_one rng))
 

@@ -13,6 +13,24 @@ val uniform_single : Prng.Rng.t -> Sgraph.Graph.t -> a:int -> Tgraph.t
 val normalized_uniform : Prng.Rng.t -> Sgraph.Graph.t -> Tgraph.t
 (** {!uniform_single} with [a = n] — the Normalized U-RTN. *)
 
+val uniform_single_implicit : Prng.Rng.t -> Sgraph.Graph.t -> a:int -> Tgraph.t
+(** UNI-CASE on the implicit backend: one [bits64] draw from [rng]
+    seeds a derived-label instance ({!Tgraph.of_derived}) whose labels
+    are recomputed per query instead of stored — O(1) label memory at
+    build time, O(n log n) expected working set under the kernels'
+    lazy prefix streams.  [Tgraph.materialize] of the result is
+    label-identical to it, so every statistic agrees byte-for-byte
+    with the dense twin.  The label values differ from what
+    {!uniform_single} would draw from the same [rng] state (different
+    site function, same uniform marginal). *)
+
+val uniform_multi_implicit :
+  Prng.Rng.t -> Sgraph.Graph.t -> a:int -> r:int -> Tgraph.t
+(** [r] i.i.d. uniform labels per edge on the implicit backend;
+    collisions collapse on query exactly as {!uniform_multi}'s sets
+    do.  @raise Invalid_argument if [r < 1] (a derived instance cannot
+    represent label-free edges). *)
+
 val uniform_multi : Prng.Rng.t -> Sgraph.Graph.t -> a:int -> r:int -> Tgraph.t
 (** Each edge gets [r] labels drawn i.i.d. uniform on [{1..a}].  Labels
     form a *set*, so collisions collapse (irrelevant for the paper's

@@ -131,73 +131,85 @@ let sweep ?(start_time = 1) net ~sources =
       unsat := !unsat land lnot (1 lsl lane)
     end
   done;
-  let te_src, te_dst, te_label, _ = Tgraph.stream net in
-  let total = Array.length te_label in
   let i = ref 0 in
-  (* Entries below the departure horizon can never start a journey and
-     nothing is reached before them; skip them outright. *)
-  while !i < total && Array.unsafe_get te_label !i < start_time do
-    incr i
-  done;
   let ndirty = ref 0 in
-  while !i < total && !unsat <> 0 do
-    let l = Array.unsafe_get te_label !i in
-    (* Phase 1: apply every entry of the group against the frozen
-       pre-group state. *)
-    while
-      !i < total && Array.unsafe_get te_label !i = l
-    do
-      let src = Array.unsafe_get te_src !i in
-      let g = Array.unsafe_get reached src in
-      if g <> 0 then begin
-        let dst = Array.unsafe_get te_dst !i in
-        let add =
-          g
-          land lnot (Array.unsafe_get reached dst lor Array.unsafe_get delta dst)
-        in
-        if add <> 0 then begin
-          if Array.unsafe_get delta dst = 0 then begin
-            Array.unsafe_set dirty !ndirty dst;
-            incr ndirty
-          end;
-          Array.unsafe_set delta dst (Array.unsafe_get delta dst lor add)
-        end
-      end;
+  (* Scan the stream prefix; on implicit networks an exhausted prefix
+     is extended and the scan resumes at the same index (prefixes are
+     byte-stable), so the entries visited are exactly the dense
+     stream's.  The label-bound cut can never split a label group — a
+     prefix holds ALL entries up to its bound — so the group-phased
+     commit discipline is unaffected. *)
+  let continue_ = ref true in
+  while !continue_ do
+    let te_src, te_dst, te_label, _ = Tgraph.stream_prefix net in
+    let prefix_bound = Tgraph.stream_prefix_bound net in
+    let total = Array.length te_label in
+    (* Entries below the departure horizon can never start a journey and
+       nothing is reached before them; skip them outright. *)
+    while !i < total && Array.unsafe_get te_label !i < start_time do
       incr i
     done;
-    (* Phase 2: commit the group — record arrivals at l, fold the
-       deltas into the reached plane, retire saturated lanes. *)
-    for j = 0 to !ndirty - 1 do
-      let v = Array.unsafe_get dirty j in
-      let add = Array.unsafe_get delta v in
-      Array.unsafe_set delta v 0;
-      Array.unsafe_set reached v (Array.unsafe_get reached v lor add);
-      (* Walk the word lane by lane instead of isolate-and-ntz per set
-         bit: on dense groups (the common case on the clique, where one
-         label delivers most lanes to a vertex at once) the shift walk
-         is a handful of ops per arrival where ntz extraction costs
-         ~15, and it still stops at the highest set bit when the word
-         is sparse.  This loop writes every all-pairs arrival exactly
-         once, so it is the sweep's real inner loop — the edge scan
-         above touches ~W times fewer entries. *)
-      let rem = ref add in
-      let base = v * k in
-      let lane = ref 0 in
-      while !rem <> 0 do
-        if !rem land 1 <> 0 then begin
-          Array.unsafe_set arrival (base + !lane) l;
-          let c = Array.unsafe_get counts !lane + 1 in
-          Array.unsafe_set counts !lane c;
-          if c = n then begin
-            Array.unsafe_set ecc !lane l;
-            unsat := !unsat land lnot (1 lsl !lane)
+    while !i < total && !unsat <> 0 do
+      let l = Array.unsafe_get te_label !i in
+      (* Phase 1: apply every entry of the group against the frozen
+         pre-group state. *)
+      while
+        !i < total && Array.unsafe_get te_label !i = l
+      do
+        let src = Array.unsafe_get te_src !i in
+        let g = Array.unsafe_get reached src in
+        if g <> 0 then begin
+          let dst = Array.unsafe_get te_dst !i in
+          let add =
+            g
+            land lnot (Array.unsafe_get reached dst lor Array.unsafe_get delta dst)
+          in
+          if add <> 0 then begin
+            if Array.unsafe_get delta dst = 0 then begin
+              Array.unsafe_set dirty !ndirty dst;
+              incr ndirty
+            end;
+            Array.unsafe_set delta dst (Array.unsafe_get delta dst lor add)
           end
         end;
-        rem := !rem lsr 1;
-        incr lane
-      done
+        incr i
+      done;
+      (* Phase 2: commit the group — record arrivals at l, fold the
+         deltas into the reached plane, retire saturated lanes. *)
+      for j = 0 to !ndirty - 1 do
+        let v = Array.unsafe_get dirty j in
+        let add = Array.unsafe_get delta v in
+        Array.unsafe_set delta v 0;
+        Array.unsafe_set reached v (Array.unsafe_get reached v lor add);
+        (* Walk the word lane by lane instead of isolate-and-ntz per set
+           bit: on dense groups (the common case on the clique, where one
+           label delivers most lanes to a vertex at once) the shift walk
+           is a handful of ops per arrival where ntz extraction costs
+           ~15, and it still stops at the highest set bit when the word
+           is sparse.  This loop writes every all-pairs arrival exactly
+           once, so it is the sweep's real inner loop — the edge scan
+           above touches ~W times fewer entries. *)
+        let rem = ref add in
+        let base = v * k in
+        let lane = ref 0 in
+        while !rem <> 0 do
+          if !rem land 1 <> 0 then begin
+            Array.unsafe_set arrival (base + !lane) l;
+            let c = Array.unsafe_get counts !lane + 1 in
+            Array.unsafe_set counts !lane c;
+            if c = n then begin
+              Array.unsafe_set ecc !lane l;
+              unsat := !unsat land lnot (1 lsl !lane)
+            end
+          end;
+          rem := !rem lsr 1;
+          incr lane
+        done
+      done;
+      ndirty := 0
     done;
-    ndirty := 0
+    if !unsat = 0 || not (Tgraph.stream_extend net ~past:prefix_bound) then
+      continue_ := false
   done;
   if Obs.Control.enabled () then begin
     Obs.Metrics.incr sweeps_c;
@@ -261,7 +273,7 @@ let sweep_diameter ?(start_time = 1) net ~sources =
       if s < 0 || s >= n then
         invalid_arg "Batch.sweep_diameter: source out of range")
     sources;
-  let ws = Workspace.get_batch ~n ~lanes:k in
+  let ws = Workspace.get_batch_planes ~n in
   let reached = ws.Workspace.lane_reached in
   let delta = ws.Workspace.lane_delta in
   let dirty = ws.Workspace.lane_dirty in
@@ -276,47 +288,53 @@ let sweep_diameter ?(start_time = 1) net ~sources =
     reached.(s) <- reached.(s) lor (1 lsl lane)
   done;
   let worst = ref 0 in
-  let te_src, te_dst, te_label, _ = Tgraph.stream net in
-  let total = Array.length te_label in
   let i = ref 0 in
-  while !i < total && Array.unsafe_get te_label !i < start_time do
-    incr i
-  done;
   let ndirty = ref 0 in
-  while !i < total && !remaining > 0 do
-    let l = Array.unsafe_get te_label !i in
-    while !i < total && Array.unsafe_get te_label !i = l do
-      let src = Array.unsafe_get te_src !i in
-      let g = Array.unsafe_get reached src in
-      if g <> 0 then begin
-        let dst = Array.unsafe_get te_dst !i in
-        let add =
-          g
-          land lnot (Array.unsafe_get reached dst lor Array.unsafe_get delta dst)
-        in
-        if add <> 0 then begin
-          if Array.unsafe_get delta dst = 0 then begin
-            Array.unsafe_set dirty !ndirty dst;
-            incr ndirty
-          end;
-          Array.unsafe_set delta dst (Array.unsafe_get delta dst lor add)
-        end
-      end;
+  let continue_ = ref true in
+  while !continue_ do
+    let te_src, te_dst, te_label, _ = Tgraph.stream_prefix net in
+    let prefix_bound = Tgraph.stream_prefix_bound net in
+    let total = Array.length te_label in
+    while !i < total && Array.unsafe_get te_label !i < start_time do
       incr i
     done;
-    if !ndirty > 0 then begin
-      (* Something committed at this label; if it turns out to be the
-         last commit, [l] is the max arrival of the whole batch. *)
-      worst := l;
-      for j = 0 to !ndirty - 1 do
-        let v = Array.unsafe_get dirty j in
-        let add = Array.unsafe_get delta v in
-        Array.unsafe_set delta v 0;
-        Array.unsafe_set reached v (Array.unsafe_get reached v lor add);
-        remaining := !remaining - popcount add
+    while !i < total && !remaining > 0 do
+      let l = Array.unsafe_get te_label !i in
+      while !i < total && Array.unsafe_get te_label !i = l do
+        let src = Array.unsafe_get te_src !i in
+        let g = Array.unsafe_get reached src in
+        if g <> 0 then begin
+          let dst = Array.unsafe_get te_dst !i in
+          let add =
+            g
+            land lnot (Array.unsafe_get reached dst lor Array.unsafe_get delta dst)
+          in
+          if add <> 0 then begin
+            if Array.unsafe_get delta dst = 0 then begin
+              Array.unsafe_set dirty !ndirty dst;
+              incr ndirty
+            end;
+            Array.unsafe_set delta dst (Array.unsafe_get delta dst lor add)
+          end
+        end;
+        incr i
       done;
-      ndirty := 0
-    end
+      if !ndirty > 0 then begin
+        (* Something committed at this label; if it turns out to be the
+           last commit, [l] is the max arrival of the whole batch. *)
+        worst := l;
+        for j = 0 to !ndirty - 1 do
+          let v = Array.unsafe_get dirty j in
+          let add = Array.unsafe_get delta v in
+          Array.unsafe_set delta v 0;
+          Array.unsafe_set reached v (Array.unsafe_get reached v lor add);
+          remaining := !remaining - popcount add
+        done;
+        ndirty := 0
+      end
+    done;
+    if !remaining = 0 || not (Tgraph.stream_extend net ~past:prefix_bound) then
+      continue_ := false
   done;
   if Obs.Control.enabled () then begin
     Obs.Metrics.incr sweeps_c;
@@ -336,6 +354,117 @@ let sweep_diameter ?(start_time = 1) net ~sources =
     Obs.Metrics.add sat_c sat
   end;
   if !remaining = 0 then Some !worst else None
+
+(* Reachability-only sweep: the same plane walk as [sweep_diameter],
+   but it returns a full result record so the reachability consumers
+   can read [reached_word]/[reached_count]/[saturated] per lane.
+   Per-lane counts are recovered once at the end with one shift walk
+   over the reached plane (O(n) words) instead of being maintained per
+   commit, and the arrival matrix is never touched — the result's
+   [arrival] is empty and [arrival]/[arrivals_into]/[eccentricity] are
+   unsupported on it.  Like [sweep_diameter] this keeps batch scratch
+   at O(n) words, which is what [Reachability] needs to run on
+   implicit instances at n = 10^5+. *)
+let sweep_reach ?(start_time = 1) net ~sources =
+  if start_time < 1 then
+    invalid_arg "Batch.sweep_reach: start_time must be >= 1";
+  let n = Tgraph.n net in
+  let k = Array.length sources in
+  if k < 1 || k > lane_width then
+    invalid_arg "Batch.sweep_reach: need 1 .. lane_width sources";
+  Array.iter
+    (fun s ->
+      if s < 0 || s >= n then
+        invalid_arg "Batch.sweep_reach: source out of range")
+    sources;
+  let ws = Workspace.get_batch_planes ~n in
+  let reached = ws.Workspace.lane_reached in
+  let delta = ws.Workspace.lane_delta in
+  let dirty = ws.Workspace.lane_dirty in
+  let counts = ws.Workspace.lane_counts in
+  let ecc = ws.Workspace.lane_ecc in
+  Array.fill reached 0 n 0;
+  Array.fill delta 0 n 0;
+  Array.fill counts 0 k 0;
+  Array.fill ecc 0 k max_int;
+  let remaining = ref ((n * k) - k) in
+  for lane = 0 to k - 1 do
+    let s = Array.unsafe_get sources lane in
+    reached.(s) <- reached.(s) lor (1 lsl lane)
+  done;
+  let i = ref 0 in
+  let ndirty = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let te_src, te_dst, te_label, _ = Tgraph.stream_prefix net in
+    let prefix_bound = Tgraph.stream_prefix_bound net in
+    let total = Array.length te_label in
+    while !i < total && Array.unsafe_get te_label !i < start_time do
+      incr i
+    done;
+    while !i < total && !remaining > 0 do
+      let l = Array.unsafe_get te_label !i in
+      while !i < total && Array.unsafe_get te_label !i = l do
+        let src = Array.unsafe_get te_src !i in
+        let g = Array.unsafe_get reached src in
+        if g <> 0 then begin
+          let dst = Array.unsafe_get te_dst !i in
+          let add =
+            g
+            land lnot (Array.unsafe_get reached dst lor Array.unsafe_get delta dst)
+          in
+          if add <> 0 then begin
+            if Array.unsafe_get delta dst = 0 then begin
+              Array.unsafe_set dirty !ndirty dst;
+              incr ndirty
+            end;
+            Array.unsafe_set delta dst (Array.unsafe_get delta dst lor add)
+          end
+        end;
+        incr i
+      done;
+      for j = 0 to !ndirty - 1 do
+        let v = Array.unsafe_get dirty j in
+        let add = Array.unsafe_get delta v in
+        Array.unsafe_set delta v 0;
+        Array.unsafe_set reached v (Array.unsafe_get reached v lor add);
+        remaining := !remaining - popcount add
+      done;
+      ndirty := 0
+    done;
+    if !remaining = 0 || not (Tgraph.stream_extend net ~past:prefix_bound) then
+      continue_ := false
+  done;
+  (* Recover per-lane reached counts from the plane in one pass. *)
+  for v = 0 to n - 1 do
+    let rem = ref (Array.unsafe_get reached v) in
+    let lane = ref 0 in
+    while !rem <> 0 do
+      if !rem land 1 <> 0 then
+        Array.unsafe_set counts !lane (Array.unsafe_get counts !lane + 1);
+      rem := !rem lsr 1;
+      incr lane
+    done
+  done;
+  if Obs.Control.enabled () then begin
+    Obs.Metrics.incr sweeps_c;
+    Obs.Metrics.add scanned_c !i;
+    let sat = ref 0 in
+    for lane = 0 to k - 1 do
+      if counts.(lane) = n then incr sat
+    done;
+    Obs.Metrics.add sat_c !sat
+  end;
+  {
+    n;
+    lanes = k;
+    start_time;
+    sources;
+    arrival = [||];
+    reached;
+    reached_counts = counts;
+    ecc;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Batching sources 0 .. n-1. *)

@@ -49,6 +49,16 @@ val sweep : ?start_time:int -> Tgraph.t -> sources:int array -> t
     @raise Invalid_argument on an empty or oversized source array, a
     source out of range, or [start_time < 1]. *)
 
+val sweep_reach : ?start_time:int -> Tgraph.t -> sources:int array -> t
+(** Reachability-only sweep: same group-phased plane walk as
+    {!sweep_diameter}, returning a result whose {!reached_word},
+    {!reached_count}, {!saturated} and {!all_saturated} are exactly a
+    {!sweep}'s — but the arrival matrix is never allocated or written,
+    so batch scratch stays at O(n) words (the implicit-backend sizing
+    contract).  {!arrival}, {!arrivals_into} and {!eccentricity} are
+    unsupported on the result.
+    @raise Invalid_argument as {!sweep}. *)
+
 val sweep_diameter : ?start_time:int -> Tgraph.t -> sources:int array -> int option
 (** The batch's worst eccentricity — [max] over the given sources of
     their max arrival, i.e. what folding {!eccentricity} over a

@@ -27,10 +27,17 @@ let harmonic_lane ~n t lane =
   done;
   !total
 
+(* The closeness indices read full arrival rows, which the batched path
+   gets from [Batch.sweep]'s n * lanes arrival matrix; on implicit
+   instances they take the per-source scalar path instead so kernel
+   scratch stays O(n) (same float-add order, so results are
+   bit-identical either way). *)
+let scalar_only net = Batch.force_scalar () || Tgraph.is_implicit net
+
 let out_closeness net =
   let n = Tgraph.n net in
   let totals =
-    if Batch.force_scalar () then
+    if scalar_only net then
       Array.init n (fun u ->
           harmonic_from_arrivals ~n ~skip:u (Foremost.arrivals_borrowed net u))
     else
@@ -44,7 +51,7 @@ let out_closeness net =
 let in_closeness net =
   let n = Tgraph.n net in
   let totals = Array.make n 0. in
-  if Batch.force_scalar () then
+  if scalar_only net then
     for u = 0 to n - 1 do
       let arrivals = Foremost.arrivals_borrowed net u in
       for v = 0 to n - 1 do
@@ -91,9 +98,12 @@ let reach_counts net =
         done;
         !count)
   else
+    (* Counts need no arrivals: arrival-free sweeps over the pool. *)
     Array.concat
       (Array.to_list
-         (Batch.map_batches net (fun t ->
+         (Exec.Pool.map_range (Exec.Pool.global ()) ~lo:0
+            ~hi:(Batch.batch_count ~n) (fun b ->
+              let t = Batch.sweep_reach net ~sources:(Batch.batch_sources ~n b) in
               Array.init (Batch.lanes t) (fun lane ->
                   Batch.reached_count t ~lane))))
 

@@ -86,9 +86,17 @@ let instance_diameter_sampled rng net ~sources =
     !worst
   end
 
+(* The all-pairs matrix and the average both read full arrival rows, so
+   their batched paths go through [Batch.sweep]'s n * lanes arrival
+   matrix.  On implicit instances that scratch is exactly what the
+   backend promises never to allocate, so they take the per-source
+   scalar path instead (O(n) workspace; the n² output of [all_pairs]
+   is the caller's ask, not an intermediate). *)
+let scalar_only net = Batch.force_scalar () || Tgraph.is_implicit net
+
 let all_pairs net =
   let n = Tgraph.n net in
-  if Batch.force_scalar () then
+  if scalar_only net then
     Array.init n (fun u ->
         let arrival = Foremost.arrivals_borrowed net u in
         let row = Array.sub arrival 0 n in
@@ -109,7 +117,7 @@ let all_pairs net =
 let average net =
   let n = Tgraph.n net in
   let total = ref 0 and pairs = ref 0 in
-  if Batch.force_scalar () then
+  if scalar_only net then
     for u = 0 to n - 1 do
       let arrival = Foremost.arrivals_borrowed net u in
       for v = 0 to n - 1 do

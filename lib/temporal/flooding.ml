@@ -6,6 +6,29 @@ type result = {
   transmissions : int;
 }
 
+(* Transmission counting consumes every stream entry, so on implicit
+   networks the lazy prefix is extended all the way to the lifetime —
+   flooding pays the O(total stream) memory the reachability kernels
+   avoid.  That is inherent to the statistic (every label of every
+   edge can carry a transmission), not an implementation choice; the
+   scan is still a single pass that resumes across extensions. *)
+let iter_stream_all net f =
+  let i = ref 0 in
+  let continue_ = ref true in
+  while !continue_ do
+    let te_src, te_dst, te_label, _ = Tgraph.stream_prefix net in
+    let prefix_bound = Tgraph.stream_prefix_bound net in
+    let total = Array.length te_label in
+    while !i < total do
+      f
+        ~src:(Array.unsafe_get te_src !i)
+        ~dst:(Array.unsafe_get te_dst !i)
+        ~label:(Array.unsafe_get te_label !i);
+      incr i
+    done;
+    if not (Tgraph.stream_extend net ~past:prefix_bound) then continue_ := false
+  done
+
 let run ?(start_time = 1) net s =
   if start_time < 1 then invalid_arg "Flooding.run: start_time must be >= 1";
   let n = Tgraph.n net in
@@ -17,7 +40,7 @@ let run ?(start_time = 1) net s =
      an arc with label l carries the message iff its source was informed
      strictly before l, and stream order guarantees every informing event
      before time l has already been applied. *)
-  Tgraph.iter_time_edges net (fun ~src ~dst ~label ~edge:_ ->
+  iter_stream_all net (fun ~src ~dst ~label ->
       if informed_time.(src) < label then begin
         incr transmissions;
         if label < informed_time.(dst) then informed_time.(dst) <- label
@@ -65,7 +88,7 @@ let run_budgeted ?(start_time = 1) ~k net s =
   (* Same sweep as [run]; a vertex simply stops forwarding once its
      budget is spent.  The stream order makes "earliest k opportunities"
      the ones consumed. *)
-  Tgraph.iter_time_edges net (fun ~src ~dst ~label ~edge:_ ->
+  iter_stream_all net (fun ~src ~dst ~label ->
       if informed_time.(src) < label && remaining.(src) > 0 then begin
         remaining.(src) <- remaining.(src) - 1;
         incr transmissions;

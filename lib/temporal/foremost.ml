@@ -18,7 +18,16 @@ type result = {
    improvements may lower the true maximum, which only delays the
    exit, never corrupts it).  On dense fast-spreading instances such
    as the normalized U-RTN clique this skips almost the entire
-   stream. *)
+   stream.
+
+   The pass scans {!Tgraph.stream_prefix}, not {!Tgraph.stream}: on
+   dense networks the prefix is the whole stream and the outer loop
+   runs once; on implicit ones an exhausted prefix is extended and the
+   scan resumes at the same index (prefixes are byte-stable), so the
+   entries visited — and hence every probe — are identical to what the
+   dense stream would have produced.  An extension is requested only
+   while it can still matter: some vertex unreached, or the arrival
+   bound strictly beyond what the prefix already covers. *)
 (* Kernel probes, updated once per sweep after the hot loop (never
    inside it) and only while Obs.Control is on — the disabled path
    costs one atomic load per sweep. *)
@@ -33,40 +42,75 @@ let sweep net ~start_time ~s ~arrival ~pred =
     Array.unsafe_set pred v (-1)
   done;
   arrival.(s) <- start_time - 1;
-  let te_src, te_dst, te_label, _ = Tgraph.stream net in
-  let total = Array.length te_label in
   let unreached = ref (n - 1) in
   let bound = ref max_int in
   let i = ref 0 in
-  while !i < total && (!unreached > 0 || Array.unsafe_get te_label !i < !bound)
-  do
-    let label = Array.unsafe_get te_label !i in
-    let src = Array.unsafe_get te_src !i in
-    if Array.unsafe_get arrival src < label then begin
-      let dst = Array.unsafe_get te_dst !i in
-      if label < Array.unsafe_get arrival dst then begin
-        if Array.unsafe_get arrival dst = max_int then begin
-          decr unreached;
-          if !unreached = 0 then begin
-            (* Last vertex just reached: arrivals are now all finite. *)
-            let worst = ref 0 in
-            for v = 0 to n - 1 do
-              if Array.unsafe_get arrival v > !worst && v <> dst then
-                worst := Array.unsafe_get arrival v
-            done;
-            bound := Stdlib.max !worst label
-          end
-        end;
-        Array.unsafe_set arrival dst label;
-        Array.unsafe_set pred dst !i
+  let finished = ref false in
+  let exhausted = ref false in
+  (* "scanned the complete stream to its end" — for probe parity *)
+  while not !finished do
+    let te_src, te_dst, te_label, _ = Tgraph.stream_prefix net in
+    let prefix_bound = Tgraph.stream_prefix_bound net in
+    let total = Array.length te_label in
+    while
+      !i < total && (!unreached > 0 || Array.unsafe_get te_label !i < !bound)
+    do
+      let label = Array.unsafe_get te_label !i in
+      let src = Array.unsafe_get te_src !i in
+      if Array.unsafe_get arrival src < label then begin
+        let dst = Array.unsafe_get te_dst !i in
+        if label < Array.unsafe_get arrival dst then begin
+          if Array.unsafe_get arrival dst = max_int then begin
+            decr unreached;
+            if !unreached = 0 then begin
+              (* Last vertex just reached: arrivals are now all finite. *)
+              let worst = ref 0 in
+              for v = 0 to n - 1 do
+                if Array.unsafe_get arrival v > !worst && v <> dst then
+                  worst := Array.unsafe_get arrival v
+              done;
+              bound := Stdlib.max !worst label
+            end
+          end;
+          Array.unsafe_set arrival dst label;
+          Array.unsafe_set pred dst !i
+        end
+      end;
+      incr i
+    done;
+    if !i < total then
+      (* Early exit inside the prefix; later labels are larger still. *)
+      finished := true
+    else begin
+      (* Entries beyond the prefix carry labels > prefix_bound, so they
+         only matter while some vertex is unreached or the arrival
+         bound still admits label prefix_bound + 1. *)
+      let need_more = !unreached > 0 || !bound > prefix_bound + 1 in
+      if need_more then begin
+        if not (Tgraph.stream_extend net ~past:prefix_bound) then begin
+          (* Extension refused: the stream is complete and we scanned
+             it to its end. *)
+          finished := true;
+          exhausted := true
+        end
       end
-    end;
-    incr i
+      else begin
+        finished := true;
+        (* A dense prefix is the whole stream, so ending exactly at its
+           end is exhaustion (the historical [i = total] rule).  An
+           implicit sweep that stops at a prefix edge counts as early:
+           racing builders may have published a deeper view than this
+           sweep consumed, so any rule reading the view here would be
+           jobs-dependent — and the probe must stay byte-identical at
+           any --jobs. *)
+        exhausted := not (Tgraph.is_implicit net)
+      end
+    end
   done;
   if Obs.Control.enabled () then begin
     Obs.Metrics.incr sweeps_c;
     Obs.Metrics.add scanned_c !i;
-    if !i < total then Obs.Metrics.incr early_c
+    if not !exhausted then Obs.Metrics.incr early_c
   end
 
 let check_args ~start_time net s =

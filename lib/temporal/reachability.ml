@@ -65,11 +65,14 @@ let batch_ok net t =
 let treach net =
   if Batch.force_scalar () then treach_scalar net
   else begin
+    (* [sweep_reach], not [sweep]: Treach never reads arrivals, so the
+       batch kernel can skip the n * lanes arrival matrix and keep
+       scratch at O(n) words — required on implicit instances. *)
     let n = Tgraph.n net in
     let batches = Batch.batch_count ~n in
     let rec scan b =
       b >= batches
-      || (batch_ok net (Batch.sweep net ~sources:(Batch.batch_sources ~n b))
+      || (batch_ok net (Batch.sweep_reach net ~sources:(Batch.batch_sources ~n b))
          && scan (b + 1))
     in
     scan 0
@@ -93,9 +96,11 @@ let missing_pairs net =
   end
   else begin
     (* Forward batch/lane/target order with a final reverse keeps the
-       scalar path's ascending (u, v) output order. *)
+       scalar path's ascending (u, v) output order.  Arrival-free
+       sweeps: only reached bits are probed. *)
     let missing = ref [] in
-    Batch.iter_batches net (fun t ->
+    for b = 0 to Batch.batch_count ~n - 1 do
+      let t = Batch.sweep_reach net ~sources:(Batch.batch_sources ~n b) in
         if not (Batch.all_saturated t) then begin
           let ws = Workspace.get ~n in
           for lane = 0 to Batch.lanes t - 1 do
@@ -113,7 +118,8 @@ let missing_pairs net =
               done
             end
           done
-        end);
+        end
+    done;
     List.rev !missing
   end
 
@@ -131,10 +137,13 @@ let count_pairs net ~temporal =
       !count
     end
     else begin
-      (* The sweep already maintains per-lane reached counts (source
-         included), so a batch costs O(lanes) to read out. *)
+      (* The sweep maintains per-lane reached counts (source included),
+         so a batch costs O(lanes) to read out; arrival-free sweeps
+         fanned over the pool. *)
       let per_batch =
-        Batch.map_batches net (fun t ->
+        Exec.Pool.map_range (Exec.Pool.global ()) ~lo:0
+          ~hi:(Batch.batch_count ~n) (fun b ->
+            let t = Batch.sweep_reach net ~sources:(Batch.batch_sources ~n b) in
             let c = ref 0 in
             for lane = 0 to Batch.lanes t - 1 do
               c := !c + Batch.reached_count t ~lane - 1

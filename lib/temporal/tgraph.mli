@@ -9,10 +9,21 @@
     order, [u→v] before [v→u], deterministically.
 
     The stream and the crossing tables are flat int arrays (the crossing
-    table is the CSR adjacency of the underlying graph: arcs carry edge
+    table is the adjacency of the underlying graph: arcs carry edge
     ids, labels are looked up per id).  Hot paths use the non-allocating
     iterators and scalar per-edge label queries below; the tuple/[Label.t]
-    accessors allocate per call and exist for convenience and tests. *)
+    accessors allocate per call and exist for convenience and tests.
+
+    {b Backends.}  A network is either {e dense} — labels stored in
+    arrays, the full stream materialized at construction — or
+    {e implicit} ({!of_derived}): labels recomputed per query from
+    [(seed, edge, roll)], the stream materialized lazily as a growing
+    label-bounded prefix.  Both present the same interface; kernels
+    written against {!stream_prefix}/{!stream_extend} run unchanged on
+    either, and {!materialize} converts an implicit instance into its
+    byte-identical dense twin.  Only the whole-stream accessors
+    ({!stream}, {!iter_time_edges}, {!time_edge_count}) refuse implicit
+    networks, with an error that names the fix. *)
 
 type t
 
@@ -32,6 +43,25 @@ val of_flat_arcs : Sgraph.Graph.t -> lifetime:int -> int array -> t
     @raise Invalid_argument on a non-positive lifetime, a length
     mismatch, or a label outside [1..lifetime]. *)
 
+val of_derived : Sgraph.Graph.t -> a:int -> seed:int64 -> r:int -> t
+(** [of_derived g ~a ~seed ~r] is the implicit-backend constructor: a
+    temporal network whose edge labels are the [r] uniform draws over
+    [{1..a}] derived from [SplitMix64(seed, edge_id)] on demand
+    ({!Implicit.Labels}), with lifetime [a].  O(1) label memory; the
+    time-edge stream materializes lazily ({!stream_prefix}).
+    @raise Invalid_argument unless [a >= 1] and [r >= 1]. *)
+
+val materialize : t -> t
+(** The dense twin: the identity on dense networks; on an implicit one,
+    rolls every label once and builds the fully-materialized network —
+    byte-identical stream and labelling to what the dense constructors
+    produce for the same rolls.  Costs the O(m·r) memory the implicit
+    form exists to avoid; for tests, small instances, and consumers
+    that genuinely need the whole stream. *)
+
+val is_implicit : t -> bool
+(** True on {!of_derived} networks (lazily-materialized stream). *)
+
 val graph : t -> Sgraph.Graph.t
 val lifetime : t -> int
 
@@ -49,18 +79,52 @@ val label_count : t -> int
 
 val time_edge_count : t -> int
 (** Number of directed time edges in the sweep stream (undirected edges
-    contribute both directions per label). *)
+    contribute both directions per label).
+    @raise Invalid_argument on implicit networks — the stream is never
+    fully materialized there; use {!materialize} first. *)
 
 val iter_time_edges : t -> (src:int -> dst:int -> label:int -> edge:int -> unit) -> unit
-(** Iterate the stream in non-decreasing label order. *)
+(** Iterate the stream in non-decreasing label order.
+    @raise Invalid_argument on implicit networks; use {!materialize}
+    or the prefix interface. *)
 
 val time_edge : t -> int -> int * int * int
-(** [time_edge t i] is the [i]-th stream entry as [(src, dst, label)]. *)
+(** [time_edge t i] is the [i]-th stream entry as [(src, dst, label)].
+    On implicit networks, valid for any index inside the current
+    prefix — in particular for every predecessor index a kernel has
+    produced. *)
 
 val stream : t -> int array * int array * int array * int array
 (** [(src, dst, label, edge)] — the four parallel stream arrays, borrowed
     (do {e not} mutate), sorted by label.  The raw representation for
-    flat kernel loops such as the foremost sweep. *)
+    flat kernel loops such as the foremost sweep.
+    @raise Invalid_argument on implicit networks; scan
+    {!stream_prefix} / {!stream_extend} instead. *)
+
+(** {2 Prefix stream interface}
+
+    What sweep kernels scan.  On dense networks the prefix is the whole
+    stream and never extends; on implicit ones it is the entries with
+    label [<= stream_prefix_bound], a byte prefix of the full stream
+    that grows under {!stream_extend} — so a kernel that exhausts the
+    prefix re-grabs the arrays and resumes at its saved index. *)
+
+val stream_prefix : t -> int array * int array * int array * int array
+(** Current prefix arrays [(src, dst, label, edge)], borrowed.  Extends
+    replace the arrays — re-grab after {!stream_extend}. *)
+
+val stream_prefix_bound : t -> int
+(** Every stream entry with label [<= stream_prefix_bound t] is in the
+    current prefix.  Equals [lifetime] on dense networks. *)
+
+val stream_complete : t -> bool
+(** Is the current prefix the whole stream?  Always true on dense. *)
+
+val stream_extend : t -> past:int -> bool
+(** [stream_extend t ~past] ensures the prefix reaches strictly past
+    label bound [past] (the bound of the view the caller exhausted).
+    Returns [false] iff the stream is complete and holds nothing beyond
+    [past].  Always [false] on dense networks. *)
 
 (** {2 Scalar per-edge label queries}
 

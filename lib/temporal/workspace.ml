@@ -97,3 +97,28 @@ let get_batch ~n ~lanes =
     end
   end;
   ws
+
+(* The word-plane-only variant for arrival-free batch kernels
+   ([Batch.sweep_diameter], [Batch.sweep_reach]): grows the n-word
+   bitset planes and the Sys.int_size-word per-lane vectors but NEVER
+   the n * lanes arrival matrix — the sizing contract the implicit
+   backend relies on at n = 10^5+, where a single n * lane_width matrix
+   would be 50 MB of scratch per domain for kernels that don't read
+   it. *)
+let get_batch_planes ~n =
+  if n < 0 then invalid_arg "Workspace.get_batch_planes: negative size";
+  let ws = Domain.DLS.get key in
+  if Array.length ws.lane_reached < n || Array.length ws.lane_counts = 0 then begin
+    if Obs.Control.enabled () then Obs.Metrics.incr growth_c;
+    if Array.length ws.lane_reached < n then begin
+      let c = capacity_for n in
+      ws.lane_reached <- Array.make c 0;
+      ws.lane_delta <- Array.make c 0;
+      ws.lane_dirty <- Array.make c 0
+    end;
+    if Array.length ws.lane_counts < Sys.int_size then begin
+      ws.lane_counts <- Array.make Sys.int_size 0;
+      ws.lane_ecc <- Array.make Sys.int_size 0
+    end
+  end;
+  ws

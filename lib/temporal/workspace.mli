@@ -62,3 +62,12 @@ val get_batch : n:int -> lanes:int -> t
     slots are left untouched — batch users that also need a static
     BFS call {!get} separately.
     @raise Invalid_argument if [n < 0] or [lanes < 1]. *)
+
+val get_batch_planes : n:int -> t
+(** Like {!get_batch} but for arrival-free batch kernels
+    ({!Batch.sweep_diameter}, {!Batch.sweep_reach}): grows the n-word
+    bitset planes and the per-lane vectors, {e never} the [n * lanes]
+    arrival matrix.  The sizing contract of the implicit backend — no
+    temporal kernel scratch exceeds O(n) words on networks whose
+    labels are derived on demand.
+    @raise Invalid_argument if [n < 0]. *)

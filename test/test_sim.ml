@@ -162,8 +162,8 @@ let family_builds () =
 
 let registry_ids_unique () =
   let ids = List.map (fun (e : Experiments.t) -> e.id) Experiments.all in
-  check_int "twenty-two experiments" 22 (List.length ids);
-  check_int "ids unique" 22 (List.length (List.sort_uniq compare ids))
+  check_int "twenty-three experiments" 23 (List.length ids);
+  check_int "ids unique" 23 (List.length (List.sort_uniq compare ids))
 
 let registry_find () =
   (match Experiments.find "e3" with
@@ -329,8 +329,8 @@ let ledger_at jobs =
           Sim.Supervise.configure Sim.Supervise.default;
           let exp = Option.get (Experiments.find "e6") in
           ignore (exp.run ~quick:true ~seed:17 : Sim.Outcome.t);
-          Sim.Ledger.build ~seed:17 ~quick:true ~jobs ~experiments:[ "e6" ]
-            ~status:"ok" ~wall_ns:123L))
+          Sim.Ledger.build ~seed:17 ~quick:true ~backend:(Sim.Backend.tag ())
+            ~jobs ~experiments:[ "e6" ] ~status:"ok" ~wall_ns:123L))
 
 (* The ledger's headline contract: the "deterministic" object is
    byte-identical at any job count, and the volatile object carries the
@@ -357,8 +357,8 @@ let ledger_write_atomic () =
       Sys.remove dir;
       Sim.Report.ensure_dir dir;
       let path = Filename.concat dir "run.json" in
-      Sim.Ledger.write ~path ~seed:1 ~quick:true ~jobs:1 ~experiments:[ "e1" ]
-        ~status:"ok" ~wall_ns:0L;
+      Sim.Ledger.write ~path ~seed:1 ~quick:true ~backend:(Sim.Backend.tag ())
+        ~jobs:1 ~experiments:[ "e1" ] ~status:"ok" ~wall_ns:0L;
       check_bool "ledger published" true (Sys.file_exists path);
       check_bool "no tmp residue" false (Sys.file_exists (path ^ ".tmp"));
       let doc = read_file path in

@@ -168,13 +168,16 @@ let codec_cases =
 let key_cases =
   [
     case "stable and sensitive" (fun () ->
-        let k = Store.Key.derive ~exp_id:"e1" ~seed:1 ~quick:false in
-        check_string "deterministic" k (Store.Key.derive ~exp_id:"e1" ~seed:1 ~quick:false);
+        let derive = Store.Key.derive in
+        let k = derive ~exp_id:"e1" ~seed:1 ~quick:false ~backend:"dense" in
+        check_string "deterministic" k
+          (derive ~exp_id:"e1" ~seed:1 ~quick:false ~backend:"dense");
         let distinct =
           [
-            Store.Key.derive ~exp_id:"e2" ~seed:1 ~quick:false;
-            Store.Key.derive ~exp_id:"e1" ~seed:2 ~quick:false;
-            Store.Key.derive ~exp_id:"e1" ~seed:1 ~quick:true;
+            derive ~exp_id:"e2" ~seed:1 ~quick:false ~backend:"dense";
+            derive ~exp_id:"e1" ~seed:2 ~quick:false ~backend:"dense";
+            derive ~exp_id:"e1" ~seed:1 ~quick:true ~backend:"dense";
+            derive ~exp_id:"e1" ~seed:1 ~quick:false ~backend:"implicit";
           ]
         in
         List.iter (fun k' -> check_bool "distinct" false (k = k')) distinct);
