@@ -36,6 +36,7 @@ type opts = {
   mutable no_kernel : bool;
   mutable no_batch : bool;
   mutable no_implicit : bool;
+  mutable no_serve : bool;
   mutable metrics : bool;
   mutable trace : string option;
   mutable jobs : int option;
@@ -57,6 +58,8 @@ let usage_lines =
     "                 all-pairs diameter)";
     "  --no-implicit  skip part 2f (dense vs implicit backend: trial time";
     "                 and peak RSS on the same derived instances)";
+    "  --no-serve     skip part 2g (ephemeral serve: sustained qps and";
+    "                 tail latency, dense vs implicit)";
     "  --no-micro     skip part 3 (Bechamel micro-benchmarks)";
     "  --backend B    run the experiment tables (part 1) under backend B";
     "                 (dense | implicit; default dense)";
@@ -85,6 +88,7 @@ let parse_args () =
       no_kernel = false;
       no_batch = false;
       no_implicit = false;
+      no_serve = false;
       metrics = false;
       trace = None;
       jobs = None;
@@ -115,6 +119,7 @@ let parse_args () =
       | "--no-kernel" -> o.no_kernel <- true; go (i + 1)
       | "--no-batch" -> o.no_batch <- true; go (i + 1)
       | "--no-implicit" -> o.no_implicit <- true; go (i + 1)
+      | "--no-serve" -> o.no_serve <- true; go (i + 1)
       | "--backend" ->
         (match Sim.Backend.of_string (value "--backend" i) with
         | Some b -> o.backend <- b
@@ -475,6 +480,121 @@ let run_implicit_bench () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 2g: [ephemeral serve] sustained throughput (dense vs implicit).
+
+   An in-process server (Server.run_background) over a Unix socket on
+   an n=1024 clique corpus, hammered by concurrent blocking clients
+   issuing foremost queries with rotating sources.  The row cache is
+   on (the service default), so past the first rotation this measures
+   the serving path — framing, admission, dispatch, cache readout —
+   which is exactly what a deployment sustains; p50/p99 come from the
+   full per-query latency population.  Results ride along in
+   BENCH_clique.json under "serve". *)
+
+type serve_point = {
+  sv_backend : string;
+  sv_queries : int;
+  sv_qps : float;
+  sv_p50_ms : float;
+  sv_p99_ms : float;
+}
+
+let serve_points : serve_point list ref = ref []
+
+let percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else sorted.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+
+let run_serve_bench () =
+  print_endline
+    "=================================================================";
+  let n = if quick then 256 else 1024 in
+  let clients = 4 and per_client = if quick then 100 else 400 in
+  Printf.printf
+    " ephemeral serve: sustained qps (clique n=%d, %d clients x %d queries)\n"
+    n clients per_client;
+  print_endline
+    "=================================================================";
+  List.iter
+    (fun backend ->
+      let corpus =
+        Serve.Corpus.load ~backend
+          [ Printf.sprintf "id=clq,family=clique,n=%d,a=%d,r=1,seed=7" n n ]
+      in
+      let dir = Filename.temp_file "ephemeral-bench" ".serve" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o700;
+      let address = Serve.Server.Unix_path (Filename.concat dir "srv.sock") in
+      let config =
+        {
+          Serve.Server.default_config with
+          Serve.Server.address;
+          engine =
+            { Serve.Engine.default_config with Serve.Engine.queue_max = 256 };
+        }
+      in
+      let stop = Serve.Server.run_background ~config corpus in
+      let latencies = Array.make (clients * per_client) 0. in
+      let client_loop c =
+        match Serve.Client.connect ~timeout_s:10. address with
+        | Error m -> failwith ("serve bench: connect: " ^ m)
+        | Ok conn ->
+          Fun.protect
+            ~finally:(fun () -> Serve.Client.close conn)
+            (fun () ->
+              for i = 0 to per_client - 1 do
+                let source = (c + (i * clients)) mod n in
+                let req =
+                  Serve.Proto.Foremost
+                    {
+                      Serve.Proto.instance = "clq";
+                      source;
+                      target = (source + 1) mod n;
+                      deadline_ms = 0;
+                    }
+                in
+                let t0 = Unix.gettimeofday () in
+                (match Serve.Client.call ~timeout_s:10. conn req with
+                | Ok (Serve.Proto.Ok_value _) -> ()
+                | Ok r ->
+                  failwith
+                    ("serve bench: unexpected reply "
+                    ^ Serve.Proto.render_response r)
+                | Error m -> failwith ("serve bench: call: " ^ m));
+                latencies.((c * per_client) + i) <-
+                  (Unix.gettimeofday () -. t0) *. 1e3
+              done)
+      in
+      let t0 = Unix.gettimeofday () in
+      let threads = List.init clients (fun c -> Thread.create client_loop c) in
+      List.iter Thread.join threads;
+      let wall_s = Unix.gettimeofday () -. t0 in
+      stop ();
+      Store.Fsio.remove_tree dir;
+      let sorted = Array.copy latencies in
+      Array.sort compare sorted;
+      let queries = clients * per_client in
+      let qps = float_of_int queries /. Float.max 1e-9 wall_s in
+      let p50 = percentile sorted 0.50 and p99 = percentile sorted 0.99 in
+      Printf.printf
+        "  %-8s : %6.0f q/s   p50 %6.3f ms   p99 %6.3f ms   (%d queries)\n"
+        (Sim.Backend.to_string backend)
+        qps p50 p99 queries;
+      serve_points :=
+        {
+          sv_backend = Sim.Backend.to_string backend;
+          sv_queries = queries;
+          sv_qps = qps;
+          sv_p50_ms = p50;
+          sv_p99_ms = p99;
+        }
+        :: !serve_points)
+    [ Sim.Backend.Dense; Sim.Backend.Implicit ];
+  serve_points := List.rev !serve_points;
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2d: flat kernel vs seed baseline on the E1 clique pipeline.
 
    One trial = draw a normalized uniform assignment on the directed
@@ -548,6 +668,23 @@ let run_kernel_bench () =
              points)
       ^ "\n  ]"
   in
+  (* Part 2g's serving-path points land in a "serve" array (empty
+     under --no-serve). *)
+  let serve_json =
+    match !serve_points with
+    | [] -> "[]"
+    | points ->
+      "[\n"
+      ^ String.concat ",\n"
+          (List.map
+             (fun p ->
+               Printf.sprintf
+                 "    { \"backend\": \"%s\", \"queries\": %d, \"qps\": %.0f, \
+                  \"p50_ms\": %.3f, \"p99_ms\": %.3f }"
+                 p.sv_backend p.sv_queries p.sv_qps p.sv_p50_ms p.sv_p99_ms)
+             points)
+      ^ "\n  ]"
+  in
   (* Part 2f's dense-vs-implicit points land in a "backends" array
      (empty under --no-implicit). *)
   let backends_json =
@@ -581,11 +718,12 @@ let run_kernel_bench () =
     \  \"outputs_agree\": %b,\n\
     \  \"lane_width\": %d,\n\
     \  \"batch\": %s,\n\
-    \  \"backends\": %s\n\
+    \  \"backends\": %s,\n\
+    \  \"serve\": %s\n\
      }\n"
     kernel_n trials quick legacy_ns legacy_bytes flat_ns flat_bytes speedup
     (legacy_bytes /. Float.max 1. flat_bytes)
-    agree Batch.lane_width batch_json backends_json;
+    agree Batch.lane_width batch_json backends_json serve_json;
   close_out oc;
   Printf.printf "  wrote %s\n" path;
   print_newline ()
@@ -848,6 +986,7 @@ let () =
      before anything that materializes a large dense instance. *)
   if not opts.no_implicit then run_implicit_bench ();
   if not opts.no_batch then run_batch_bench ();
+  if not opts.no_serve then run_serve_bench ();
   if not opts.no_kernel then run_kernel_bench ();
   if not opts.no_micro then run_micro ();
   Option.iter Obs.Sink.close sink;

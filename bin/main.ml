@@ -373,7 +373,66 @@ let chaos_cmd =
     in
     nl = 0 || scan 0
   in
-  let run id quick seed jobs rounds spec retries keep_going =
+  let serve_flag_term =
+    let doc =
+      "Soak the live query server instead of an experiment: fork \
+       $(b,ephemeral serve) with the fault plan armed, drive it through \
+       correctness bursts, malformed frames, connection drops, slow-loris \
+       reads, overload and SIGTERM mid-burst, and require every reply to \
+       be oracle-correct or a clean typed error, a drain exit of 0, an \
+       atomically published ledger, and an admission-queue peak within \
+       bound."
+    in
+    Arg.(value & flag & info [ "serve" ] ~doc)
+  in
+  let serve_dir_term =
+    let doc = "Scratch directory for the --serve soak (socket, manifest, \
+               store, ledger)." in
+    Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
+  in
+  let run_serve_soak ~quick ~seed ~jobs ~spec ~serve_dir ~backend =
+    let dir =
+      match serve_dir with
+      | Some d -> d
+      | None ->
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ephemeral-soak-%d" (Unix.getpid ()))
+    in
+    let jobs = Option.value jobs ~default:2 in
+    match
+      Serve.Soak.run ~exe:Sys.executable_name ~dir ~seed ~quick
+        ~fault_spec:(Some spec) ~backend ~jobs
+    with
+    | Error m ->
+      Printf.eprintf "chaos --serve: %s\n" m;
+      1
+    | Ok o ->
+      Printf.printf "chaos --serve: %d checks, %d violation%s\n" o.Serve.Soak.checks
+        (List.length o.Serve.Soak.violations)
+        (if List.length o.Serve.Soak.violations = 1 then "" else "s");
+      Printf.printf "  %d queries, p50 %.2f ms, p99 %.2f ms, %.0f q/s\n"
+        o.Serve.Soak.queries o.Serve.Soak.p50_ms o.Serve.Soak.p99_ms
+        o.Serve.Soak.qps;
+      Printf.printf "  server exit %s, ledger %s\n"
+        (match o.Serve.Soak.server_exit with
+        | Some c -> string_of_int c
+        | None -> "hung (killed)")
+        (if o.Serve.Soak.ledger_ok then "published" else "MISSING");
+      List.iter
+        (fun v -> Printf.printf "  FAIL %s\n" v)
+        o.Serve.Soak.violations;
+      if o.Serve.Soak.violations = [] then begin
+        print_endline "chaos serve soak passed";
+        0
+      end
+      else 1
+  in
+  let run id quick seed jobs rounds spec retries keep_going serve_mode
+      serve_dir backend =
+    if serve_mode then
+      run_serve_soak ~quick ~seed ~jobs ~spec ~serve_dir ~backend
+    else begin
     Option.iter Exec.Pool.set_jobs jobs;
     Fault.Shutdown.install ();
     match Sim.Experiments.find id with
@@ -462,17 +521,300 @@ let chaos_cmd =
           0
         end
         else 1)
+    end
   in
   let doc =
     "Soak an experiment under deterministic fault injection: repeated runs \
      under seed-varied plans must stay byte-identical to the fault-free run \
      (retryable faults) or finish flagged degraded (--keep-going with fatal \
-     faults). Non-zero exit on any unflagged divergence."
+     faults). With $(b,--serve), soak the live query server instead. \
+     Non-zero exit on any unflagged divergence."
   in
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ id_term $ quick_term $ seed_term $ jobs_term
           $ rounds_term $ chaos_spec_term $ chaos_retries_term
-          $ keep_going_term)
+          $ keep_going_term $ serve_flag_term $ serve_dir_term $ backend_term)
+
+(* ------------------------------------------------------------------ *)
+(* serve / query: the temporal-reachability service and its client *)
+
+let serve_socket_term =
+  let doc =
+    "Listening address: a Unix-socket path, or $(b,tcp:HOST:PORT)."
+  in
+  Arg.(value & opt string "ephemeral.sock" & info [ "socket" ] ~docv:"ADDR" ~doc)
+
+let serve_cmd =
+  let manifest_term =
+    let doc =
+      "Corpus manifest: one instance spec per line \
+       ($(b,id=clq,family=clique,n=1024,a=1024,r=1,seed=7)); \
+       $(b,#) comments and blank lines are skipped. An instance that \
+       fails to load is kept degraded (queries answer Unavailable) while \
+       the rest serve."
+    in
+    Arg.(value & opt (some string) None & info [ "manifest" ] ~docv:"FILE" ~doc)
+  in
+  let instance_term =
+    let doc = "Inline instance spec (repeatable), appended to the manifest." in
+    Arg.(value & opt_all string [] & info [ "instance" ] ~docv:"SPEC" ~doc)
+  in
+  let queue_max_term =
+    let doc =
+      "Admission-queue bound: a submit against a full queue is shed with \
+       a RESOURCE_EXHAUSTED reply, never queued — memory stays bounded \
+       under any load."
+    in
+    Arg.(value & opt int Serve.Engine.default_config.Serve.Engine.queue_max
+         & info [ "queue-max" ] ~docv:"N" ~doc)
+  in
+  let read_timeout_term =
+    let doc =
+      "Per-frame read deadline in seconds: a peer that trickles bytes \
+       (slow loris) holds a connection at most this long."
+    in
+    Arg.(value & opt float 10. & info [ "read-timeout" ] ~docv:"SECS" ~doc)
+  in
+  let window_term =
+    let doc =
+      "Dispatcher coalescing window in milliseconds: wait this long after \
+       the first query of a cycle so concurrent clients share one batched \
+       sweep."
+    in
+    Arg.(value & opt float 0. & info [ "batch-window-ms" ] ~docv:"MS" ~doc)
+  in
+  let cache_rows_term =
+    let doc = "In-memory arrival-row cache size (rows; 0 disables)." in
+    Arg.(value & opt int 4096 & info [ "cache-rows" ] ~docv:"N" ~doc)
+  in
+  let serve_store_term =
+    let doc =
+      "Persist arrival rows in a result store at $(docv): hits skip the \
+       sweep; IO is retried with deterministic jitter under a wall-time \
+       budget and degrades to recompute."
+    in
+    Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+  in
+  let run socket manifest instances backend jobs queue_max read_timeout
+      window_ms cache_rows store_dir report fault_spec metrics trace seed =
+    Option.iter Exec.Pool.set_jobs jobs;
+    Sim.Backend.set backend;
+    match Option.map Fault.Spec.parse fault_spec with
+    | Some (Error msg) ->
+      Printf.eprintf "bad --fault-spec: %s\n" msg;
+      1
+    | parsed -> (
+      (match parsed with
+      | Some (Ok plan) -> Fault.Inject.arm plan
+      | _ -> Fault.Inject.disarm ());
+      match Serve.Server.parse_address socket with
+      | Error m ->
+        Printf.eprintf "bad --socket: %s\n" m;
+        1
+      | Ok address -> (
+        let manifest_lines =
+          match manifest with
+          | None -> Ok []
+          | Some path -> (
+            match Store.Fsio.read_file path with
+            | None -> Error (Printf.sprintf "cannot read manifest %s" path)
+            | Some body -> Ok (String.split_on_char '\n' body))
+        in
+        match manifest_lines with
+        | Error m ->
+          prerr_endline m;
+          1
+        | Ok lines -> (
+          let corpus = Serve.Corpus.load ~backend (lines @ instances) in
+          match Serve.Corpus.instances corpus with
+          | [] ->
+            prerr_endline
+              "no instances: pass --manifest and/or --instance";
+            1
+          | all ->
+            List.iter
+              (fun (i : Serve.Corpus.instance) ->
+                match i.Serve.Corpus.status with
+                | Serve.Corpus.Failed m ->
+                  Printf.eprintf "instance %s failed to load: %s\n"
+                    i.Serve.Corpus.spec_id m
+                | Serve.Corpus.Available _ -> ())
+              all;
+            if not (Serve.Corpus.healthy corpus) then begin
+              prerr_endline "every instance failed to load; refusing to serve";
+              1
+            end
+            else begin
+              let store =
+                Option.map (fun dir -> Store.Objects.open_ ~dir) store_dir
+              in
+              let teardown = setup_obs ~metrics ~trace in
+              let engine =
+                {
+                  Serve.Engine.queue_max;
+                  batch_window_s = window_ms /. 1000.;
+                  cache_max = cache_rows;
+                  store;
+                  jitter_seed = Int64.of_int seed;
+                  store_budget_s = 0.25;
+                }
+              in
+              let config =
+                {
+                  Serve.Server.address;
+                  read_timeout_s = read_timeout;
+                  max_conns = 64;
+                  engine;
+                  ledger_path = report;
+                  install_signals = true;
+                  announce = Some stdout;
+                }
+              in
+              Serve.Server.run ~config corpus;
+              teardown ();
+              0
+            end)))
+  in
+  let doc =
+    "Serve temporal-reachability queries (foremost, arrivals, reach, ecc) \
+     over a length-prefixed binary protocol on a Unix or TCP socket. \
+     Concurrent queries against one instance coalesce into word-parallel \
+     batched sweeps; replies are byte-identical at any --jobs and either \
+     backend. Robustness: bounded admission with load shedding, \
+     per-request deadlines with cooperative cancellation, retried store \
+     IO, degraded instances served as Unavailable, and a graceful \
+     SIGTERM drain (stop accepting, flush in-flight, publish the ledger \
+     atomically, exit 0)."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(const run $ serve_socket_term $ manifest_term $ instance_term
+          $ backend_term $ jobs_term $ queue_max_term $ read_timeout_term
+          $ window_term $ cache_rows_term $ serve_store_term $ report_term
+          $ fault_spec_term $ metrics_term $ trace_term $ seed_term)
+
+let query_cmd =
+  let script_term =
+    let doc =
+      "Run the commands in $(docv), one per line ($(b,#) comments \
+       skipped), printing one deterministic result line each — the \
+       byte-diffable scripted-session mode CI uses."
+    in
+    Arg.(value & opt (some string) None & info [ "script" ] ~docv:"FILE" ~doc)
+  in
+  let words_term =
+    let doc =
+      "A single command: $(b,ping) | $(b,health) | $(b,ready) | $(b,list) \
+       | $(b,stats) | $(b,foremost) INST SRC TGT [DEADLINE_MS] | \
+       $(b,arrivals) INST SRC | $(b,reach) INST SRC | $(b,ecc) INST SRC."
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"COMMAND" ~doc)
+  in
+  let timeout_term =
+    let doc = "Per-call reply timeout in seconds." in
+    Arg.(value & opt float 30. & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  let parse_command line =
+    let int_arg what s =
+      match int_of_string_opt s with
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "%s %S is not an integer" what s)
+    in
+    let query ?(target = 0) ?(deadline_ms = 0) instance source =
+      { Serve.Proto.instance; source; target; deadline_ms }
+    in
+    match
+      String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+    with
+    | [ "ping" ] -> Ok Serve.Proto.Ping
+    | [ "health" ] -> Ok Serve.Proto.Health
+    | [ "ready" ] -> Ok Serve.Proto.Ready
+    | [ "list" ] -> Ok Serve.Proto.List
+    | [ "stats" ] -> Ok Serve.Proto.Stats
+    | [ "foremost"; inst; src; tgt ] -> (
+      match (int_arg "source" src, int_arg "target" tgt) with
+      | Ok s, Ok t -> Ok (Serve.Proto.Foremost (query ~target:t inst s))
+      | Error m, _ | _, Error m -> Error m)
+    | [ "foremost"; inst; src; tgt; dl ] -> (
+      match (int_arg "source" src, int_arg "target" tgt, int_arg "deadline" dl)
+      with
+      | Ok s, Ok t, Ok d ->
+        Ok (Serve.Proto.Foremost (query ~target:t ~deadline_ms:d inst s))
+      | Error m, _, _ | _, Error m, _ | _, _, Error m -> Error m)
+    | [ "arrivals"; inst; src ] -> (
+      match int_arg "source" src with
+      | Ok s -> Ok (Serve.Proto.Arrivals (query inst s))
+      | Error m -> Error m)
+    | [ "reach"; inst; src ] -> (
+      match int_arg "source" src with
+      | Ok s -> Ok (Serve.Proto.Reach (query inst s))
+      | Error m -> Error m)
+    | [ "ecc"; inst; src ] -> (
+      match int_arg "source" src with
+      | Ok s -> Ok (Serve.Proto.Ecc (query inst s))
+      | Error m -> Error m)
+    | [] -> Error "empty command"
+    | w :: _ -> Error (Printf.sprintf "unknown command %S" w)
+  in
+  let run socket script words timeout =
+    match Serve.Server.parse_address socket with
+    | Error m ->
+      Printf.eprintf "bad --socket: %s\n" m;
+      1
+    | Ok address -> (
+      let commands =
+        match script with
+        | Some path -> (
+          match Store.Fsio.read_file path with
+          | None -> Error (Printf.sprintf "cannot read script %s" path)
+          | Some body ->
+            Ok
+              (String.split_on_char '\n' body
+              |> List.filter (fun l ->
+                     let t = String.trim l in
+                     t <> "" && t.[0] <> '#')))
+        | None -> (
+          match words with
+          | [] -> Error "no command: pass one, or --script FILE"
+          | ws -> Ok [ String.concat " " ws ])
+      in
+      match commands with
+      | Error m ->
+        prerr_endline m;
+        1
+      | Ok commands -> (
+        match Serve.Client.connect address with
+        | Error m ->
+          Printf.eprintf "connect %s: %s\n" socket m;
+          1
+        | Ok client ->
+          let failed = ref false in
+          List.iter
+            (fun line ->
+              let line = String.trim line in
+              match parse_command line with
+              | Error m -> Printf.printf "%s -> bad command: %s\n" line m
+              | Ok req -> (
+                match Serve.Client.call ~timeout_s:timeout client req with
+                | Ok resp ->
+                  Printf.printf "%s -> %s\n" line
+                    (Serve.Proto.render_response resp)
+                | Error m ->
+                  failed := true;
+                  Printf.printf "%s -> transport error: %s\n" line m))
+            commands;
+          Serve.Client.close client;
+          if !failed then 1 else 0))
+  in
+  let doc =
+    "Query a running $(b,ephemeral serve): one-shot from the command \
+     line, or a scripted session with $(b,--script) whose output is \
+     deterministic and byte-diffable across server job counts and \
+     backends. Typed server errors render as result lines (exit 0); \
+     only transport failures exit non-zero."
+  in
+  Cmd.v (Cmd.info "query" ~doc)
+    Term.(const run $ serve_socket_term $ script_term $ words_term
+          $ timeout_term)
 
 let list_cmd =
   let run () =
@@ -1392,7 +1734,8 @@ let () =
   in
   let group =
     Cmd.group ~default info
-      [ run_cmd; chaos_cmd; list_cmd; diameter_cmd; reach_cmd; min_r_cmd; flood_cmd;
+      [ run_cmd; chaos_cmd; serve_cmd; query_cmd; list_cmd; diameter_cmd;
+        reach_cmd; min_r_cmd; flood_cmd;
         expansion_cmd; journey_cmd; taxonomy_cmd; centrality_cmd;
         disjoint_cmd; export_cmd; analyze_cmd; restless_cmd; walk_cmd;
         jam_cmd; store_cmd; trace_cmd; version_cmd ]

@@ -1,18 +1,45 @@
-(** Bounded retry with capped exponential backoff. *)
+(** Bounded retry with capped exponential backoff, deterministic
+    jitter, and an optional wall-time budget. *)
+
+val backoff_delay :
+  ?base_delay_s:float ->
+  ?max_delay_s:float ->
+  ?jitter:float ->
+  ?jitter_seed:int64 ->
+  int ->
+  float
+(** [backoff_delay k] is the sleep before attempt [k + 1]:
+    [min max_delay_s (base_delay_s * 2^k)], scaled by a factor uniform
+    in [1 - jitter/2, 1 + jitter/2] that is a {e pure function} of
+    [(jitter_seed, k)] ({!Plan.roll}) — deterministic run to run, so
+    faulted runs stay byte-identical, yet differently-seeded retriers
+    decorrelate.  [jitter] defaults to [0.] (the exact legacy delays).
+    @raise Invalid_argument if [jitter] is outside [\[0, 1\]]. *)
 
 val with_backoff :
   ?attempts:int ->
   ?base_delay_s:float ->
   ?max_delay_s:float ->
+  ?jitter:float ->
+  ?jitter_seed:int64 ->
+  ?budget_s:float ->
   retryable:(exn -> bool) ->
   on_retry:(int -> exn -> unit) ->
   (int -> 'a) ->
   'a
 (** [with_backoff ~retryable ~on_retry f] runs [f 0]; if it raises an
     exception [e] with [retryable e], calls [on_retry k e], sleeps
-    [min max_delay_s (base_delay_s * 2^k)] and runs [f (k + 1)], up to
-    [attempts] attempts total (default 4, base 1 ms, cap 50 ms).  The
+    {!backoff_delay}[ k] and runs [f (k + 1)], up to [attempts]
+    attempts total (default 4, base 1 ms, cap 50 ms, no jitter).  The
     attempt index is passed to [f] so injection sites can re-roll per
     attempt.  The final failure (or any unretryable exception) is
     re-raised.
-    @raise Invalid_argument if [attempts < 1]. *)
+
+    [budget_s] additionally caps the combinator's total wall time: a
+    retry whose backoff sleep would land past the budget is not taken
+    and the failure is re-raised immediately ([budget_s = 0.] means
+    "never sleep, never retry").  The running attempt itself is not
+    preempted — the budget bounds when retries {e start}, which is the
+    contract deadline-bearing callers (the serve engine) need.
+    @raise Invalid_argument if [attempts < 1], [jitter] is outside
+    [\[0, 1\]], or [budget_s] is negative. *)

@@ -5,16 +5,41 @@
    as on a normal exit.
 
    Hooks run LIFO and at most once per process, whether triggered by a
-   signal or explicitly ([run_hooks] from tests). *)
+   signal or explicitly ([run_hooks] from tests).  A hook registered
+   *after* the hooks have already run — the register-during-drain race:
+   some subsystem lazily initialises while the signal handler is
+   already tearing the process down — runs immediately in the
+   registering thread, still exactly once, so no cleanup is ever
+   silently dropped.
+
+   Long-lived processes (the serve loop) install a [graceful] callback
+   instead: the first signal notifies it (begin draining: stop
+   accepting, flush in-flight) and suppresses the exit, so the process
+   can finish cleanly with status 0; a second signal falls through to
+   the legacy run-hooks-and-exit path, the escape hatch against a
+   wedged drain.  The callback runs in signal-handler context — it
+   must only flip atomics, close file descriptors, and the like, never
+   take locks the interrupted thread might hold. *)
 
 let m = Mutex.create ()
 let hooks : (unit -> unit) list ref = ref []
 let ran = ref false
 
+(* The graceful callback is consulted lock-free from the signal
+   handler: an interrupted thread may already hold [m], and a handler
+   that blocked on it would deadlock the process it is trying to shut
+   down. *)
+let graceful : (int -> unit) option Atomic.t = Atomic.make None
+
 let on_shutdown f =
   Mutex.lock m;
-  hooks := f :: !hooks;
-  Mutex.unlock m
+  let drained = !ran in
+  if not drained then hooks := f :: !hooks;
+  Mutex.unlock m;
+  (* Registered after the drain already happened: honour the
+     exactly-once contract by running it here, in the registering
+     thread (never inside the signal handler). *)
+  if drained then try f () with _ -> ()
 
 let run_hooks () =
   Mutex.lock m;
@@ -28,17 +53,26 @@ let reset () =
   Mutex.lock m;
   hooks := [];
   ran := false;
-  Mutex.unlock m
+  Mutex.unlock m;
+  Atomic.set graceful None
 
 let exit_status signal = if signal = Sys.sigint then 130 else 143
+
+let set_graceful cb = Atomic.set graceful (Some cb)
 
 let install () =
   let handle signal =
     Sys.set_signal signal
       (Sys.Signal_handle
          (fun s ->
-           run_hooks ();
-           exit (exit_status s)))
+           (* First signal with a graceful callback armed: hand the
+              shutdown to the process (it drains and exits itself) and
+              disarm, so a second signal forces the immediate path. *)
+           match Atomic.exchange graceful None with
+           | Some cb -> ( try cb s with _ -> ())
+           | None ->
+             run_hooks ();
+             exit (exit_status s)))
   in
   handle Sys.sigint;
   handle Sys.sigterm

@@ -1,0 +1,62 @@
+(** The corpus a server loads at startup: named temporal instances
+    described by one compact spec per manifest line,
+
+    {[ id=clq1k,family=clique,n=1024,a=1024,r=1,seed=7 ]}
+
+    ([id], [family], [n] required; [a] defaults to [n], [r] to [1],
+    [seed] to [1]).  The realised instance is the experiment
+    pipeline's: topology from {!Sim.Family.build}, labels the derived
+    draws of {!Temporal.Tgraph.of_derived} — so dense and implicit
+    backends serve label-identical instances and replies byte-compare
+    across backends.
+
+    Loading is degraded-tolerant: a malformed line or a build failure
+    yields a [Failed] instance the server answers [Unavailable] for,
+    while healthy instances serve normally. *)
+
+type spec = {
+  id : string;
+  family : Sim.Family.t;
+  n : int;
+  a : int;  (** lifetime *)
+  r : int;  (** label draws per edge *)
+  seed : int;
+}
+
+type status = Available of Temporal.Tgraph.t | Failed of string
+
+type instance = {
+  spec_id : string;
+  spec : spec option;  (** [None] when the line didn't even parse *)
+  status : status;
+}
+
+type t
+
+val parse_spec : string -> (spec, string) result
+val spec_to_string : spec -> string
+
+val load : backend:Sim.Backend.t -> string list -> t
+(** Build every non-comment line ([#] and blank lines are skipped);
+    failures become [Failed] instances, never exceptions. *)
+
+val load_file : backend:Sim.Backend.t -> string -> (t, string) result
+(** [Error] only when the file itself cannot be read. *)
+
+val load_spec : Sim.Backend.t -> spec -> instance
+val backend : t -> Sim.Backend.t
+val find : t -> string -> instance option
+val instances : t -> instance list
+
+val available : t -> (string * Temporal.Tgraph.t) list
+(** Healthy instances in manifest order. *)
+
+val degraded : t -> bool
+(** Did any instance fail to load? *)
+
+val healthy : t -> bool
+(** Is at least one instance available? *)
+
+val list_rows : t -> (string * string * string) list
+(** [(id, "available"|"failed", detail)] rows for the LIST reply, in
+    manifest order. *)

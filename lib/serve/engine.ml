@@ -1,0 +1,625 @@
+(* The query engine behind `ephemeral serve`.
+
+   Every query op (foremost, arrivals, reach, ecc) is a readout of one
+   (instance, source) arrival row, so the unit of work — and of
+   caching and batching — is the row.  Connection threads submit
+   (instance, source, deadline) jobs into a bounded admission queue; a
+   single dispatcher thread drains it, groups jobs by instance,
+   dedupes sources, and computes the missing rows on the global
+   {!Exec.Pool}:
+
+   - dense backend: sources packed {!Temporal.Batch.lane_width} per
+     word-parallel sweep, one pool task over the lane groups;
+   - implicit backend (or [EPHEMERAL_SCALAR_SWEEPS]): one scalar
+     {!Foremost.arrivals_borrowed} per source, pooled per source —
+     batch arrival matrices are O(n * lanes) and would break the
+     implicit backend's O(n)-scratch contract (the same split
+     {!Temporal.Distance} makes).
+
+   Robustness properties, each load-bearing for the chaos soak:
+
+   - {b Admission bound.}  The queue never holds more than
+     [queue_max] jobs; a submit against a full queue is shed with
+     [Resource_exhausted] *before* any allocation proportional to the
+     request.  [queue_peak] (exposed in {!stats}) proves the bound
+     held over a whole run.
+   - {b Deadlines.}  A job carries an absolute deadline; the
+     dispatcher re-checks it at every cooperative point — on drain
+     from the queue, and per lane-group/sweep inside the pool task —
+     so an expired job costs at most one sweep, not a full dispatch
+     cycle.  Expired jobs answer [Deadline_exceeded].
+   - {b Store cache with retry.}  Rows can persist in a
+     {!Store.Objects} store; reads and writes go through
+     {!Fault.Retry.with_backoff} with deterministic jitter and a
+     wall-time budget, and any persistent failure degrades to a
+     recompute (reads) or a skipped publish (writes) — the store is an
+     accelerator, never a correctness dependency.
+   - {b Drain.}  [drain] stops admission ([Shutting_down]), lets the
+     dispatcher flush every queued job, and joins it — no reply is
+     ever dropped.
+
+   Determinism: a row is a pure function of the instance labelling
+   and the source — backend- and jobs-invariant — so replies are
+   byte-identical however queries were batched, shed, or cached.
+
+   Threading: submissions come from many systhreads; the queue is the
+   only shared mutable state (mutex + condvar).  The row cache is
+   touched only by the dispatcher.  Tickets are single-writer
+   (dispatcher) single-reader (the submitting thread). *)
+
+type config = {
+  queue_max : int;
+  batch_window_s : float;
+      (* dispatcher sleeps this long after the first job of a cycle
+         arrives, so concurrent clients coalesce into one sweep *)
+  cache_max : int;  (* in-memory rows kept (FIFO eviction) *)
+  store : Store.Objects.t option;
+  jitter_seed : int64;  (* retry decorrelation *)
+  store_budget_s : float;  (* retry wall-time budget per store op *)
+}
+
+let default_config =
+  {
+    queue_max = 256;
+    batch_window_s = 0.;
+    cache_max = 4096;
+    store = None;
+    jitter_seed = 0L;
+    store_budget_s = 0.25;
+  }
+
+type reply =
+  | Row of int array
+      (* the (instance, source) arrival row, [max_int] = unreachable;
+         shared with the cache — readers must not mutate *)
+  | Err of Proto.error_code * string
+
+type ticket = {
+  tm : Mutex.t;
+  tc : Condition.t;
+  mutable result : reply option;
+  submitted : float;
+}
+
+type job = {
+  j_instance : string;
+  j_net : Temporal.Tgraph.t;
+  j_spec : Corpus.spec option;
+  j_source : int;
+  j_deadline : float;  (* absolute epoch seconds; infinity = none *)
+  j_ticket : ticket;
+}
+
+type stats = {
+  queries : int;
+  shed : int;
+  expired : int;
+  cache_hits : int;
+  store_hits : int;
+  sweeps : int;
+  queue_peak : int;
+}
+
+type t = {
+  corpus : Corpus.t;
+  cfg : config;
+  qm : Mutex.t;
+  qc : Condition.t;
+  queue : job Queue.t;
+  mutable queue_len : int;
+  mutable queue_peak : int;
+  mutable accepting : bool;
+  mutable stopping : bool;
+  mutable dispatcher : Thread.t option;
+  cache : (string * int, int array) Hashtbl.t;
+  cache_fifo : (string * int) Queue.t;
+  (* monotonically increasing tallies, dispatcher/submit side *)
+  mutable n_queries : int;
+  mutable n_shed : int;
+  mutable n_expired : int;
+  mutable n_cache_hits : int;
+  mutable n_store_hits : int;
+  mutable n_sweeps : int;
+  c_queries : Obs.Metrics.counter;
+  c_shed : Obs.Metrics.counter;
+  c_expired : Obs.Metrics.counter;
+  c_cache_hits : Obs.Metrics.counter;
+  c_sweeps : Obs.Metrics.counter;
+  g_depth : Obs.Metrics.gauge;
+  h_latency : Obs.Metrics.histogram;
+}
+
+let create ?(config = default_config) corpus =
+  if config.queue_max < 1 then
+    invalid_arg "Engine.create: queue_max must be >= 1";
+  if config.cache_max < 0 then
+    invalid_arg "Engine.create: cache_max must be >= 0";
+  {
+    corpus;
+    cfg = config;
+    qm = Mutex.create ();
+    qc = Condition.create ();
+    queue = Queue.create ();
+    queue_len = 0;
+    queue_peak = 0;
+    accepting = true;
+    stopping = false;
+    dispatcher = None;
+    cache = Hashtbl.create 256;
+    cache_fifo = Queue.create ();
+    n_queries = 0;
+    n_shed = 0;
+    n_expired = 0;
+    n_cache_hits = 0;
+    n_store_hits = 0;
+    n_sweeps = 0;
+    c_queries = Obs.Metrics.counter "serve.queries";
+    c_shed = Obs.Metrics.counter "serve.shed";
+    c_expired = Obs.Metrics.counter "serve.deadline_exceeded";
+    c_cache_hits = Obs.Metrics.counter "serve.cache_hits";
+    c_sweeps = Obs.Metrics.counter "serve.sweeps";
+    g_depth = Obs.Metrics.gauge "serve.queue_depth";
+    h_latency = Obs.Metrics.histogram "serve.latency_ms";
+  }
+
+let corpus t = t.corpus
+
+let stats t =
+  Mutex.lock t.qm;
+  let s =
+    {
+      queries = t.n_queries;
+      shed = t.n_shed;
+      expired = t.n_expired;
+      cache_hits = t.n_cache_hits;
+      store_hits = t.n_store_hits;
+      sweeps = t.n_sweeps;
+      queue_peak = t.queue_peak;
+    }
+  in
+  Mutex.unlock t.qm;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Tickets *)
+
+let resolve t ticket reply =
+  Mutex.lock ticket.tm;
+  (* First writer wins; the dispatcher is the only writer so this is
+     belt and braces. *)
+  (match ticket.result with
+  | None -> ticket.result <- Some reply
+  | Some _ -> ());
+  Condition.signal ticket.tc;
+  Mutex.unlock ticket.tm;
+  Obs.Metrics.observe t.h_latency
+    ((Unix.gettimeofday () -. ticket.submitted) *. 1000.)
+
+let await ticket =
+  Mutex.lock ticket.tm;
+  while ticket.result = None do
+    Condition.wait ticket.tc ticket.tm
+  done;
+  let r = Option.get ticket.result in
+  Mutex.unlock ticket.tm;
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Admission *)
+
+type admission = Admitted of ticket | Rejected of Proto.error_code * string
+
+let submit t ~instance ~source ?deadline_s () =
+  match Corpus.find t.corpus instance with
+  | None ->
+    Rejected (Proto.Unknown_instance, Printf.sprintf "no instance %S" instance)
+  | Some { status = Corpus.Failed m; _ } ->
+    Rejected
+      (Proto.Unavailable, Printf.sprintf "instance %S failed to load: %s" instance m)
+  | Some { status = Corpus.Available net; spec; _ } ->
+    let n = Temporal.Tgraph.n net in
+    if source < 0 || source >= n then
+      Rejected
+        ( Proto.Bad_arg,
+          Printf.sprintf "source %d out of range [0, %d)" source n )
+    else begin
+      let now = Unix.gettimeofday () in
+      let deadline =
+        match deadline_s with
+        | Some d when d > 0. -> now +. d
+        | _ -> infinity
+      in
+      let ticket =
+        {
+          tm = Mutex.create ();
+          tc = Condition.create ();
+          result = None;
+          submitted = now;
+        }
+      in
+      let job =
+        {
+          j_instance = instance;
+          j_net = net;
+          j_spec = spec;
+          j_source = source;
+          j_deadline = deadline;
+          j_ticket = ticket;
+        }
+      in
+      Mutex.lock t.qm;
+      let verdict =
+        if not t.accepting then
+          Rejected (Proto.Shutting_down, "server is draining")
+        else if t.queue_len >= t.cfg.queue_max then begin
+          t.n_shed <- t.n_shed + 1;
+          Rejected
+            ( Proto.Resource_exhausted,
+              Printf.sprintf "admission queue full (%d)" t.cfg.queue_max )
+        end
+        else begin
+          Queue.push job t.queue;
+          t.queue_len <- t.queue_len + 1;
+          if t.queue_len > t.queue_peak then t.queue_peak <- t.queue_len;
+          t.n_queries <- t.n_queries + 1;
+          Condition.signal t.qc;
+          Admitted ticket
+        end
+      in
+      let depth = t.queue_len in
+      Mutex.unlock t.qm;
+      (match verdict with
+      | Admitted _ ->
+        Obs.Metrics.incr t.c_queries;
+        Obs.Metrics.set t.g_depth (float_of_int depth)
+      | Rejected (Proto.Resource_exhausted, _) -> Obs.Metrics.incr t.c_shed
+      | Rejected _ -> ());
+      verdict
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Store-backed row persistence (best effort) *)
+
+let encode_row row =
+  let buf = Buffer.create (4 + (4 * Array.length row)) in
+  Buffer.add_string buf "ROW1";
+  let put v =
+    let v = if v < 0 || v >= 0xFFFFFFFF then 0xFFFFFFFF else v in
+    Buffer.add_char buf (Char.chr ((v lsr 24) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 16) land 0xFF));
+    Buffer.add_char buf (Char.chr ((v lsr 8) land 0xFF));
+    Buffer.add_char buf (Char.chr (v land 0xFF))
+  in
+  Array.iter put row;
+  Buffer.contents buf
+
+let decode_row ~n bytes =
+  if String.length bytes <> 4 + (4 * n) || String.sub bytes 0 4 <> "ROW1" then
+    None
+  else
+    Some
+      (Array.init n (fun i ->
+           let o = 4 + (4 * i) in
+           let v =
+             (Char.code bytes.[o] lsl 24)
+             lor (Char.code bytes.[o + 1] lsl 16)
+             lor (Char.code bytes.[o + 2] lsl 8)
+             lor Char.code bytes.[o + 3]
+           in
+           if v = 0xFFFFFFFF then max_int else v))
+
+let row_key spec ~source ~backend =
+  Store.Key.derive
+    ~exp_id:
+      (Printf.sprintf "serve.row/%s/src=%d" (Corpus.spec_to_string spec) source)
+    ~seed:spec.Corpus.seed ~quick:false ~backend
+
+let retryable = function
+  | Fault.Inject.Injected { retryable; _ } -> retryable
+  | Sys_error _ | Unix.Unix_error _ -> true
+  | _ -> false
+
+let with_store_retry t f =
+  Fault.Retry.with_backoff ~jitter:0.5 ~jitter_seed:t.cfg.jitter_seed
+    ~budget_s:t.cfg.store_budget_s ~retryable
+    ~on_retry:(fun _ _ -> ())
+    f
+
+let store_get t job =
+  match (t.cfg.store, job.j_spec) with
+  | None, _ | _, None -> None
+  | Some store, Some spec -> (
+    let key =
+      row_key spec ~source:job.j_source
+        ~backend:(Sim.Backend.to_string (Corpus.backend t.corpus))
+    in
+    match with_store_retry t (fun _ -> Store.Objects.get store ~key) with
+    | Some (bytes, entry) -> (
+      let n = Temporal.Tgraph.n job.j_net in
+      match decode_row ~n bytes with
+      | Some row -> Some row
+      | None ->
+        (* Content address held but the payload is not a row of the
+           expected shape (schema drift): quarantine so a fresh put
+           repopulates, and treat as a miss. *)
+        (try Store.Objects.quarantine store entry with _ -> ());
+        None)
+    | None -> None
+    | exception _ -> None)
+
+let store_put t job row =
+  match (t.cfg.store, job.j_spec) with
+  | None, _ | _, None -> ()
+  | Some store, Some spec -> (
+    let key =
+      row_key spec ~source:job.j_source
+        ~backend:(Sim.Backend.to_string (Corpus.backend t.corpus))
+    in
+    let meta =
+      [
+        ("kind", "serve.row");
+        ("instance", job.j_instance);
+        ("source", string_of_int job.j_source);
+      ]
+    in
+    try
+      ignore
+        (with_store_retry t (fun _ ->
+             Store.Objects.put store ~key ~meta (encode_row row)))
+    with _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Row computation *)
+
+let scalar_only net =
+  Temporal.Batch.force_scalar () || Temporal.Tgraph.is_implicit net
+
+(* Compute rows for [sources] of one instance.  [still_wanted src] is
+   the cooperative-cancellation probe: checked immediately before each
+   sweep, so work for sources whose every waiter has expired is
+   skipped.  Returns [rows.(i) = Some row] in [sources] order. *)
+let compute_rows net sources ~still_wanted =
+  let pool = Exec.Pool.global () in
+  let n = Temporal.Tgraph.n net in
+  let k = Array.length sources in
+  (* Bumped from pool worker domains — must be atomic. *)
+  let sweeps = Atomic.make 0 in
+  let rows =
+    if scalar_only net then
+      Exec.Pool.map_range pool ~lo:0 ~hi:k (fun i ->
+          let src = sources.(i) in
+          if not (still_wanted src) then None
+          else begin
+            Atomic.incr sweeps;
+            let arr = Temporal.Foremost.arrivals_borrowed net src in
+            Some (Array.sub arr 0 n)
+          end)
+    else begin
+      let lane_width = Temporal.Batch.lane_width in
+      let groups = (k + lane_width - 1) / lane_width in
+      let per_group =
+        Exec.Pool.map_range pool ~lo:0 ~hi:groups (fun g ->
+            let lo = g * lane_width in
+            let lanes = min lane_width (k - lo) in
+            let srcs = Array.sub sources lo lanes in
+            if not (Array.exists still_wanted srcs) then
+              Array.make lanes None
+            else begin
+              Atomic.incr sweeps;
+              let b = Temporal.Batch.sweep net ~sources:srcs in
+              Array.init lanes (fun lane ->
+                  let row = Array.make n 0 in
+                  Temporal.Batch.arrivals_into b ~lane row;
+                  Some row)
+            end)
+      in
+      Array.concat (Array.to_list per_group)
+    end
+  in
+  (rows, Atomic.get sweeps)
+
+(* One dispatch cycle: drain the queue and answer everything drained.
+   Runs in the dispatcher thread (or a test driving the engine
+   synchronously); must never raise. *)
+let process_pending t =
+  Mutex.lock t.qm;
+  let jobs = Queue.fold (fun acc j -> j :: acc) [] t.queue in
+  Queue.clear t.queue;
+  t.queue_len <- 0;
+  Mutex.unlock t.qm;
+  Obs.Metrics.set t.g_depth 0.;
+  let jobs = List.rev jobs in
+  (* Group by instance, preserving arrival order inside each group. *)
+  let by_instance : (string, job list ref) Hashtbl.t = Hashtbl.create 8 in
+  let order = ref [] in
+  List.iter
+    (fun j ->
+      match Hashtbl.find_opt by_instance j.j_instance with
+      | Some r -> r := j :: !r
+      | None ->
+        Hashtbl.add by_instance j.j_instance (ref [ j ]);
+        order := j.j_instance :: !order)
+    jobs;
+  let expired_total = ref 0 in
+  let handle_instance id =
+    let group = List.rev !(Hashtbl.find by_instance id) in
+    let now = Unix.gettimeofday () in
+    let expired, live =
+      List.partition (fun j -> now > j.j_deadline) group
+    in
+    List.iter
+      (fun j ->
+        incr expired_total;
+        resolve t j.j_ticket (Err (Proto.Deadline_exceeded, "expired in queue")))
+      expired;
+    if live <> [] then begin
+      (* Cache, then store, then compute. *)
+      let cache_hits = ref 0 and store_hits = ref 0 in
+      let misses = ref [] in
+      List.iter
+        (fun j ->
+          match Hashtbl.find_opt t.cache (j.j_instance, j.j_source) with
+          | Some row ->
+            incr cache_hits;
+            resolve t j.j_ticket (Row row)
+          | None -> misses := j :: !misses)
+        live;
+      let insert_cache key row =
+        if t.cfg.cache_max > 0 then begin
+          if
+            Hashtbl.length t.cache >= t.cfg.cache_max
+            && not (Hashtbl.mem t.cache key)
+          then begin
+            match Queue.take_opt t.cache_fifo with
+            | Some victim -> Hashtbl.remove t.cache victim
+            | None -> ()
+          end;
+          if not (Hashtbl.mem t.cache key) then begin
+            Hashtbl.add t.cache key row;
+            Queue.push key t.cache_fifo
+          end
+        end
+      in
+      let misses = List.rev !misses in
+      let after_store = ref [] in
+      List.iter
+        (fun j ->
+          match store_get t j with
+          | Some row ->
+            incr store_hits;
+            insert_cache (j.j_instance, j.j_source) row;
+            resolve t j.j_ticket (Row row)
+          | None -> after_store := j :: !after_store)
+        misses;
+      let pending = List.rev !after_store in
+      (* Dedupe sources; remember which jobs wait on each. *)
+      let waiters : (int, job list ref) Hashtbl.t = Hashtbl.create 16 in
+      let sources = ref [] in
+      List.iter
+        (fun j ->
+          match Hashtbl.find_opt waiters j.j_source with
+          | Some r -> r := j :: !r
+          | None ->
+            Hashtbl.add waiters j.j_source (ref [ j ]);
+            sources := j.j_source :: !sources)
+        pending;
+      let sources = Array.of_list (List.rev !sources) in
+      if Array.length sources > 0 then begin
+        let net = (List.hd pending).j_net in
+        let still_wanted src =
+          let now = Unix.gettimeofday () in
+          List.exists
+            (fun j -> now <= j.j_deadline)
+            !(Hashtbl.find waiters src)
+        in
+        match compute_rows net sources ~still_wanted with
+        | rows, sweeps ->
+          t.n_sweeps <- t.n_sweeps + sweeps;
+          Obs.Metrics.add t.c_sweeps sweeps;
+          Array.iteri
+            (fun i src ->
+              let js = List.rev !(Hashtbl.find waiters src) in
+              match rows.(i) with
+              | Some row ->
+                insert_cache (id, src) row;
+                store_put t (List.hd js) row;
+                List.iter (fun j -> resolve t j.j_ticket (Row row)) js
+              | None ->
+                (* Skipped by cooperative cancellation: every waiter
+                   had expired when the sweep was due. *)
+                List.iter
+                  (fun j ->
+                    incr expired_total;
+                    resolve t j.j_ticket
+                      (Err (Proto.Deadline_exceeded, "expired before sweep")))
+                  js)
+            sources
+        | exception e ->
+          let msg = Printexc.to_string e in
+          Array.iter
+            (fun src ->
+              List.iter
+                (fun j -> resolve t j.j_ticket (Err (Proto.Internal, msg)))
+                !(Hashtbl.find waiters src))
+            sources
+      end;
+      Mutex.lock t.qm;
+      t.n_cache_hits <- t.n_cache_hits + !cache_hits;
+      t.n_store_hits <- t.n_store_hits + !store_hits;
+      Mutex.unlock t.qm;
+      if !cache_hits > 0 then Obs.Metrics.add t.c_cache_hits !cache_hits
+    end
+  in
+  (* An exception escaping an instance group must not leave a ticket
+     unresolved (the connection thread would hang): answer everything
+     in the group with Internal — already-resolved tickets keep their
+     first answer. *)
+  List.iter
+    (fun id ->
+      try handle_instance id
+      with e ->
+        let msg = Printexc.to_string e in
+        List.iter
+          (fun j -> resolve t j.j_ticket (Err (Proto.Internal, msg)))
+          (List.rev !(Hashtbl.find by_instance id)))
+    (List.rev !order);
+  if !expired_total > 0 then begin
+    Mutex.lock t.qm;
+    t.n_expired <- t.n_expired + !expired_total;
+    Mutex.unlock t.qm;
+    Obs.Metrics.add t.c_expired !expired_total
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Dispatcher lifecycle *)
+
+let dispatcher_loop t =
+  let rec loop () =
+    Mutex.lock t.qm;
+    while t.queue_len = 0 && not t.stopping do
+      Condition.wait t.qc t.qm
+    done;
+    let stop_now = t.stopping && t.queue_len = 0 in
+    let draining = t.stopping in
+    Mutex.unlock t.qm;
+    if stop_now then ()
+    else begin
+      (* Coalescing window: let concurrent clients pile onto this
+         cycle.  Skipped while draining — flush fast. *)
+      if t.cfg.batch_window_s > 0. && not draining then
+        Thread.delay t.cfg.batch_window_s;
+      process_pending t;
+      loop ()
+    end
+  in
+  loop ()
+
+let start t =
+  Mutex.lock t.qm;
+  let already = t.dispatcher <> None in
+  Mutex.unlock t.qm;
+  if already then invalid_arg "Engine.start: already started";
+  let th = Thread.create dispatcher_loop t in
+  Mutex.lock t.qm;
+  t.dispatcher <- Some th;
+  Mutex.unlock t.qm
+
+let stop_accepting t =
+  Mutex.lock t.qm;
+  t.accepting <- false;
+  Mutex.unlock t.qm
+
+let drain t =
+  Mutex.lock t.qm;
+  t.accepting <- false;
+  t.stopping <- true;
+  Condition.broadcast t.qc;
+  let th = t.dispatcher in
+  t.dispatcher <- None;
+  Mutex.unlock t.qm;
+  match th with
+  | Some th -> Thread.join th
+  | None ->
+    (* Never started (synchronous tests): flush inline so the drain
+       contract — no queued job left unanswered — holds regardless. *)
+    process_pending t

@@ -1,0 +1,94 @@
+(** The query engine behind [ephemeral serve].
+
+    Every query op (foremost, arrivals, reach, ecc) is a readout of
+    one (instance, source) arrival row, so the row is the unit of
+    work, caching, and batching.  Connection threads {!submit}
+    (instance, source, deadline) jobs into a {e bounded} admission
+    queue; a single dispatcher drains it, groups by instance, dedupes
+    sources, and computes missing rows on the global {!Exec.Pool} —
+    word-parallel {!Temporal.Batch} sweeps on the dense backend, one
+    scalar sweep per source on the implicit one (whose O(n)-scratch
+    contract batch arrival matrices would break).
+
+    Robustness contract: submissions past [queue_max] are shed with
+    [Resource_exhausted] (never queued — {!stats}[.queue_peak] proves
+    the bound); expired jobs answer [Deadline_exceeded], re-checked
+    cooperatively before every sweep; store IO is retried with
+    deterministic jitter under a wall-time budget and degrades to
+    recompute on persistent failure; {!drain} flushes every admitted
+    job before returning — no ticket is ever left unanswered.
+
+    Rows are pure functions of (instance labelling, source): replies
+    are byte-identical at any job count, batching, or backend. *)
+
+type config = {
+  queue_max : int;  (** admission bound (jobs queued, not in flight) *)
+  batch_window_s : float;
+      (** dispatcher coalescing sleep once a cycle has work; [0.] = none *)
+  cache_max : int;  (** in-memory rows kept, FIFO eviction; [0] = off *)
+  store : Store.Objects.t option;  (** persistent row cache *)
+  jitter_seed : int64;  (** retry-jitter decorrelation seed *)
+  store_budget_s : float;  (** retry wall-time budget per store op *)
+}
+
+val default_config : config
+(** queue 256, no window, 4096 rows, no store, 0.25 s store budget. *)
+
+type reply =
+  | Row of int array
+      (** the arrival row, [max_int] = unreachable; shared with the
+          cache — do not mutate *)
+  | Err of Proto.error_code * string
+
+type ticket
+type t
+
+val create : ?config:config -> Corpus.t -> t
+(** No dispatcher is started: tests drive {!process_pending} directly;
+    servers call {!start}.
+    @raise Invalid_argument if [queue_max < 1] or [cache_max < 0]. *)
+
+val corpus : t -> Corpus.t
+
+type admission = Admitted of ticket | Rejected of Proto.error_code * string
+
+val submit :
+  t -> instance:string -> source:int -> ?deadline_s:float -> unit -> admission
+(** Admit a row request.  Rejections: [Unknown_instance],
+    [Unavailable] (instance failed to load), [Bad_arg] (source out of
+    range), [Shutting_down] (drain begun), [Resource_exhausted] (queue
+    full).  [deadline_s] is relative; absent or [<= 0.] means none. *)
+
+val await : ticket -> reply
+(** Block until the dispatcher answers.  Every admitted ticket is
+    eventually resolved, including through {!drain}. *)
+
+val process_pending : t -> unit
+(** One synchronous dispatch cycle: drain the queue, answer every job
+    drained.  What the dispatcher thread runs; exposed so tests can
+    drive admission/deadline/batching deterministically without
+    threads.  Never raises. *)
+
+val start : t -> unit
+(** Spawn the dispatcher thread.
+    @raise Invalid_argument if already started. *)
+
+val stop_accepting : t -> unit
+(** Flip admission off ([Shutting_down] rejections) without stopping
+    the dispatcher — the first phase of a drain. *)
+
+val drain : t -> unit
+(** Stop admission, flush every queued job, and join the dispatcher.
+    If the dispatcher was never started, flushes inline.  Idempotent. *)
+
+type stats = {
+  queries : int;  (** admitted *)
+  shed : int;  (** rejected [Resource_exhausted] *)
+  expired : int;  (** answered [Deadline_exceeded] *)
+  cache_hits : int;
+  store_hits : int;
+  sweeps : int;  (** kernel sweeps actually run *)
+  queue_peak : int;  (** max queue depth ever observed — [<= queue_max] *)
+}
+
+val stats : t -> stats

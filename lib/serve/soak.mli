@@ -1,0 +1,33 @@
+(** [ephemeral chaos --serve]: a self-checking client soak against a
+    live, fault-armed child server process.
+
+    Forks the real binary, waits for READY, then runs phases targeting
+    one robustness claim each: oracle correctness, typed errors on
+    malformed input, connection drops, slow-loris reads, overload
+    shedding, and SIGTERM mid-burst (clean exit 0 + atomically
+    published ledger + admission-queue peak within bound).  Violations
+    are collected, not thrown — one run reports the full damage. *)
+
+type outcome = {
+  checks : int;
+  violations : string list;  (** empty = soak passed *)
+  queries : int;  (** client-side query count *)
+  p50_ms : float;  (** client-observed round-trip latency *)
+  p99_ms : float;
+  qps : float;
+  server_exit : int option;
+      (** [Some 0] on a clean drain; [None] = hung and killed *)
+  ledger_ok : bool;
+}
+
+val run :
+  exe:string ->
+  dir:string ->
+  seed:int ->
+  quick:bool ->
+  fault_spec:string option ->
+  backend:Sim.Backend.t ->
+  jobs:int ->
+  (outcome, string) result
+(** [Error] only when the soak could not run at all (server never came
+    up); assertion failures land in [violations]. *)
