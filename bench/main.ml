@@ -37,11 +37,21 @@ type opts = {
   mutable no_batch : bool;
   mutable no_implicit : bool;
   mutable no_serve : bool;
+  mutable no_serve_sharded : bool;
   mutable metrics : bool;
   mutable trace : string option;
   mutable jobs : int option;
   mutable backend : Sim.Backend.t;
+  mutable only : string list;
 }
+
+(* --only names, in execution order.  Each maps to the corresponding
+   --no-* flag; selecting any section turns every other one off. *)
+let sections =
+  [
+    "tables"; "speedup"; "store"; "faults"; "implicit"; "batch"; "serve";
+    "serve-sharded"; "kernel"; "micro";
+  ]
 
 let usage_lines =
   [
@@ -60,7 +70,15 @@ let usage_lines =
     "                 and peak RSS on the same derived instances)";
     "  --no-serve     skip part 2g (ephemeral serve: sustained qps and";
     "                 tail latency, dense vs implicit)";
+    "  --no-serve-sharded";
+    "                 skip part 2h (sharded serve: qps scale-out at";
+    "                 1/2/4 shard workers, real binary, oracle-checked)";
     "  --no-micro     skip part 3 (Bechamel micro-benchmarks)";
+    "  --only S       run section S alone (repeatable; tables, speedup,";
+    "                 store, faults, implicit, batch, serve, serve-sharded,";
+    "                 kernel, micro).  BENCH_clique.json is written by the";
+    "                 kernel section, so pair data sections with it if the";
+    "                 JSON is wanted.";
     "  --backend B    run the experiment tables (part 1) under backend B";
     "                 (dense | implicit; default dense)";
     "  --jobs N, -j N worker domains for trial execution (default: 4";
@@ -89,10 +107,12 @@ let parse_args () =
       no_batch = false;
       no_implicit = false;
       no_serve = false;
+      no_serve_sharded = false;
       metrics = false;
       trace = None;
       jobs = None;
       backend = Sim.Backend.Dense;
+      only = [];
     }
   in
   let argv = Sys.argv in
@@ -120,6 +140,15 @@ let parse_args () =
       | "--no-batch" -> o.no_batch <- true; go (i + 1)
       | "--no-implicit" -> o.no_implicit <- true; go (i + 1)
       | "--no-serve" -> o.no_serve <- true; go (i + 1)
+      | "--no-serve-sharded" -> o.no_serve_sharded <- true; go (i + 1)
+      | "--only" ->
+        let s = value "--only" i in
+        if not (List.mem s sections) then
+          usage_error
+            (Printf.sprintf "--only %S: expected one of %s" s
+               (String.concat ", " sections));
+        o.only <- s :: o.only;
+        go (i + 2)
       | "--backend" ->
         (match Sim.Backend.of_string (value "--backend" i) with
         | Some b -> o.backend <- b
@@ -134,6 +163,18 @@ let parse_args () =
       | arg -> usage_error (Printf.sprintf "unknown option %S" arg)
   in
   go 1;
+  (if o.only <> [] then
+     let off s = not (List.mem s o.only) in
+     o.no_tables <- off "tables";
+     o.no_speedup <- off "speedup";
+     o.no_store <- off "store";
+     o.no_faults <- off "faults";
+     o.no_implicit <- off "implicit";
+     o.no_batch <- off "batch";
+     o.no_serve <- off "serve";
+     o.no_serve_sharded <- off "serve-sharded";
+     o.no_kernel <- off "kernel";
+     o.no_micro <- off "micro");
   o
 
 let opts = parse_args ()
@@ -595,6 +636,226 @@ let run_serve_bench () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Part 2h: sharded serve scale-out (the real binary, 1/2/4 shards).
+
+   Spawns `ephemeral serve --shards S` — the actual CLI, router and
+   shard workers as separate OS processes — over an 8-instance clique
+   corpus with a cold result store, and hammers it with concurrent
+   clients whose foremost queries rotate across instances and sources.
+   Every reply is checked against an in-process oracle over the
+   identical corpus, so a routing bug (a query answered by a shard
+   that does not own the instance) fails loudly, not silently.
+
+   What scale-out is available depends on the host: shard processes
+   overlap per-query compute only when there are physical cores to run
+   them on, and overlap durable-publish fsync waits regardless.  The
+   host's core count is recorded in the JSON next to the measured
+   points precisely so a reader (or CI) can tell "sharding is broken"
+   apart from "this box has one core". *)
+
+type sharded_point = {
+  sh_shards : int;
+  sh_queries : int;
+  sh_qps : float;
+  sh_p50_ms : float;
+  sh_p99_ms : float;
+  sh_ok : bool;
+}
+
+let sharded_points : sharded_point list ref = ref []
+let host_cores = Domain.recommended_domain_count ()
+
+let serve_exe () =
+  match Sys.getenv_opt "EPHEMERAL_EXE" with
+  | Some p when Sys.file_exists p -> Some p
+  | _ ->
+    let cand =
+      Filename.concat (Filename.dirname Sys.executable_name) "../bin/main.exe"
+    in
+    if Sys.file_exists cand then Some cand else None
+
+let run_serve_sharded_bench () =
+  print_endline
+    "=================================================================";
+  (* The regime where sharding pays: a COLD store-backed corpus.  Every
+     query hits a distinct (instance, source) pair, so each one is
+     computed once and durably published — object write + fsync +
+     manifest append — before the dispatcher moves on.  One process has
+     one dispatcher, so publishes serialize; shard workers overlap
+     those device waits (and, on multi-core hosts, the compute too).
+     This is exactly the first pass of `serve --store` over a corpus,
+     populating the persistent row cache under live traffic.  The
+     instance ids c0..c7 hash 2-per-shard at 4 shards (hence 4-per at
+     2), so ownership is balanced and no shard caps the scale-out. *)
+  let n = 256 and instances = 8 in
+  let clients = 32 and per_client = if quick then 25 else 64 in
+  let sources_per_inst = clients * per_client / instances in
+  Printf.printf
+    " ephemeral serve --shards: cold-store qps scale-out (%d implicit \
+     clique\n\
+    \ instances n=%d, %d clients x %d one-shot queries, -j 1 per shard)\n"
+    instances n clients per_client;
+  print_endline
+    "=================================================================";
+  match serve_exe () with
+  | None ->
+    print_endline
+      "  bin/main.exe not found next to the bench (set EPHEMERAL_EXE); \
+       skipping";
+    print_newline ()
+  | Some exe ->
+    let spec i =
+      Printf.sprintf "id=c%d,family=clique,n=%d,a=%d,r=1,seed=%d" i n n (7 + i)
+    in
+    let spec_lines = List.init instances spec in
+    (* The oracle: the same corpus, built in-process, arrival rows for
+       the sources the clients will use. *)
+    let oracle =
+      Array.of_list
+        (List.map
+           (fun line ->
+             match
+               Serve.Corpus.available
+                 (Serve.Corpus.load ~backend:Sim.Backend.Implicit [ line ])
+             with
+             | [ (_, net) ] ->
+               Array.init sources_per_inst (fun s ->
+                   Array.sub
+                     (Temporal.Foremost.arrivals_borrowed net s)
+                     0 n)
+             | _ -> failwith "sharded bench: oracle corpus failed to load")
+           spec_lines)
+    in
+    List.iter
+      (fun shards ->
+        let dir = Filename.temp_file "ephemeral-bench" ".sharded" in
+        Sys.remove dir;
+        Unix.mkdir dir 0o700;
+        let socket = Filename.concat dir "srv.sock" in
+        (* Fresh store per leg: every leg starts cold and publishes the
+           same row set, so the shard counts do identical work. *)
+        let args =
+          [ "serve"; "--socket"; socket; "--backend"; "implicit";
+            "--queue-max"; "128"; "--jobs"; "1";
+            "--store"; Filename.concat dir "store";
+            "--shards"; string_of_int shards ]
+          @ List.concat_map (fun s -> [ "--instance"; s ]) spec_lines
+        in
+        let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+        let pid =
+          Unix.create_process exe
+            (Array.of_list (exe :: args))
+            Unix.stdin devnull Unix.stderr
+        in
+        Unix.close devnull;
+        (* Readiness: the router binds its socket only once every shard
+           answered PING, so a successful PING here means fully up. *)
+        let address = Serve.Server.Unix_path socket in
+        let deadline = Unix.gettimeofday () +. 30. in
+        let rec await () =
+          if Unix.gettimeofday () > deadline then
+            failwith "sharded bench: server never became ready"
+          else
+            match Serve.Client.connect ~timeout_s:0.2 address with
+            | Ok c ->
+              let r = Serve.Client.call ~timeout_s:1. c Serve.Proto.Ping in
+              Serve.Client.close c;
+              (match r with
+              | Ok Serve.Proto.Ok_empty -> ()
+              | _ -> Unix.sleepf 0.02; await ())
+            | Error _ -> Unix.sleepf 0.02; await ()
+        in
+        await ();
+        let latencies = Array.make (clients * per_client) 0. in
+        let mismatches = Atomic.make 0 in
+        let client_loop c =
+          match Serve.Client.connect ~timeout_s:10. address with
+          | Error m -> failwith ("sharded bench: connect: " ^ m)
+          | Ok conn ->
+            Fun.protect
+              ~finally:(fun () -> Serve.Client.close conn)
+              (fun () ->
+                for i = 0 to per_client - 1 do
+                  (* Global pair index: every query in the run targets a
+                     distinct (instance, source), so nothing is served
+                     from a warm cache or a prior publish. *)
+                  let p = (c * per_client) + i in
+                  let inst = p mod instances in
+                  let source = p / instances in
+                  let target = ((source * 7) + 3) mod n in
+                  let req =
+                    Serve.Proto.Foremost
+                      {
+                        Serve.Proto.instance = Printf.sprintf "c%d" inst;
+                        source;
+                        target;
+                        deadline_ms = 0;
+                      }
+                  in
+                  let expected =
+                    let a = oracle.(inst).(source).(target) in
+                    if a = max_int then None else Some a
+                  in
+                  let t0 = Unix.gettimeofday () in
+                  (match Serve.Client.call ~timeout_s:30. conn req with
+                  | Ok (Serve.Proto.Ok_value v) ->
+                    if v <> expected then Atomic.incr mismatches
+                  | Ok _ | Error _ -> Atomic.incr mismatches);
+                  latencies.((c * per_client) + i) <-
+                    (Unix.gettimeofday () -. t0) *. 1e3
+                done)
+        in
+        let t0 = Unix.gettimeofday () in
+        let threads =
+          List.init clients (fun c -> Thread.create client_loop c)
+        in
+        List.iter Thread.join threads;
+        let wall_s = Unix.gettimeofday () -. t0 in
+        Unix.kill pid Sys.sigterm;
+        let _, status = Unix.waitpid [] pid in
+        Store.Fsio.remove_tree dir;
+        (match status with
+        | Unix.WEXITED 0 -> ()
+        | _ -> Printf.printf "  WARNING: server at %d shards exited dirty\n"
+                 shards);
+        let sorted = Array.copy latencies in
+        Array.sort compare sorted;
+        let queries = clients * per_client in
+        let qps = float_of_int queries /. Float.max 1e-9 wall_s in
+        let p50 = percentile sorted 0.50 and p99 = percentile sorted 0.99 in
+        let ok = Atomic.get mismatches = 0 in
+        Printf.printf
+          "  shards=%d : %6.0f q/s   p50 %6.3f ms   p99 %6.3f ms   replies \
+           ok: %s\n"
+          shards qps p50 p99
+          (if ok then "yes" else "NO (BUG)");
+        sharded_points :=
+          {
+            sh_shards = shards;
+            sh_queries = queries;
+            sh_qps = qps;
+            sh_p50_ms = p50;
+            sh_p99_ms = p99;
+            sh_ok = ok;
+          }
+          :: !sharded_points)
+      [ 1; 2; 4 ];
+    sharded_points := List.rev !sharded_points;
+    (match !sharded_points with
+    | [ one; _; four ] when one.sh_qps > 0. ->
+      Printf.printf "  scale-out 4/1 shards: %.2fx (host cores: %d)\n"
+        (four.sh_qps /. one.sh_qps)
+        host_cores;
+      if host_cores < 4 then
+        Printf.printf
+          "  note: %d-core host — shards can only overlap durability \
+           waits,\n\
+          \  not compute; expect near-linear scale-out on >= 4 cores\n"
+          host_cores
+    | _ -> ());
+    print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Part 2d: flat kernel vs seed baseline on the E1 clique pipeline.
 
    One trial = draw a normalized uniform assignment on the directed
@@ -685,6 +946,36 @@ let run_kernel_bench () =
              points)
       ^ "\n  ]"
   in
+  (* Part 2h's scale-out points land in a "serve_sharded" object (null
+     under --no-serve-sharded or when the binary was not found).  The
+     host core count rides along: qps scale-out is a property of the
+     (binary, host) pair, and a 1-core box physically cannot overlap
+     shard compute — only durability waits — so the ratio is
+     meaningless without it. *)
+  let serve_sharded_json =
+    match !sharded_points with
+    | [] -> "null"
+    | points ->
+      let ratio =
+        match points with
+        | one :: _ when one.sh_qps > 0. ->
+          let four = List.nth points (List.length points - 1) in
+          four.sh_qps /. one.sh_qps
+        | _ -> 0.
+      in
+      Printf.sprintf "{\n    \"host_cores\": %d,\n    \"scale_out\": %.2f,\n    \"points\": [\n"
+        host_cores ratio
+      ^ String.concat ",\n"
+          (List.map
+             (fun p ->
+               Printf.sprintf
+                 "      { \"shards\": %d, \"queries\": %d, \"qps\": %.0f, \
+                  \"p50_ms\": %.3f, \"p99_ms\": %.3f, \"replies_ok\": %b }"
+                 p.sh_shards p.sh_queries p.sh_qps p.sh_p50_ms p.sh_p99_ms
+                 p.sh_ok)
+             points)
+      ^ "\n    ]\n  }"
+  in
   (* Part 2f's dense-vs-implicit points land in a "backends" array
      (empty under --no-implicit). *)
   let backends_json =
@@ -719,11 +1010,13 @@ let run_kernel_bench () =
     \  \"lane_width\": %d,\n\
     \  \"batch\": %s,\n\
     \  \"backends\": %s,\n\
-    \  \"serve\": %s\n\
+    \  \"serve\": %s,\n\
+    \  \"serve_sharded\": %s\n\
      }\n"
     kernel_n trials quick legacy_ns legacy_bytes flat_ns flat_bytes speedup
     (legacy_bytes /. Float.max 1. flat_bytes)
-    agree Batch.lane_width batch_json backends_json serve_json;
+    agree Batch.lane_width batch_json backends_json serve_json
+    serve_sharded_json;
   close_out oc;
   Printf.printf "  wrote %s\n" path;
   print_newline ()
@@ -987,6 +1280,7 @@ let () =
   if not opts.no_implicit then run_implicit_bench ();
   if not opts.no_batch then run_batch_bench ();
   if not opts.no_serve then run_serve_bench ();
+  if not opts.no_serve_sharded then run_serve_sharded_bench ();
   if not opts.no_kernel then run_kernel_bench ();
   if not opts.no_micro then run_micro ();
   Option.iter Obs.Sink.close sink;

@@ -390,7 +390,16 @@ let chaos_cmd =
                store, ledger)." in
     Arg.(value & opt (some string) None & info [ "dir" ] ~docv:"DIR" ~doc)
   in
-  let run_serve_soak ~quick ~seed ~jobs ~spec ~serve_dir ~backend =
+  let soak_shards_term =
+    let doc =
+      "With $(b,--serve): run the child as a sharded router over $(docv) \
+       shard workers and arm the shard-kill fault, so crash-respawn is \
+       soaked under live traffic.  0 (the default) soaks the \
+       single-process server."
+    in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let run_serve_soak ~quick ~seed ~jobs ~spec ~serve_dir ~backend ~shards =
     let dir =
       match serve_dir with
       | Some d -> d
@@ -402,7 +411,7 @@ let chaos_cmd =
     let jobs = Option.value jobs ~default:2 in
     match
       Serve.Soak.run ~exe:Sys.executable_name ~dir ~seed ~quick
-        ~fault_spec:(Some spec) ~backend ~jobs
+        ~fault_spec:(Some spec) ~backend ~jobs ~shards
     with
     | Error m ->
       Printf.eprintf "chaos --serve: %s\n" m;
@@ -429,9 +438,9 @@ let chaos_cmd =
       else 1
   in
   let run id quick seed jobs rounds spec retries keep_going serve_mode
-      serve_dir backend =
+      serve_dir backend shards =
     if serve_mode then
-      run_serve_soak ~quick ~seed ~jobs ~spec ~serve_dir ~backend
+      run_serve_soak ~quick ~seed ~jobs ~spec ~serve_dir ~backend ~shards
     else begin
     Option.iter Exec.Pool.set_jobs jobs;
     Fault.Shutdown.install ();
@@ -533,7 +542,8 @@ let chaos_cmd =
   Cmd.v (Cmd.info "chaos" ~doc)
     Term.(const run $ id_term $ quick_term $ seed_term $ jobs_term
           $ rounds_term $ chaos_spec_term $ chaos_retries_term
-          $ keep_going_term $ serve_flag_term $ serve_dir_term $ backend_term)
+          $ keep_going_term $ serve_flag_term $ serve_dir_term $ backend_term
+          $ soak_shards_term)
 
 (* ------------------------------------------------------------------ *)
 (* serve / query: the temporal-reachability service and its client *)
@@ -595,8 +605,29 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
   in
+  let shards_term =
+    let doc =
+      "Shard the corpus over $(docv) supervised worker processes, each \
+       owning a consistent-hash partition of the manifest with its own \
+       Exec pool, row cache, and store handle; this process routes frames \
+       by instance id, respawns crashed shards with bounded backoff, and \
+       merges per-shard ledgers on drain. 0 = classic single-process \
+       serve. Requires a Unix-socket $(b,--socket)."
+    in
+    Arg.(value & opt int 0 & info [ "shards" ] ~docv:"N" ~doc)
+  in
+  let shard_index_term =
+    let doc =
+      "Internal: run as shard $(docv) of $(b,--shards), serving only the \
+       manifest lines this shard owns. Spawned by the router — not for \
+       direct use."
+    in
+    Arg.(value & opt (some int) None
+         & info [ "shard-index" ] ~docv:"K" ~doc)
+  in
   let run socket manifest instances backend jobs queue_max read_timeout
-      window_ms cache_rows store_dir report fault_spec metrics trace seed =
+      window_ms cache_rows store_dir report fault_spec metrics trace seed
+      shards shard_index =
     Option.iter Exec.Pool.set_jobs jobs;
     Sim.Backend.set backend;
     match Option.map Fault.Spec.parse fault_spec with
@@ -604,9 +635,17 @@ let serve_cmd =
       Printf.eprintf "bad --fault-spec: %s\n" msg;
       1
     | parsed -> (
-      (match parsed with
-      | Some (Ok plan) -> Fault.Inject.arm plan
-      | _ -> Fault.Inject.disarm ());
+      let plan =
+        match parsed with Some (Ok plan) -> plan | _ -> Fault.Plan.default
+      in
+      let as_router = shards > 0 && shard_index = None in
+      (* Injection arms where the work runs: in the single process, or
+         in each shard (the spec rides the respawn argv).  The router
+         itself only rolls the shard-kill site from the plan value —
+         arming it would let io faults hit the merged-ledger write. *)
+      if not as_router then
+        if Fault.Plan.active plan then Fault.Inject.arm plan
+        else Fault.Inject.disarm ();
       match Serve.Server.parse_address socket with
       | Error m ->
         Printf.eprintf "bad --socket: %s\n" m;
@@ -624,56 +663,156 @@ let serve_cmd =
         | Error m ->
           prerr_endline m;
           1
-        | Ok lines -> (
-          let corpus = Serve.Corpus.load ~backend (lines @ instances) in
-          match Serve.Corpus.instances corpus with
-          | [] ->
-            prerr_endline
-              "no instances: pass --manifest and/or --instance";
-            1
-          | all ->
-            List.iter
-              (fun (i : Serve.Corpus.instance) ->
-                match i.Serve.Corpus.status with
-                | Serve.Corpus.Failed m ->
-                  Printf.eprintf "instance %s failed to load: %s\n"
-                    i.Serve.Corpus.spec_id m
-                | Serve.Corpus.Available _ -> ())
-              all;
-            if not (Serve.Corpus.healthy corpus) then begin
-              prerr_endline "every instance failed to load; refusing to serve";
+        | Ok lines ->
+          let all_lines = lines @ instances in
+          if as_router then begin
+            match address with
+            | Serve.Server.Tcp _ ->
+              prerr_endline "--shards requires a Unix-socket --socket";
               1
-            end
-            else begin
-              let store =
-                Option.map (fun dir -> Store.Objects.open_ ~dir) store_dir
-              in
-              let teardown = setup_obs ~metrics ~trace in
-              let engine =
-                {
-                  Serve.Engine.queue_max;
-                  batch_window_s = window_ms /. 1000.;
-                  cache_max = cache_rows;
-                  store;
-                  jitter_seed = Int64.of_int seed;
-                  store_budget_s = 0.25;
-                }
-              in
-              let config =
-                {
-                  Serve.Server.address;
-                  read_timeout_s = read_timeout;
-                  max_conns = 64;
-                  engine;
-                  ledger_path = report;
-                  install_signals = true;
-                  announce = Some stdout;
-                }
-              in
-              Serve.Server.run ~config corpus;
-              teardown ();
-              0
-            end)))
+            | Serve.Server.Unix_path socket_path -> (
+              match Serve.Corpus.manifest_ids all_lines with
+              | [] ->
+                prerr_endline "no instances: pass --manifest and/or --instance";
+                1
+              | manifest_ids ->
+                let teardown = setup_obs ~metrics ~trace in
+                let shard_argv k =
+                  Array.of_list
+                    ([
+                       Sys.executable_name;
+                       "serve";
+                       "--socket";
+                       Serve.Shard.socket_path socket_path k;
+                       "--backend";
+                       Sim.Backend.to_string backend;
+                       "--queue-max";
+                       string_of_int queue_max;
+                       "--read-timeout";
+                       Printf.sprintf "%g" read_timeout;
+                       "--batch-window-ms";
+                       Printf.sprintf "%g" window_ms;
+                       "--cache-rows";
+                       string_of_int cache_rows;
+                       "--seed";
+                       string_of_int seed;
+                       "--shards";
+                       string_of_int shards;
+                       "--shard-index";
+                       string_of_int k;
+                     ]
+                    @ (match manifest with
+                      | Some p -> [ "--manifest"; p ]
+                      | None -> [])
+                    @ List.concat_map (fun s -> [ "--instance"; s ]) instances
+                    @ (match jobs with
+                      | Some j -> [ "--jobs"; string_of_int j ]
+                      | None -> [])
+                    @ (match store_dir with
+                      | Some d -> [ "--store"; d ]
+                      | None -> [])
+                    @ (match report with
+                      | Some r -> [ "--report"; Serve.Shard.ledger_path r k ]
+                      | None -> [])
+                    @
+                    match fault_spec with
+                    | Some f -> [ "--fault-spec"; f ]
+                    | None -> [])
+                in
+                let config =
+                  {
+                    Serve.Router.address;
+                    shards;
+                    shard_argv;
+                    shard_socket =
+                      (fun k -> Serve.Shard.socket_path socket_path k);
+                    read_timeout_s = read_timeout;
+                    shard_call_timeout_s = 30.;
+                    max_conns = 64;
+                    queue_max;
+                    ledger_path = report;
+                    install_signals = true;
+                    announce = Some stdout;
+                    manifest_ids;
+                    backend;
+                    shard_ready_timeout_s = 30.;
+                    (* Generous: the chaos soak's shard-kill fault can
+                       land several early-uptime kills in a row, each of
+                       which counts against this budget. *)
+                    max_respawns = 20;
+                    fault = plan;
+                  }
+                in
+                let code =
+                  match Serve.Router.run ~config () with
+                  | Ok () -> 0
+                  | Error m ->
+                    prerr_endline m;
+                    1
+                in
+                teardown ();
+                code)
+          end
+          else begin
+            let shard =
+              match shard_index with
+              | Some k when shards > 0 -> Some (k, shards)
+              | _ -> None
+            in
+            let corpus = Serve.Corpus.load ?shard ~backend all_lines in
+            let is_shard = shard <> None in
+            match Serve.Corpus.instances corpus with
+            | [] when not is_shard ->
+              prerr_endline "no instances: pass --manifest and/or --instance";
+              1
+            | all ->
+              List.iter
+                (fun (i : Serve.Corpus.instance) ->
+                  match i.Serve.Corpus.status with
+                  | Serve.Corpus.Failed m ->
+                    Printf.eprintf "instance %s failed to load: %s\n"
+                      i.Serve.Corpus.spec_id m
+                  | Serve.Corpus.Available _ -> ())
+                all;
+              (* A shard may legitimately own an empty or entirely
+                 failed partition; only a whole single-process corpus
+                 refuses. *)
+              if (not is_shard) && not (Serve.Corpus.healthy corpus) then begin
+                prerr_endline
+                  "every instance failed to load; refusing to serve";
+                1
+              end
+              else begin
+                let store =
+                  Option.map (fun dir -> Store.Objects.open_ ~dir) store_dir
+                in
+                let teardown = setup_obs ~metrics ~trace in
+                let engine =
+                  {
+                    Serve.Engine.queue_max;
+                    batch_window_s = window_ms /. 1000.;
+                    cache_max = cache_rows;
+                    store;
+                    jitter_seed = Int64.of_int seed;
+                    store_budget_s = 0.25;
+                  }
+                in
+                let config =
+                  {
+                    Serve.Server.address;
+                    read_timeout_s = read_timeout;
+                    max_conns = 64;
+                    engine;
+                    ledger_path = report;
+                    install_signals = true;
+                    announce = (if is_shard then None else Some stdout);
+                  }
+                in
+                Serve.Server.run ~config corpus;
+                teardown ();
+                0
+              end
+          end))
   in
   let doc =
     "Serve temporal-reachability queries (foremost, arrivals, reach, ecc) \
@@ -690,7 +829,8 @@ let serve_cmd =
     Term.(const run $ serve_socket_term $ manifest_term $ instance_term
           $ backend_term $ jobs_term $ queue_max_term $ read_timeout_term
           $ window_term $ cache_rows_term $ serve_store_term $ report_term
-          $ fault_spec_term $ metrics_term $ trace_term $ seed_term)
+          $ fault_spec_term $ metrics_term $ trace_term $ seed_term
+          $ shards_term $ shard_index_term)
 
 let query_cmd =
   let script_term =

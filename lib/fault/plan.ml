@@ -15,6 +15,7 @@ type t = {
   io : float;  (* P(transient IO failure per store write attempt) *)
   torn : float;  (* P(a failing write leaves a torn partial file) *)
   poison : float;  (* P(a pool worker refuses a given task) *)
+  shard_kill : float;  (* P(the serve router kills a shard, per tick) *)
 }
 
 let default =
@@ -27,10 +28,12 @@ let default =
     io = 0.;
     torn = 0.;
     poison = 0.;
+    shard_kill = 0.;
   }
 
 let active t =
   t.trial > 0. || t.delay > 0. || t.io > 0. || t.poison > 0.
+  || t.shard_kill > 0.
 
 (* splitmix64's finalizer is a good 64-bit mixer; chain the site hash
    and both coordinates through it so adjacent trials / attempts land

@@ -17,6 +17,9 @@ type t = {
   io : float;  (** P(transient IO failure per store write attempt). *)
   torn : float;  (** P(a failing write leaves a torn partial file). *)
   poison : float;  (** P(a pool worker refuses a given task). *)
+  shard_kill : float;
+      (** P(the serve router SIGKILLs a shard worker, per supervision
+          tick) — exercises crash-respawn under live traffic. *)
 }
 
 val default : t

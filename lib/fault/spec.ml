@@ -8,7 +8,7 @@
    make a soak test vacuous. *)
 
 let keys =
-  "seed, trial, fatal, delay, delay-ms, io, torn, poison"
+  "seed, trial, fatal, delay, delay-ms, io, torn, poison, shard-kill"
 
 let parse_field plan key value =
   let prob what set =
@@ -33,6 +33,7 @@ let parse_field plan key value =
   | "io" -> prob key (fun p -> { plan with Plan.io = p })
   | "torn" -> prob key (fun p -> { plan with Plan.torn = p })
   | "poison" -> prob key (fun p -> { plan with Plan.poison = p })
+  | "shard-kill" -> prob key (fun p -> { plan with Plan.shard_kill = p })
   | _ -> Error (Printf.sprintf "unknown key %S (known: %s)" key keys)
 
 let parse s =
@@ -70,5 +71,8 @@ let to_string (p : Plan.t) =
          (if p.io > 0. && p.torn > 0. then Some (Printf.sprintf "torn=%g" p.torn)
           else None);
          (if p.poison > 0. then Some (Printf.sprintf "poison=%g" p.poison)
+          else None);
+         (if p.shard_kill > 0. then
+            Some (Printf.sprintf "shard-kill=%g" p.shard_kill)
           else None);
        ])

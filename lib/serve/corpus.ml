@@ -127,27 +127,78 @@ let is_comment line =
   let t = String.trim line in
   t = "" || t.[0] = '#'
 
-let load ~backend lines =
+(* Consistent-hash routing: FNV-1a 64-bit over the instance id, mod
+   the shard count.  The router and every shard worker compute this
+   independently from the id alone, so their partition agreement is by
+   construction — no routing table is exchanged.  The id used is the
+   *post-salvage* one (so even an unparsable manifest line lands on a
+   deterministic shard), which is why partition filtering happens
+   after id determination, never on the raw line. *)
+let shard_of ~shards id =
+  if shards <= 1 then 0
+  else begin
+    let h = ref 0xcbf29ce484222325L in
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c)))
+               0x100000001b3L)
+      id;
+    Int64.to_int (Int64.unsigned_rem !h (Int64.of_int shards))
+  end
+
+(* The id of a manifest line — parsed when possible, salvaged when
+   not — without building the instance.  This is the id [load] will
+   serve the line under, so routing decisions made from these ids
+   match what the owning shard actually loads. *)
+let line_id line ~lineno =
+  match parse_spec line with
+  | Ok s -> s.id
+  | Error _ -> salvage_id line ~lineno
+
+let manifest_ids lines =
+  let _, ids =
+    List.fold_left
+      (fun (lineno, acc) line ->
+        let lineno = lineno + 1 in
+        if is_comment line then (lineno, acc)
+        else (lineno, line_id line ~lineno :: acc))
+      (0, []) lines
+  in
+  List.rev ids
+
+let load ?shard ~backend lines =
+  let owned id =
+    match shard with
+    | None -> true
+    | Some (index, total) -> shard_of ~shards:total id = index
+  in
   let _, instances =
     List.fold_left
       (fun (lineno, acc) line ->
         let lineno = lineno + 1 in
         if is_comment line then (lineno, acc)
         else
-          let inst =
-            match parse_spec line with
-            | Ok s -> load_spec backend s
-            | Error m ->
-              { spec_id = salvage_id line ~lineno;
-                spec = None;
-                status = Failed (Printf.sprintf "bad spec: %s" m) }
-          in
-          (lineno, inst :: acc))
+          (* Ownership is decided before any building, so a shard
+             pays nothing for the (shards-1)/shards of the manifest
+             it does not serve. *)
+          match parse_spec line with
+          | Ok s ->
+            if owned s.id then (lineno, load_spec backend s :: acc)
+            else (lineno, acc)
+          | Error m ->
+            let id = salvage_id line ~lineno in
+            if owned id then
+              ( lineno,
+                { spec_id = id;
+                  spec = None;
+                  status = Failed (Printf.sprintf "bad spec: %s" m) }
+                :: acc )
+            else (lineno, acc))
       (0, []) lines
   in
   { backend; instances = Array.of_list (List.rev instances) }
 
-let load_file ~backend path =
+let read_file path =
   match open_in path with
   | exception Sys_error m -> Error m
   | ic ->
@@ -158,7 +209,10 @@ let load_file ~backend path =
     in
     let lines = read [] in
     close_in ic;
-    Ok (load ~backend lines)
+    Ok lines
+
+let load_file ?shard ~backend path =
+  Result.map (load ?shard ~backend) (read_file path)
 
 let backend t = t.backend
 

@@ -36,11 +36,29 @@ type t
 val parse_spec : string -> (spec, string) result
 val spec_to_string : spec -> string
 
-val load : backend:Sim.Backend.t -> string list -> t
-(** Build every non-comment line ([#] and blank lines are skipped);
-    failures become [Failed] instances, never exceptions. *)
+val shard_of : shards:int -> string -> int
+(** Which shard owns an instance id: FNV-1a 64-bit of the id mod
+    [shards].  Pure, so router and shard workers agree from the id
+    alone; [shards <= 1] always answers [0]. *)
 
-val load_file : backend:Sim.Backend.t -> string -> (t, string) result
+val manifest_ids : string list -> string list
+(** The ids of every non-comment manifest line, in order, without
+    building anything — parsed ids where the line parses, salvaged
+    ids where it does not.  Exactly the ids {!load} would serve. *)
+
+val load : ?shard:int * int -> backend:Sim.Backend.t -> string list -> t
+(** Build every non-comment line ([#] and blank lines are skipped);
+    failures become [Failed] instances, never exceptions.
+    [?shard:(index, total)] keeps only the lines whose (post-salvage)
+    id satisfies [shard_of ~shards:total id = index], deciding
+    ownership {e before} building — a shard pays nothing for lines it
+    does not own.  An empty partition is a valid (unhealthy) corpus. *)
+
+val read_file : string -> (string list, string) result
+(** The raw lines of a manifest file; [Error] when unreadable. *)
+
+val load_file :
+  ?shard:int * int -> backend:Sim.Backend.t -> string -> (t, string) result
 (** [Error] only when the file itself cannot be read. *)
 
 val load_spec : Sim.Backend.t -> spec -> instance

@@ -52,7 +52,7 @@ type config = {
   batch_window_s : float;
       (* dispatcher sleeps this long after the first job of a cycle
          arrives, so concurrent clients coalesce into one sweep *)
-  cache_max : int;  (* in-memory rows kept (FIFO eviction) *)
+  cache_max : int;  (* in-memory rows kept (LRU eviction) *)
   store : Store.Objects.t option;
   jitter_seed : int64;  (* retry decorrelation *)
   store_budget_s : float;  (* retry wall-time budget per store op *)
@@ -97,8 +97,41 @@ type stats = {
   cache_hits : int;
   store_hits : int;
   sweeps : int;
+  evictions : int;
   queue_peak : int;
 }
+
+(* ------------------------------------------------------------------ *)
+(* LRU row cache
+
+   An intrusive doubly-linked list threaded through the cache nodes,
+   plus a hashtable for O(1) key lookup.  The list is cyclic around a
+   sentinel: [sentinel.next] is the most recently used node,
+   [sentinel.prev] the eviction candidate.  Dispatcher-only — no
+   locking. *)
+
+type lru_node = {
+  lru_key : string * int;
+  lru_row : int array;
+  mutable lru_prev : lru_node;
+  mutable lru_next : lru_node;
+}
+
+let lru_sentinel () =
+  let rec s =
+    { lru_key = ("", -1); lru_row = [||]; lru_prev = s; lru_next = s }
+  in
+  s
+
+let lru_unlink node =
+  node.lru_prev.lru_next <- node.lru_next;
+  node.lru_next.lru_prev <- node.lru_prev
+
+let lru_push_front s node =
+  node.lru_next <- s.lru_next;
+  node.lru_prev <- s;
+  s.lru_next.lru_prev <- node;
+  s.lru_next <- node
 
 type t = {
   corpus : Corpus.t;
@@ -111,8 +144,8 @@ type t = {
   mutable accepting : bool;
   mutable stopping : bool;
   mutable dispatcher : Thread.t option;
-  cache : (string * int, int array) Hashtbl.t;
-  cache_fifo : (string * int) Queue.t;
+  cache : (string * int, lru_node) Hashtbl.t;
+  cache_lru : lru_node;  (* sentinel of the recency list *)
   (* monotonically increasing tallies, dispatcher/submit side *)
   mutable n_queries : int;
   mutable n_shed : int;
@@ -120,10 +153,12 @@ type t = {
   mutable n_cache_hits : int;
   mutable n_store_hits : int;
   mutable n_sweeps : int;
+  mutable n_evictions : int;
   c_queries : Obs.Metrics.counter;
   c_shed : Obs.Metrics.counter;
   c_expired : Obs.Metrics.counter;
   c_cache_hits : Obs.Metrics.counter;
+  c_evictions : Obs.Metrics.counter;
   c_sweeps : Obs.Metrics.counter;
   g_depth : Obs.Metrics.gauge;
   h_latency : Obs.Metrics.histogram;
@@ -146,17 +181,19 @@ let create ?(config = default_config) corpus =
     stopping = false;
     dispatcher = None;
     cache = Hashtbl.create 256;
-    cache_fifo = Queue.create ();
+    cache_lru = lru_sentinel ();
     n_queries = 0;
     n_shed = 0;
     n_expired = 0;
     n_cache_hits = 0;
     n_store_hits = 0;
     n_sweeps = 0;
+    n_evictions = 0;
     c_queries = Obs.Metrics.counter "serve.queries";
     c_shed = Obs.Metrics.counter "serve.shed";
     c_expired = Obs.Metrics.counter "serve.deadline_exceeded";
     c_cache_hits = Obs.Metrics.counter "serve.cache_hits";
+    c_evictions = Obs.Metrics.counter "serve.cache_evictions";
     c_sweeps = Obs.Metrics.counter "serve.sweeps";
     g_depth = Obs.Metrics.gauge "serve.queue_depth";
     h_latency = Obs.Metrics.histogram "serve.latency_ms";
@@ -174,6 +211,7 @@ let stats t =
       cache_hits = t.n_cache_hits;
       store_hits = t.n_store_hits;
       sweeps = t.n_sweeps;
+      evictions = t.n_evictions;
       queue_peak = t.queue_peak;
     }
   in
@@ -454,30 +492,40 @@ let process_pending t =
       expired;
     if live <> [] then begin
       (* Cache, then store, then compute. *)
-      let cache_hits = ref 0 and store_hits = ref 0 in
+      let cache_hits = ref 0 and store_hits = ref 0 and evictions = ref 0 in
       let misses = ref [] in
       List.iter
         (fun j ->
           match Hashtbl.find_opt t.cache (j.j_instance, j.j_source) with
-          | Some row ->
+          | Some node ->
             incr cache_hits;
-            resolve t j.j_ticket (Row row)
+            (* Touch: a hit moves the node to the recency front, so
+               hot rows in a skewed mix outlive one-shot scans. *)
+            lru_unlink node;
+            lru_push_front t.cache_lru node;
+            resolve t j.j_ticket (Row node.lru_row)
           | None -> misses := j :: !misses)
         live;
       let insert_cache key row =
-        if t.cfg.cache_max > 0 then begin
-          if
-            Hashtbl.length t.cache >= t.cfg.cache_max
-            && not (Hashtbl.mem t.cache key)
-          then begin
-            match Queue.take_opt t.cache_fifo with
-            | Some victim -> Hashtbl.remove t.cache victim
-            | None -> ()
+        if t.cfg.cache_max > 0 && not (Hashtbl.mem t.cache key) then begin
+          if Hashtbl.length t.cache >= t.cfg.cache_max then begin
+            let victim = t.cache_lru.lru_prev in
+            if victim != t.cache_lru then begin
+              lru_unlink victim;
+              Hashtbl.remove t.cache victim.lru_key;
+              incr evictions
+            end
           end;
-          if not (Hashtbl.mem t.cache key) then begin
-            Hashtbl.add t.cache key row;
-            Queue.push key t.cache_fifo
-          end
+          let node =
+            {
+              lru_key = key;
+              lru_row = row;
+              lru_prev = t.cache_lru;
+              lru_next = t.cache_lru;
+            }
+          in
+          Hashtbl.add t.cache key node;
+          lru_push_front t.cache_lru node
         end
       in
       let misses = List.rev !misses in
@@ -546,8 +594,10 @@ let process_pending t =
       Mutex.lock t.qm;
       t.n_cache_hits <- t.n_cache_hits + !cache_hits;
       t.n_store_hits <- t.n_store_hits + !store_hits;
+      t.n_evictions <- t.n_evictions + !evictions;
       Mutex.unlock t.qm;
-      if !cache_hits > 0 then Obs.Metrics.add t.c_cache_hits !cache_hits
+      if !cache_hits > 0 then Obs.Metrics.add t.c_cache_hits !cache_hits;
+      if !evictions > 0 then Obs.Metrics.add t.c_evictions !evictions
     end
   in
   (* An exception escaping an instance group must not leave a ticket

@@ -25,7 +25,7 @@ type config = {
   queue_max : int;  (** admission bound (jobs queued, not in flight) *)
   batch_window_s : float;
       (** dispatcher coalescing sleep once a cycle has work; [0.] = none *)
-  cache_max : int;  (** in-memory rows kept, FIFO eviction; [0] = off *)
+  cache_max : int;  (** in-memory rows kept, LRU eviction; [0] = off *)
   store : Store.Objects.t option;  (** persistent row cache *)
   jitter_seed : int64;  (** retry-jitter decorrelation seed *)
   store_budget_s : float;  (** retry wall-time budget per store op *)
@@ -88,6 +88,7 @@ type stats = {
   cache_hits : int;
   store_hits : int;
   sweeps : int;  (** kernel sweeps actually run *)
+  evictions : int;  (** LRU rows displaced once the cache filled *)
   queue_peak : int;  (** max queue depth ever observed — [<= queue_max] *)
 }
 

@@ -1,0 +1,53 @@
+(** Shared renderer for the [ephemeral-serve-ledger] artifact.
+
+    The ledger has a [deterministic] section — a pure function of the
+    corpus manifest, backend, and queue bound, byte-identical run to
+    run and {e at any shard count} — and a [volatile] section of
+    traffic tallies and timings.  The single-process {!Server} renders
+    one directly from {!Engine.stats}; the sharded {!Router} merges
+    per-shard tallies with {!merge_volatile} and renders the same
+    shape, so every downstream check (schema tag, [queue_peak] bound,
+    CI deterministic-section diff) is shard-count-agnostic. *)
+
+val json_escape : string -> string
+val json_float : float -> string
+
+type volatile = {
+  queries : int;
+  shed : int;
+  expired : int;
+  cache_hits : int;
+  store_hits : int;
+  sweeps : int;
+  evictions : int;
+  queue_peak : int;  (** merged across shards with [max], not [+] *)
+  p50_ms : float;
+  p99_ms : float;
+  qps : float;
+  wall_s : float;
+  shards : int option;  (** [None] = single-process serve *)
+}
+
+val of_stats :
+  Engine.stats ->
+  p50_ms:float ->
+  p99_ms:float ->
+  qps:float ->
+  wall_s:float ->
+  shards:int option ->
+  volatile
+
+val merge_volatile : volatile list -> wall_s:float -> shards:int -> volatile
+(** Sum tallies, [max] the queue peaks, recompute qps over the merged
+    wall clock.  Percentiles are zeroed — per-shard percentiles do not
+    compose; the caller overrides them from its own end-to-end
+    histogram if it has one. *)
+
+val render :
+  backend:string ->
+  queue_max:int ->
+  instances:(string * string * string) list ->
+  volatile ->
+  string
+(** The full ledger document, trailing newline included.  [instances]
+    is {!Corpus.list_rows} output in manifest order. *)

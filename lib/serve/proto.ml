@@ -205,6 +205,24 @@ let decode_request data =
   | exception Short ->
     Stdlib.Error (Parse_error, "truncated request payload")
 
+(* Router support: the routing key (the instance-id operand) read from
+   a query-op payload's fixed prefix, without decoding the rest.
+   Control ops, unknown opcodes, and payloads too short to carry the
+   id answer [None]; the router handles those itself or forwards them
+   opaque, so a malformed frame still gets the owning decoder's exact
+   error bytes. *)
+let peek_instance data =
+  let len = String.length data in
+  if len < 3 then None
+  else
+    let op = Char.code data.[0] in
+    if op = op_foremost || op = op_arrivals || op = op_reach || op = op_ecc
+    then begin
+      let k = (Char.code data.[1] lsl 8) lor Char.code data.[2] in
+      if len >= 3 + k then Some (String.sub data 3 k) else None
+    end
+    else None
+
 (* ------------------------------------------------------------------ *)
 (* Responses *)
 

@@ -1,0 +1,69 @@
+(** The sharded [ephemeral serve --shards N] parent process: a frame
+    router in front of N supervised shard workers.
+
+    Query frames are routed by {!Proto.peek_instance} +
+    {!Corpus.shard_of} and their request/reply bytes cross the router
+    untouched, so reply byte-identity at any shard count is
+    structural.  Control ops are answered from router state: PING
+    locally, HEALTH/READY/LIST from a startup snapshot of every
+    shard's LIST merged back into manifest order, STATS by fan-out and
+    sum.  Unroutable payloads forward opaque to shard 0, whose decoder
+    produces the single-process error bytes.
+
+    A supervisor thread reaps crashed shards and respawns them with
+    {!Fault.Retry.backoff_delay} under a bounded budget; requests to a
+    down shard answer typed [Unavailable].  With
+    {!Fault.Plan.t.shard_kill} positive it SIGKILLs live shards on
+    deterministic rolls — the chaos soak's crash-respawn site.
+
+    Graceful drain cascades SIGTERM to the shards and publishes one
+    merged ledger whose deterministic section is byte-identical at any
+    shard count. *)
+
+type config = {
+  address : Server.address;
+  shards : int;
+  shard_argv : int -> string array;
+      (** argv to (re)spawn shard [k] — the running binary with
+          [--shard-index k] *)
+  shard_socket : int -> string;
+  read_timeout_s : float;
+  shard_call_timeout_s : float;
+      (** bound on waiting for a shard's reply to one forwarded frame;
+          expiry answers the client [Unavailable] and drops the shard
+          link *)
+  max_conns : int;
+  queue_max : int;  (** the shards' admission bound, for the ledger *)
+  ledger_path : string option;
+  install_signals : bool;
+  announce : out_channel option;
+  manifest_ids : string list;
+      (** {!Corpus.manifest_ids} of the full manifest, for the LIST
+          merge *)
+  backend : Sim.Backend.t;
+  shard_ready_timeout_s : float;
+  max_respawns : int;
+  fault : Fault.Plan.t;
+}
+
+val default_config : config
+
+val run : ?config:config -> unit -> (unit, string) result
+(** Spawn and await the shards, serve until the graceful-shutdown
+    signal, drain, and return.  [Error] only for startup failures
+    (a shard that never became ready, an unbindable socket) — already
+    spawned shards are terminated before returning.
+    @raise Invalid_argument if [shards < 1]. *)
+
+(**/**)
+
+(* Exposed for tests. *)
+val parse_stats_text : string -> Ledger.volatile option
+val render_stats_text : Ledger.volatile -> string
+
+val merge_list_rows :
+  manifest_ids:string list ->
+  (string * string * string) list list ->
+  (string * string * string) list
+
+val snapshot_health : (string * string * string) list -> string

@@ -155,9 +155,10 @@ let handle_request t req =
     Proto.Ok_text
       (Printf.sprintf
          "queries=%d shed=%d expired=%d cache_hits=%d store_hits=%d sweeps=%d \
-          queue_peak=%d"
+          evictions=%d queue_peak=%d"
          s.Engine.queries s.Engine.shed s.Engine.expired s.Engine.cache_hits
-         s.Engine.store_hits s.Engine.sweeps s.Engine.queue_peak)
+         s.Engine.store_hits s.Engine.sweeps s.Engine.evictions
+         s.Engine.queue_peak)
   | Proto.Foremost q ->
     handle_query t q (fun row ->
         if q.Proto.target < 0 || q.Proto.target >= Array.length row then
@@ -258,27 +259,6 @@ let spawn_conn t fd =
 (* ------------------------------------------------------------------ *)
 (* Ledger *)
 
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
-let json_float f =
-  if Float.is_nan f || Float.is_integer f then
-    Printf.sprintf "%.1f" (if Float.is_nan f then 0. else f)
-  else Printf.sprintf "%.6g" f
-
 let ledger_json t ~wall_s =
   let s = Engine.stats t.engine in
   let corpus = Engine.corpus t.engine in
@@ -288,40 +268,12 @@ let ledger_json t ~wall_s =
   let qps =
     if wall_s > 0. then float_of_int s.Engine.queries /. wall_s else 0.
   in
-  let rows =
-    Corpus.list_rows corpus
-    |> List.map (fun (id, status, detail) ->
-           Printf.sprintf
-             {|{"id": "%s", "status": "%s", "detail": "%s"}|}
-             (json_escape id) (json_escape status) (json_escape detail))
-    |> String.concat ", "
-  in
-  String.concat "\n"
-    [
-      "{";
-      {|  "schema": "ephemeral-serve-ledger/v1",|};
-      "  \"deterministic\": {";
-      Printf.sprintf {|    "backend": "%s",|}
-        (json_escape (Sim.Backend.to_string (Corpus.backend corpus)));
-      Printf.sprintf {|    "queue_max": %d,|} t.cfg.engine.Engine.queue_max;
-      Printf.sprintf {|    "instances": [%s]|} rows;
-      "  },";
-      "  \"volatile\": {";
-      Printf.sprintf {|    "queries": %d,|} s.Engine.queries;
-      Printf.sprintf {|    "shed": %d,|} s.Engine.shed;
-      Printf.sprintf {|    "deadline_exceeded": %d,|} s.Engine.expired;
-      Printf.sprintf {|    "cache_hits": %d,|} s.Engine.cache_hits;
-      Printf.sprintf {|    "store_hits": %d,|} s.Engine.store_hits;
-      Printf.sprintf {|    "sweeps": %d,|} s.Engine.sweeps;
-      Printf.sprintf {|    "queue_peak": %d,|} s.Engine.queue_peak;
-      Printf.sprintf {|    "latency_ms_p50": %s,|} (json_float (p 0.5));
-      Printf.sprintf {|    "latency_ms_p99": %s,|} (json_float (p 0.99));
-      Printf.sprintf {|    "qps": %s,|} (json_float qps);
-      Printf.sprintf {|    "wall_s": %s|} (json_float wall_s);
-      "  }";
-      "}";
-      "";
-    ]
+  Ledger.render
+    ~backend:(Sim.Backend.to_string (Corpus.backend corpus))
+    ~queue_max:t.cfg.engine.Engine.queue_max
+    ~instances:(Corpus.list_rows corpus)
+    (Ledger.of_stats s ~p50_ms:(p 0.5) ~p99_ms:(p 0.99) ~qps ~wall_s
+       ~shards:None)
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle *)

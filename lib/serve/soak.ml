@@ -61,6 +61,10 @@ type ctx = {
   address : Server.address;
   oracle : (string * int, int array) Hashtbl.t;
   instances : (string * int) list;  (* healthy: (id, n) *)
+  kill_armed : bool;
+      (* sharded soak with the shard-kill fault rolling: a typed
+         Unavailable is then a legitimate answer in any phase (the
+         owning shard may be mid-respawn) *)
   cm : Mutex.t;
   mutable checks : int;
   mutable violations : string list;
@@ -150,6 +154,7 @@ let checked_query ctx ~phase ~lenient ~draining client op q =
         | Proto.Error (Proto.Deadline_exceeded, _) ->
           lenient
         | Proto.Error (Proto.Shutting_down, _) -> draining
+        | Proto.Error (Proto.Unavailable, _) -> ctx.kill_armed
         | _ -> false
       in
       check ctx ~phase ok
@@ -374,6 +379,42 @@ let phase_overload ctx rng ~threads ~per_thread ~deadline_every =
     | Error m -> check ctx ~phase false ("post-burst stats: " ^ m));
     Client.close c
 
+(* Sustained traffic while the router's shard-kill fault SIGKILLs live
+   shards: every reply must still be oracle-correct or a clean typed
+   error (Unavailable while the owning shard respawns), and the
+   connection to the router itself must never die or desync. *)
+let phase_shard_kill ctx rng ~threads ~per_thread =
+  let phase = "shard-kill" in
+  let rngs = Prng.Rng.split_n rng threads in
+  let workers =
+    List.init threads (fun i ->
+        Thread.create
+          (fun () ->
+            match Client.connect ctx.address with
+            | Error m -> check ctx ~phase false ("connect: " ^ m)
+            | Ok client ->
+              let rng = rngs.(i) in
+              let ops = [| `Foremost; `Arrivals; `Reach; `Ecc |] in
+              for _ = 1 to per_thread do
+                let id, n =
+                  List.nth ctx.instances
+                    (Prng.Rng.int rng (List.length ctx.instances))
+                in
+                let src = Prng.Rng.int rng n in
+                let op = ops.(Prng.Rng.int rng (Array.length ops)) in
+                checked_query ctx ~phase ~lenient:true ~draining:false client
+                  op
+                  (q ~target:(Prng.Rng.int rng n) id src);
+                (* Pace the burst so kills land mid-traffic rather
+                   than between two instants of it. *)
+                Thread.delay 0.005
+              done;
+              Client.close client)
+          ())
+  in
+  List.iter Thread.join workers;
+  ping_ok ctx ~phase "after shard-kill burst"
+
 let phase_sigterm ctx rng ~pid ~threads ~per_thread =
   let phase = "sigterm" in
   let rngs = Prng.Rng.split_n rng threads in
@@ -474,8 +515,30 @@ let percentile_of sorted qv =
 
 (* ------------------------------------------------------------------ *)
 
-let run ~exe ~dir ~seed ~quick ~fault_spec ~backend ~jobs =
+(* Substring scan, used for both the schema tag and spec keys. *)
+let contains body needle =
+  let nl = String.length needle and bl = String.length body in
+  let rec scan i = i + nl <= bl && (String.sub body i nl = needle || scan (i + 1)) in
+  scan 0
+
+let run ~exe ~dir ~seed ~quick ~fault_spec ~backend ~jobs ~shards =
   Store.Fsio.ensure_dir dir;
+  (* A sharded soak arms the shard-kill site unless the caller's spec
+     already decided the rate: crash-respawn must run under live
+     traffic, not just in unit tests.  The rate is low enough that a
+     shard essentially never exhausts its respawn budget. *)
+  let fault_spec =
+    if shards <= 0 then fault_spec
+    else
+      match fault_spec with
+      | Some s when contains s "shard-kill" -> Some s
+      | Some s -> Some (s ^ ",shard-kill=0.008")
+      | None -> Some (Printf.sprintf "seed=%d,shard-kill=0.008" seed)
+  in
+  let kill_armed =
+    shards > 0
+    && (match fault_spec with Some s -> contains s "shard-kill" | None -> false)
+  in
   let n1, n2 = if quick then (32, 40) else (96, 128) in
   let manifest_path = Filename.concat dir "manifest.txt" in
   let socket_path = Filename.concat dir "serve.sock" in
@@ -514,6 +577,7 @@ let run ~exe ~dir ~seed ~quick ~fault_spec ~backend ~jobs =
         "--store"; store_dir;
         "--seed"; string_of_int seed;
       ]
+      @ (if shards > 0 then [ "--shards"; string_of_int shards ] else [])
       @ (match fault_spec with
         | Some s -> [ "--fault-spec"; s ]
         | None -> [])
@@ -532,6 +596,7 @@ let run ~exe ~dir ~seed ~quick ~fault_spec ~backend ~jobs =
           address = Server.Unix_path socket_path;
           oracle;
           instances;
+          kill_armed;
           cm = Mutex.create ();
           checks = 0;
           violations = [];
@@ -556,6 +621,9 @@ let run ~exe ~dir ~seed ~quick ~fault_spec ~backend ~jobs =
         ~threads:(if quick then 40 else 48)
         ~per_thread:(if quick then 8 else 25)
         ~deadline_every:7;
+      if kill_armed then
+        phase_shard_kill ctx (Prng.Rng.split rng) ~threads:4
+          ~per_thread:(if quick then 120 else 250);
       phase_sigterm ctx (Prng.Rng.split rng) ~pid
         ~threads:(if quick then 3 else 6)
         ~per_thread:(if quick then 15 else 60);

@@ -6,7 +6,13 @@
     malformed input, connection drops, slow-loris reads, overload
     shedding, and SIGTERM mid-burst (clean exit 0 + atomically
     published ledger + admission-queue peak within bound).  Violations
-    are collected, not thrown — one run reports the full damage. *)
+    are collected, not thrown — one run reports the full damage.
+
+    With [shards > 0] the child runs the sharded router, the
+    shard-kill fault is armed by default, and a dedicated phase keeps
+    query traffic flowing while shards are SIGKILLed and respawned
+    underneath it — replies must stay correct or typed
+    [Unavailable]. *)
 
 type outcome = {
   checks : int;
@@ -28,6 +34,7 @@ val run :
   fault_spec:string option ->
   backend:Sim.Backend.t ->
   jobs:int ->
+  shards:int ->
   (outcome, string) result
 (** [Error] only when the soak could not run at all (server never came
     up); assertion failures land in [violations]. *)

@@ -96,7 +96,8 @@ let plan_gen =
   QCheck2.Gen.(
     let rate = map (fun i -> float_of_int i /. 16.) (int_range 0 16) in
     map
-      (fun ((seed, trial, fatal), (delay, delay_ms, io, torn, poison)) ->
+      (fun (((seed, trial, fatal), (delay, delay_ms, io, torn, poison)),
+            shard_kill) ->
         {
           Plan.seed = Int64.of_int seed;
           trial;
@@ -106,10 +107,13 @@ let plan_gen =
           io;
           torn;
           poison;
+          shard_kill;
         })
       (pair
-         (triple (int_range 0 10_000) rate rate)
-         (tup5 rate (int_range 0 5) rate rate rate)))
+         (pair
+            (triple (int_range 0 10_000) rate rate)
+            (tup5 rate (int_range 0 5) rate rate rate))
+         rate))
 
 let spec_cases =
   [
@@ -118,7 +122,7 @@ let spec_cases =
     case "parse reads every key" (fun () ->
         match
           Spec.parse
-            "seed=9,trial=0.25,fatal=0.5,delay=0.125,delay-ms=2,io=0.75,torn=1,poison=0.0625"
+            "seed=9,trial=0.25,fatal=0.5,delay=0.125,delay-ms=2,io=0.75,torn=1,poison=0.0625,shard-kill=0.125"
         with
         | Error msg -> Alcotest.fail msg
         | Ok p ->
@@ -129,7 +133,8 @@ let spec_cases =
           check_float "delay_ms" 2. p.delay_ms;
           check_float "io" 0.75 p.io;
           check_float "torn" 1. p.torn;
-          check_float "poison" 0.0625 p.poison);
+          check_float "poison" 0.0625 p.poison;
+          check_float "shard_kill" 0.125 p.shard_kill);
     case "malformed specs are errors, not silence" (fun () ->
         let rejected s =
           match Spec.parse s with Ok _ -> false | Error _ -> true

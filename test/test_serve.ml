@@ -187,6 +187,121 @@ let frame_oversized () =
         (fun () -> Proto.write_frame a (String.make (Proto.max_frame + 1) 'x')))
 
 (* ------------------------------------------------------------------ *)
+(* Codec properties: encode∘decode = id over generated values, and no
+   truncation of a valid payload ever parses — the router forwards
+   unroutable bytes opaquely, so rejection behaviour is part of the
+   sharded byte-identity contract. *)
+
+let gen_query =
+  QCheck2.Gen.(
+    let* instance = string_size (int_range 0 48) in
+    let* source = int_range 0 0xFFFF in
+    let* target = int_range 0 0xFFFF in
+    let+ deadline_ms = int_range 0 1_000_000 in
+    { Proto.instance; source; target; deadline_ms })
+
+let gen_request =
+  QCheck2.Gen.(
+    let* q = gen_query in
+    oneofl
+      [
+        Proto.Ping; Proto.Health; Proto.Ready; Proto.List; Proto.Stats;
+        Proto.Foremost q; Proto.Arrivals q; Proto.Reach q; Proto.Ecc q;
+      ])
+
+let gen_response =
+  QCheck2.Gen.(
+    let small = string_size (int_range 0 32) in
+    (* u32 codomain with the unreachable sentinel sprinkled in. *)
+    let cell = map (fun x -> if x mod 7 = 0 then max_int else x) (int_range 0 100_000) in
+    oneof
+      [
+        return Proto.Ok_empty;
+        map (fun v -> Proto.Ok_value v) (option (int_range 0 1_000_000));
+        map (fun k -> Proto.Ok_count k) (int_range 0 10_000_000);
+        map (fun l -> Proto.Ok_vector (Array.of_list l))
+          (list_size (int_range 0 24) cell);
+        map (fun rows -> Proto.Ok_list rows)
+          (list_size (int_range 0 6) (triple small small small));
+        map (fun s -> Proto.Ok_text s) small;
+        map2 (fun c m -> Proto.Error (c, m)) (oneofl all_error_codes) small;
+      ])
+
+let prop_request_roundtrip r =
+  match Proto.decode_request (Proto.encode_request r) with
+  | Stdlib.Ok r' -> r = r'
+  | Stdlib.Error (_, m) -> QCheck2.Test.fail_reportf "decode failed: %s" m
+
+let prop_response_roundtrip r =
+  match Proto.decode_response (Proto.encode_response r) with
+  | Stdlib.Ok r' -> r = r'
+  | Stdlib.Error m -> QCheck2.Test.fail_reportf "decode failed: %s" m
+
+(* Every strict prefix of a valid request payload must be rejected —
+   there is no valid payload that is also a prefix of a longer one. *)
+let prop_request_prefix_rejected r =
+  let enc = Proto.encode_request r in
+  let ok = ref true in
+  for len = 0 to String.length enc - 1 do
+    match Proto.decode_request (String.sub enc 0 len) with
+    | Stdlib.Error _ -> ()
+    | Stdlib.Ok _ -> ok := false
+  done;
+  (* ...and so must trailing garbage after a complete one. *)
+  (match Proto.decode_request (enc ^ "\x00") with
+  | Stdlib.Error (Proto.Parse_error, _) -> ()
+  | _ -> ok := false);
+  !ok
+
+let prop_response_prefix_rejected r =
+  let enc = Proto.encode_response r in
+  let ok = ref true in
+  for len = 0 to String.length enc - 1 do
+    match Proto.decode_response (String.sub enc 0 len) with
+    | Stdlib.Error _ -> ()
+    | Stdlib.Ok _ -> ok := false
+  done;
+  !ok
+
+(* The router's routing key agrees with the full decoder: queries peek
+   their instance id, control ops peek nothing. *)
+let prop_peek_agrees r =
+  let peeked = Proto.peek_instance (Proto.encode_request r) in
+  match r with
+  | Proto.Foremost q | Proto.Arrivals q | Proto.Reach q | Proto.Ecc q ->
+    peeked = Some q.Proto.instance
+  | _ -> peeked = None
+
+(* Hand-built rejection vectors: payloads that lie about their instance
+   length, or stop mid-operand. *)
+let query_truncation_vectors () =
+  let mk op k body =
+    Printf.sprintf "%c%c%c%s" (Char.chr op)
+      (Char.chr ((k lsr 8) land 0xff))
+      (Char.chr (k land 0xff))
+      body
+  in
+  List.iter
+    (fun op ->
+      (* Declared instance length runs past the payload. *)
+      (match Proto.decode_request (mk op 9 "short") with
+      | Stdlib.Error (Proto.Parse_error, _) -> ()
+      | _ -> Alcotest.failf "op %#x: lying length must be Parse_error" op);
+      check_bool
+        (Printf.sprintf "op %#x: peek refuses the lying length" op)
+        true
+        (Proto.peek_instance (mk op 9 "short") = None);
+      (* Maximal u16 length on a near-empty payload. *)
+      (match Proto.decode_request (mk op 0xFFFF "x") with
+      | Stdlib.Error (Proto.Parse_error, _) -> ()
+      | _ -> Alcotest.failf "op %#x: oversize length must be Parse_error" op);
+      (* Instance present, u32 operands missing. *)
+      match Proto.decode_request (mk op 2 "ab") with
+      | Stdlib.Error (Proto.Parse_error, _) -> ()
+      | _ -> Alcotest.failf "op %#x: missing operands must be Parse_error" op)
+    [ 0x10; 0x11; 0x12; 0x13 ]
+
+(* ------------------------------------------------------------------ *)
 (* Corpus: spec parsing and degraded loading *)
 
 let spec_defaults () =
@@ -451,6 +566,159 @@ let engine_store_corruption_recovers () =
       check_int "corrupt row is a miss" 0 s.Engine.store_hits;
       check_int "recomputed by sweep" 1 s.Engine.sweeps)
 
+(* The row cache is LRU with touch-on-hit: a re-queried row survives an
+   eviction pass that displaces a colder one, and every displacement is
+   counted.  (A FIFO cache would evict the re-queried row instead —
+   this test distinguishes the policies.) *)
+let engine_lru_touch_on_hit () =
+  let corpus = test_corpus () in
+  let config = { Engine.default_config with Engine.cache_max = 2 } in
+  let eng = Engine.create ~config corpus in
+  let run_one src =
+    let t = expect_admitted (Engine.submit eng ~instance:"t" ~source:src ()) in
+    Engine.process_pending eng;
+    expect_row (Engine.await t)
+  in
+  ignore (run_one 0);                     (* cache {0} *)
+  ignore (run_one 1);                     (* cache {0, 1} *)
+  Alcotest.(check (array int)) "hit serves the correct row"
+    (oracle_row corpus 0) (run_one 0);    (* hit: 0 becomes most-recent *)
+  check_int "hit counted" 1 (Engine.stats eng).Engine.cache_hits;
+  check_int "no eviction while under capacity" 0
+    (Engine.stats eng).Engine.evictions;
+  ignore (run_one 2);                     (* full: evicts 1, not the hot 0 *)
+  check_int "one eviction at capacity" 1 (Engine.stats eng).Engine.evictions;
+  ignore (run_one 0);                     (* still cached — the hit saved it *)
+  let s = Engine.stats eng in
+  check_int "hot row survived the eviction" 2 s.Engine.cache_hits;
+  check_int "sweeps only for the three misses" 3 s.Engine.sweeps;
+  ignore (run_one 1);                     (* was evicted: must re-sweep *)
+  let s = Engine.stats eng in
+  check_int "evicted row re-swept" 4 s.Engine.sweeps;
+  check_int "second eviction" 2 s.Engine.evictions
+
+(* ------------------------------------------------------------------ *)
+(* Sharding: the consistent-hash partition and the router's pure merge
+   helpers *)
+
+let shard_manifest =
+  [
+    "# comment";
+    "id=a,family=path,n=4";
+    "id=b,family=clique,n=4";
+    "not a spec";
+    "id=c,family=star,n=5";
+    "id=d,family=gnp:3,n=8";
+    "id=e,family=clique,n=0";
+  ]
+
+let corpus_shard_partition () =
+  let ids = Corpus.manifest_ids shard_manifest in
+  Alcotest.(check (list string))
+    "manifest ids in order, salvaged ids included"
+    [ "a"; "b"; "line4"; "c"; "d"; "e" ]
+    ids;
+  List.iter
+    (fun id ->
+      check_int (Printf.sprintf "%s: one shard means shard 0" id) 0
+        (Corpus.shard_of ~shards:1 id))
+    ids;
+  let shards = 3 in
+  let parts =
+    List.init shards (fun k ->
+        Corpus.load ~shard:(k, shards) ~backend:Sim.Backend.Implicit
+          shard_manifest
+        |> Corpus.instances
+        |> List.map (fun i -> i.Corpus.spec_id))
+  in
+  (* Each partition holds exactly the ids the hash assigns to it... *)
+  List.iteri
+    (fun k part ->
+      List.iter
+        (fun id ->
+          check_int
+            (Printf.sprintf "%s landed on its hash shard" id)
+            k
+            (Corpus.shard_of ~shards id))
+        part)
+    parts;
+  (* ...and the partitions are disjoint and exhaustive: their union is
+     the whole manifest, failed and salvaged lines included. *)
+  Alcotest.(check (list string))
+    "partitions cover the manifest exactly once"
+    (List.sort compare ids)
+    (List.sort compare (List.concat parts))
+
+let shard_of_range () =
+  let ids = [ ""; "a"; "clq1k"; "line17"; String.make 64 'x' ] in
+  List.iter
+    (fun id ->
+      List.iter
+        (fun shards ->
+          let k = Corpus.shard_of ~shards id in
+          check_bool
+            (Printf.sprintf "shard_of %S mod %d in range" id shards)
+            true
+            (k >= 0 && k < shards);
+          check_int "deterministic" k (Corpus.shard_of ~shards id))
+        [ 1; 2; 3; 4; 7; 16 ])
+    ids
+
+let router_stats_text_roundtrip () =
+  let v =
+    {
+      Serve.Ledger.queries = 12; shed = 3; expired = 2; cache_hits = 5;
+      store_hits = 1; sweeps = 7; evictions = 4; queue_peak = 9;
+      p50_ms = 0.; p99_ms = 0.; qps = 0.; wall_s = 0.; shards = None;
+    }
+  in
+  (match Serve.Router.parse_stats_text (Serve.Router.render_stats_text v) with
+  | Some v' ->
+    check_bool "tallies survive the round-trip" true (v = v')
+  | None -> Alcotest.fail "rendered stats must parse");
+  check_bool "garbage does not parse" true
+    (Serve.Router.parse_stats_text "hello world" = None);
+  check_bool "non-numeric values ignored" true
+    (Serve.Router.parse_stats_text "queries=many" = None)
+
+let router_merge_list_rows () =
+  let manifest_ids = [ "a"; "b"; "c"; "d" ] in
+  let shard0 = [ ("b", "available", "n=4"); ("d", "failed", "boom") ] in
+  let shard1 = [ ("a", "available", "n=8") ] in
+  let merged =
+    Serve.Router.merge_list_rows ~manifest_ids [ shard0; shard1 ]
+  in
+  Alcotest.(check (list (triple string string string)))
+    "manifest order restored; unreported id kept as a failed row"
+    [
+      ("a", "available", "n=8");
+      ("b", "available", "n=4");
+      ("c", "failed", "shard unavailable at snapshot");
+      ("d", "failed", "boom");
+    ]
+    merged;
+  (* A manifest that repeats an id consumes that id's rows in shard
+     order, one per occurrence. *)
+  let merged_dup =
+    Serve.Router.merge_list_rows ~manifest_ids:[ "x"; "x" ]
+      [ [ ("x", "available", "first"); ("x", "failed", "second") ] ]
+  in
+  Alcotest.(check (list (triple string string string)))
+    "duplicate ids merge FIFO"
+    [ ("x", "available", "first"); ("x", "failed", "second") ]
+    merged_dup
+
+let router_snapshot_health () =
+  check_string "all available is ok" "ok"
+    (Serve.Router.snapshot_health [ ("a", "available", "") ]);
+  check_string "any failed is degraded" "degraded"
+    (Serve.Router.snapshot_health
+       [ ("a", "available", ""); ("b", "failed", "x") ]);
+  check_string "none available is unhealthy" "unhealthy"
+    (Serve.Router.snapshot_health [ ("b", "failed", "x") ]);
+  check_string "empty snapshot is unhealthy" "unhealthy"
+    (Serve.Router.snapshot_health [])
+
 (* ------------------------------------------------------------------ *)
 (* Live server over a Unix socket *)
 
@@ -708,6 +976,17 @@ let suites =
         case "frame eof" frame_eof;
         case "frame timeout (slow loris)" frame_timeout;
         case "frame oversized" frame_oversized;
+        case "query truncation vectors" query_truncation_vectors;
+        qcase ~count:200 "request encode∘decode = id" gen_request
+          prop_request_roundtrip;
+        qcase ~count:200 "response encode∘decode = id" gen_response
+          prop_response_roundtrip;
+        qcase ~count:200 "no request prefix parses" gen_request
+          prop_request_prefix_rejected;
+        qcase ~count:200 "no response prefix parses" gen_response
+          prop_response_prefix_rejected;
+        qcase ~count:200 "peek agrees with the decoder" gen_request
+          prop_peek_agrees;
       ] );
     ( "serve.corpus",
       [
@@ -727,6 +1006,15 @@ let suites =
         case "cache and dedupe" engine_cache_and_dedupe;
         case "store round-trip" engine_store_round_trip;
         case "store corruption recovers" engine_store_corruption_recovers;
+        case "LRU touch-on-hit" engine_lru_touch_on_hit;
+      ] );
+    ( "serve.shard",
+      [
+        case "consistent-hash partition" corpus_shard_partition;
+        case "shard_of range and determinism" shard_of_range;
+        case "stats text round-trip" router_stats_text_roundtrip;
+        case "LIST merge" router_merge_list_rows;
+        case "snapshot health" router_snapshot_health;
       ] );
     ( "serve.server",
       [
